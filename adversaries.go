@@ -1,0 +1,245 @@
+package anondyn
+
+import (
+	"anondyn/internal/adversary"
+	"anondyn/internal/fault"
+	"anondyn/internal/network"
+)
+
+// Adversary constructors. Each returns a ready-to-use message adversary;
+// constructors whose parameters can be invalid panic on programmer error
+// (they are configuration, not runtime input — prefer failing loudly at
+// scenario build time).
+
+// Complete returns the benign adversary that delivers every link every
+// round ((1, n−1)-dynaDegree).
+func Complete() Adversary { return adversary.NewComplete() }
+
+// Fig1 returns the paper's Figure 1 adversary on 3 nodes: empty graphs
+// in odd rounds, the 0↔1, 1↔2 links in even rounds. It satisfies
+// (2,1)-dynaDegree but not (1,1)-dynaDegree.
+func Fig1() Adversary { return adversary.NewFig1() }
+
+// Rotating returns the adversary that gives every node exactly d
+// incoming links per round from a rotating neighbor window
+// ((1, d)-dynaDegree with maximal neighbor churn).
+func Rotating(d int) Adversary {
+	a, err := adversary.NewRotating(d)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// RandomDegree returns the randomized adversary guaranteeing, in every
+// aligned block of `block` rounds, d distinct incoming neighbors per
+// node, plus each extra link with probability extra per round.
+func RandomDegree(block, d int, extra float64, seed int64) Adversary {
+	a, err := adversary.NewRandomDegree(block, d, extra, seed)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Halves returns the Theorem 9 split adversary: two forever-isolated
+// complete halves, (1, ⌊n/2⌋−1)-dynaDegree.
+func Halves(n int) Adversary {
+	a, err := adversary.NewHalves(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// SplitGroups returns the adversary isolating the given disjoint groups
+// (complete within, silent across).
+func SplitGroups(n int, groups ...[]int) Adversary {
+	a, err := adversary.NewSplitGroups(n, groups...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Clustered returns the adaptive adversary that keeps value-sorted
+// halves isolated and delivers a complete round only every period-th
+// round (worst-case rounds ≈ T·p_end shape).
+func Clustered(period int) Adversary {
+	a, err := adversary.NewClustered(period)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Starve returns the adaptive adversary that feeds every node only its d
+// closest-valued peers each round.
+func Starve(d int) Adversary {
+	a, err := adversary.NewStarve(d)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Isolate returns the Corollary 1 adversary: the complete graph minus
+// the victim's outgoing links — every receiver misses exactly one
+// message per round ((1, n−2)-dynaDegree), yet the victim's input never
+// propagates.
+func Isolate(victim int) Adversary {
+	a, err := adversary.NewIsolate(victim)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ChaseMin returns the adaptive Corollary 1 adversary that suppresses,
+// each round, the outgoing links of a current minimum-value holder.
+func ChaseMin() Adversary { return adversary.NewChaseMin() }
+
+// Probabilistic returns the §VII random adversary: each directed link
+// is present independently with probability p, redrawn every round.
+func Probabilistic(p float64, seed int64) Adversary {
+	a, err := adversary.NewProbabilistic(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Static wraps a fixed graph as an adversary.
+func Static(name string, g *EdgeSet) Adversary { return adversary.NewStatic(name, g) }
+
+// Periodic cycles through the given edge sets round-robin.
+func Periodic(name string, sets ...*EdgeSet) Adversary {
+	a, err := adversary.NewPeriodic(name, sets...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Graph construction helpers (re-exports from the network layer).
+
+// NewEdgeSet returns an empty directed edge set over n nodes.
+func NewEdgeSet(n int) *EdgeSet { return network.NewEdgeSet(n) }
+
+// CompleteGraph returns the complete directed graph on n nodes.
+func CompleteGraph(n int) *EdgeSet { return network.Complete(n) }
+
+// RingGraph returns the directed cycle on n nodes.
+func RingGraph(n int) *EdgeSet { return network.Ring(n) }
+
+// StarGraph returns the bidirectional star with the given hub.
+func StarGraph(n, hub int) *EdgeSet { return network.Star(n, hub) }
+
+// SatisfiesDynaDegree checks Definition 1 on a recorded trace: every
+// window of T consecutive rounds gives every listed fault-free node ≥ D
+// distinct incoming neighbors.
+func SatisfiesDynaDegree(tr Trace, faultFree []int, t, d int) bool {
+	return network.SatisfiesDynaDegree(tr, faultFree, t, d)
+}
+
+// MaxDynaDegree returns the largest D for which the trace satisfies
+// (T, D)-dynaDegree.
+func MaxDynaDegree(tr Trace, faultFree []int, t int) int {
+	return network.MaxDynaDegree(tr, faultFree, t)
+}
+
+// MinTForDegree returns the smallest T for which the trace satisfies
+// (T, D)-dynaDegree, or 0 if none.
+func MinTForDegree(tr Trace, faultFree []int, d int) int {
+	return network.MinTForDegree(tr, faultFree, d)
+}
+
+// Prior stability properties (§II-B), for comparing what a trace
+// provides against the conditions of earlier work.
+
+// EveryRoundRooted reports the rooted-spanning-tree property of
+// [10],[17],[38]: every round's graph has a node reaching all others.
+func EveryRoundRooted(tr Trace) bool { return network.EveryRoundRooted(tr) }
+
+// TIntervalConnected reports the T-interval connectivity of [22]: every
+// T-round window keeps a stable strongly-connected subgraph.
+func TIntervalConnected(tr Trace, t int) bool { return network.TIntervalConnected(tr, t) }
+
+// Byzantine strategy constructors.
+
+// Silent returns the Byzantine strategy that never sends.
+func Silent() Strategy { return fault.Silent{} }
+
+// Extremist returns the Byzantine strategy claiming the given value at a
+// far-future phase to everyone.
+func Extremist(value float64) Strategy { return fault.Extremist{Value: value} }
+
+// Equivocator returns the two-faced strategy: low to the lower half of
+// receiver IDs, high to the upper half.
+func Equivocator(low, high float64) Strategy { return fault.Equivocator{Low: low, High: high} }
+
+// SplitBrain returns the Theorem 10 equivocation: valueA towards
+// receivers selected by inA, valueB towards the rest.
+func SplitBrain(inA func(receiver int) bool, valueA, valueB float64) Strategy {
+	return fault.SplitBrain{InA: inA, ValueA: valueA, ValueB: valueB}
+}
+
+// RandomNoise returns the strategy sending plausible random values.
+func RandomNoise(seed int64) Strategy { return fault.NewRandomNoise(seed) }
+
+// Laggard returns the strategy replaying phase-0 state forever.
+func Laggard(value float64) Strategy { return fault.Laggard{Value: value} }
+
+// Mimic returns the strategy copying the public state of a fault-free
+// node.
+func Mimic(target int) Strategy { return fault.Mimic{Target: target} }
+
+// ByzSplit bundles the full Theorem 10 construction for n, f: the
+// adversary, the Byzantine node set with their SplitBrain strategies,
+// and the inputs. See Scenario usage in examples/impossibility.
+type ByzSplit struct {
+	layout *adversary.ByzSplitLayout
+}
+
+// NewByzSplit computes the Theorem 10 layout (requires n ≥ 3f+1, f ≥ 1).
+func NewByzSplit(n, f int) (*ByzSplit, error) {
+	l, err := adversary.NewByzSplitLayout(n, f)
+	if err != nil {
+		return nil, err
+	}
+	return &ByzSplit{layout: l}, nil
+}
+
+// Adversary returns the two-group message adversary of the construction.
+func (b *ByzSplit) Adversary() Adversary { return b.layout.Adversary() }
+
+// Byzantine returns the node→strategy map: every Byzantine node
+// equivocates input 0 towards A-receivers and 1 towards B-receivers.
+func (b *ByzSplit) Byzantine() map[int]Strategy {
+	m := make(map[int]Strategy, len(b.layout.Byzantine))
+	for _, i := range b.layout.Byzantine {
+		m[i] = fault.SplitBrain{InA: b.layout.SendsToA, ValueA: 0, ValueB: 1}
+	}
+	return m
+}
+
+// Inputs returns the construction's input vector (0 for the low block, 1
+// for the high block).
+func (b *ByzSplit) Inputs() []float64 {
+	in := make([]float64, b.layout.N)
+	for i := range in {
+		in[i] = b.layout.Input(i)
+	}
+	return in
+}
+
+// AReceivers returns the fault-free nodes hearing only group A (forced
+// towards 0); BReceivers those hearing only group B (forced towards 1).
+func (b *ByzSplit) AReceivers() []int { return b.layout.AReceivers }
+
+// BReceivers returns the group-B-facing fault-free nodes.
+func (b *ByzSplit) BReceivers() []int { return b.layout.BReceivers }
+
+// Degree returns the per-round in-degree every fault-free node gets —
+// exactly one below the ⌊(n+3f)/2⌋ threshold of Theorem 10.
+func (b *ByzSplit) Degree() int { return b.layout.MinFaultFreeDegree() }

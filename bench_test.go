@@ -1,0 +1,172 @@
+package anondyn_test
+
+// The benchmark harness: one BenchmarkE<k> per experiment table in
+// EXPERIMENTS.md (run them with `go test -bench=E -benchmem`), plus
+// micro-benchmarks of the substrate (engine round throughput, wire
+// codec, dynaDegree checking). Each experiment bench regenerates the
+// full table per iteration, so ns/op is the cost of reproducing that
+// table.
+
+import (
+	"fmt"
+	"testing"
+
+	"anondyn"
+	"anondyn/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, run func() interface{ Rows() int }) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := run()
+		if tb.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1DACConvergence(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E1DACConvergence() })
+}
+
+func BenchmarkE2CrashDegreeNecessity(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E2CrashDegreeNecessity() })
+}
+
+func BenchmarkE3CrashResilienceBoundary(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E3CrashResilienceBoundary() })
+}
+
+func BenchmarkE4RoundsVsT(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E4RoundsVsT() })
+}
+
+func BenchmarkE5DBACConvergence(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E5DBACConvergence() })
+}
+
+func BenchmarkE6ByzantineNecessity(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E6ByzantineNecessity() })
+}
+
+func BenchmarkE7Baselines(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E7Baselines() })
+}
+
+func BenchmarkE8BandwidthTradeoff(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E8BandwidthTradeoff() })
+}
+
+func BenchmarkE9ExactImpossibility(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E9ExactImpossibility() })
+}
+
+func BenchmarkE10ProbabilisticRounds(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E10ProbabilisticRounds() })
+}
+
+func BenchmarkE11BandwidthCaps(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E11BandwidthCaps() })
+}
+
+func BenchmarkE12JumpAblation(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E12JumpAblation() })
+}
+
+func BenchmarkE13RateProbe(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.E13RateProbe() })
+}
+
+func BenchmarkF1ConvergenceCurves(b *testing.B) {
+	benchExperiment(b, func() interface{ Rows() int } { return experiments.F1ConvergenceCurves() })
+}
+
+// Substrate micro-benchmarks.
+
+// BenchmarkEngineRound measures simulator round throughput: one full DAC
+// run on the complete graph per size, amortized per round.
+func BenchmarkEngineRound(b *testing.B) {
+	for _, n := range []int{7, 25, 51} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := anondyn.Scenario{
+					N: n, F: 0, Eps: 1e-3,
+					Algorithm: anondyn.AlgoDAC,
+					Inputs:    anondyn.SpreadInputs(n),
+					Adversary: anondyn.Complete(),
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += res.Rounds
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rounds), "ns/round")
+		})
+	}
+}
+
+// BenchmarkConcurrentEngineRound measures the goroutine-per-node engine
+// on the same workload for comparison with the sequential one.
+func BenchmarkConcurrentEngineRound(b *testing.B) {
+	for _, n := range []int{7, 25} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := anondyn.Scenario{
+					N: n, F: 0, Eps: 1e-3,
+					Algorithm:  anondyn.AlgoDAC,
+					Inputs:     anondyn.SpreadInputs(n),
+					Adversary:  anondyn.Complete(),
+					Concurrent: true,
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += res.Rounds
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rounds), "ns/round")
+		})
+	}
+}
+
+// BenchmarkDynaDegreeCheck measures the (T,D) checker on a recorded
+// 512-round rotating trace.
+func BenchmarkDynaDegreeCheck(b *testing.B) {
+	n := 25
+	res, err := anondyn.Scenario{
+		N: n, F: 0, Eps: 0.5,
+		Algorithm:    anondyn.AlgoDAC,
+		PEndOverride: 1,
+		Unchecked:    true,
+		Inputs:       anondyn.SpreadInputs(n),
+		Adversary:    anondyn.Rotating(3),
+		KeepTrace:    true,
+		MaxRounds:    512,
+	}.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Force the full budget of rounds by discarding decisions: rerun
+	// rounds manually is overkill — pad the trace by repetition instead.
+	tr := res.Trace
+	for len(tr) < 512 {
+		tr = append(tr, tr...)
+	}
+	tr = tr[:512]
+	ff := make([]int, n)
+	for i := range ff {
+		ff[i] = i
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !anondyn.SatisfiesDynaDegree(tr, ff, 8, 3) {
+			b.Fatal("property should hold")
+		}
+	}
+}
+
+func sizeName(n int) string { return fmt.Sprintf("n=%d", n) }

@@ -1,0 +1,92 @@
+// Command dynabench regenerates the experiment tables E1–E8 recorded in
+// EXPERIMENTS.md: the reproduction of every quantitative claim of the
+// paper (convergence rates, resilience and dynaDegree thresholds,
+// worst-case round counts, the §VII bandwidth trade-off).
+//
+// Usage:
+//
+//	dynabench              # run every experiment
+//	dynabench -exp E4      # run one experiment
+//	dynabench -list        # list experiments
+//	dynabench -csv dir/    # additionally write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"anondyn/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dynabench", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "", "run only this experiment (e.g. E3)")
+		list   = fs.Bool("list", false, "list available experiments and exit")
+		csvDir = fs.String("csv", "", "directory to write per-experiment CSV files into")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	registry := experiments.Registry()
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return nil
+	}
+
+	selected := registry
+	if *exp != "" {
+		selected = nil
+		for _, e := range registry {
+			if strings.EqualFold(e.ID, *exp) {
+				selected = []experiments.Experiment{e}
+				break
+			}
+		}
+		if selected == nil {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+	}
+
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		tb := e.Run()
+		if err := tb.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("(csv written to %s)\n", path)
+		}
+	}
+	return nil
+}

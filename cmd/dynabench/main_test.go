@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	// E4 is the fastest experiment.
+	if err := run([]string{"-exp", "E4", "-csv", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e4.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("empty csv")
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anondyn/internal/core"
+	"anondyn/internal/transport"
+)
+
+func TestParseAdversary(t *testing.T) {
+	cases := map[string]string{
+		"complete":    "complete",
+		"rotating:3":  "rotating(d=3)",
+		"er:0.50":     "er(p=0.50)",
+		"clustered:4": "clustered(T=4)",
+	}
+	for spec, want := range cases {
+		a, err := parseAdversary(spec, 1)
+		if err != nil {
+			t.Errorf("parseAdversary(%q): %v", spec, err)
+			continue
+		}
+		if a.Name() != want {
+			t.Errorf("parseAdversary(%q).Name() = %q, want %q", spec, a.Name(), want)
+		}
+	}
+	for _, bad := range []string{"rotating:x", "er:y", "clustered:", "mesh"} {
+		if _, err := parseAdversary(bad, 1); err == nil {
+			t.Errorf("parseAdversary(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-adversary", "bogus"}); err == nil {
+		t.Error("bogus adversary accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+// TestRunEndToEnd drives the full hub CLI against real clients.
+func TestRunEndToEnd(t *testing.T) {
+	const addr = "127.0.0.1:17311"
+	hubDone := make(chan error, 1)
+	go func() {
+		hubDone <- run([]string{"-n", "3", "-addr", addr, "-adversary", "rotating:1",
+			"-timeout", "10s", "-randports"})
+	}()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = runClientRetry(addr, float64(i)/2)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-hubDone:
+		if err != nil {
+			t.Fatalf("hub: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("hub did not finish")
+	}
+}
+
+func runClientRetry(addr string, input float64) (*transport.ClientResult, error) {
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		res, err := transport.RunClient(addr, transport.ClientConfig{
+			NewProcess: func(n, selfPort int) (core.Process, error) {
+				return core.NewDAC(n, selfPort, input, 1e-2)
+			},
+			IOTimeout: 10 * time.Second,
+		})
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+func TestRunRejectsBadListen(t *testing.T) {
+	err := run([]string{"-addr", "256.256.256.256:99999", "-n", "1"})
+	if err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Errorf("err = %v, want listen failure", err)
+	}
+}

@@ -1,0 +1,71 @@
+// Command dynanode runs one consensus node against a dynahub
+// coordinator. The node learns only the network size and its own local
+// port from the hub — it is anonymous end to end, exactly as the model
+// prescribes.
+//
+//	dynanode -addr 127.0.0.1:7000 -algo dac -input 0.35 -eps 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"anondyn/internal/core"
+	"anondyn/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dynanode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dynanode", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7000", "hub address")
+		algo    = fs.String("algo", "dac", "algorithm: dac | dbac")
+		input   = fs.Float64("input", 0.5, "initial value in [0,1]")
+		eps     = fs.Float64("eps", 1e-3, "ε of ε-agreement")
+		f       = fs.Int("f", 0, "fault bound (dbac)")
+		timeout = fs.Duration("timeout", 30*time.Second, "I/O timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	factory, err := processFactory(*algo, *f, *input, *eps)
+	if err != nil {
+		return err
+	}
+	res, err := transport.RunClient(*addr, transport.ClientConfig{
+		NewProcess: factory,
+		IOTimeout:  *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Decided {
+		return fmt.Errorf("execution ended after %d rounds without a decision", res.Rounds)
+	}
+	fmt.Printf("decided %.8f after %d rounds (n=%d, my port %d)\n",
+		res.Output, res.Rounds, res.N, res.SelfPort)
+	return nil
+}
+
+func processFactory(algo string, f int, input, eps float64) (func(n, selfPort int) (core.Process, error), error) {
+	switch algo {
+	case "dac":
+		return func(n, selfPort int) (core.Process, error) {
+			return core.NewDAC(n, selfPort, input, eps)
+		}, nil
+	case "dbac":
+		return func(n, selfPort int) (core.Process, error) {
+			return core.NewDBAC(n, f, selfPort, input, eps)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}

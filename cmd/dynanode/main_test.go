@@ -1,0 +1,91 @@
+package main
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"anondyn/internal/adversary"
+	"anondyn/internal/transport"
+)
+
+func TestProcessFactory(t *testing.T) {
+	dac, err := processFactory("dac", 0, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dac(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value() != 0.5 {
+		t.Errorf("DAC input = %g", p.Value())
+	}
+
+	dbac, err := processFactory("dbac", 1, 0.25, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dbac(6, 0); err != nil {
+		t.Errorf("DBAC factory: %v", err)
+	}
+	// Resilience violations surface when the factory runs (the hub
+	// tells the node n only at connect time).
+	if _, err := dbac(5, 0); err == nil {
+		t.Error("DBAC with n=5f accepted")
+	}
+
+	if _, err := processFactory("raft", 0, 0.5, 0.1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-algo", "bogus"}); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+// TestRunEndToEnd drives the node CLI against an in-process hub.
+func TestRunEndToEnd(t *testing.T) {
+	hub, err := transport.NewHub("127.0.0.1:0", transport.HubConfig{
+		N:         2,
+		Adversary: adversary.NewComplete(),
+		IOTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubDone := make(chan error, 1)
+	go func() {
+		_, err := hub.Serve()
+		hubDone <- err
+	}()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, input := range []string{"0.2", "0.8"} {
+		wg.Add(1)
+		go func(i int, input string) {
+			defer wg.Done()
+			errs[i] = run([]string{"-addr", hub.Addr(), "-algo", "dac",
+				"-input", input, "-eps", "0.01", "-timeout", "10s"})
+		}(i, input)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("node %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-hubDone:
+		if err != nil {
+			t.Errorf("hub: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("hub did not finish")
+	}
+}

@@ -1,0 +1,339 @@
+// Command dynasim runs one consensus scenario on the simulated
+// anonymous dynamic network and reports outputs, rounds, the property
+// checks of Definition 3, and the dynaDegree the adversary actually
+// provided.
+//
+// Examples:
+//
+//	dynasim -algo dac  -n 7  -f 2 -adversary rotating:3 -crash 1@3,4@6
+//	dynasim -algo dbac -n 11 -f 2 -adversary complete -byz 4:equivocate,9:extremist:1
+//	dynasim -algo dac  -n 3  -adversary fig1 -eps 0.01 -trace run.jsonl
+//	dynasim -algo dac  -n 6  -adversary halves -rounds 100   # stalls: below threshold
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"anondyn"
+	"anondyn/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dynasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dynasim", flag.ContinueOnError)
+	var (
+		algoName   = fs.String("algo", "dac", "algorithm: dac, dbac, dbac-pb, megaround, fullinfo, reliter, bacrel, floodmin")
+		n          = fs.Int("n", 7, "network size")
+		f          = fs.Int("f", 0, "fault bound")
+		eps        = fs.Float64("eps", 1e-3, "ε of ε-agreement")
+		advSpec    = fs.String("adversary", "complete", "complete | fig1 | halves | chasemin | isolate:<node> | er:<p> | rotating:<d> | clustered:<T> | random:<B>,<D> | starve:<d>")
+		crashSpec  = fs.String("crash", "", "crash schedule: node@round[,node@round...]")
+		byzSpec    = fs.String("byz", "", "byzantine nodes: node:strategy[:<arg>][,...]; strategies: silent, extremist:<v>, equivocate, noise, laggard:<v>, mimic:<t>")
+		window     = fs.Int("window", 0, "piggyback window K (dbac-pb)")
+		megaT      = fs.Int("megat", 2, "block length T (megaround)")
+		pEnd       = fs.Int("pend", 0, "explicit phase budget (overrides ε-derived p_end)")
+		maxRounds  = fs.Int("rounds", 0, "round budget (0 = engine default)")
+		seed       = fs.Int64("seed", 1, "seed for random ports / adversaries")
+		randPorts  = fs.Bool("randports", false, "use random per-node port numberings")
+		concurrent = fs.Bool("concurrent", false, "use the goroutine-per-node engine")
+		inputSpec  = fs.String("inputs", "spread", "spread | split:<k> | random")
+		traceOut   = fs.String("trace", "", "write the execution event log (JSONL) to this file")
+		showSeries = fs.Bool("series", false, "print the per-round convergence curve (log-scale sparkline)")
+		maxBytes   = fs.Int("maxbytes", 0, "per-link bandwidth budget in bytes (0 = unlimited)")
+		shuffle    = fs.Bool("shuffle", false, "randomize intra-round delivery order (seeded)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	adv, err := parseAdversary(*advSpec, *n, *seed)
+	if err != nil {
+		return err
+	}
+	crashes, err := parseCrashes(*crashSpec)
+	if err != nil {
+		return err
+	}
+	byz, err := parseByz(*byzSpec, *seed)
+	if err != nil {
+		return err
+	}
+	inputs, err := parseInputs(*inputSpec, *n, *seed)
+	if err != nil {
+		return err
+	}
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		return err
+	}
+
+	tracker := anondyn.NewPhaseTracker()
+	var series *anondyn.RangeSeries
+	if *showSeries {
+		series = anondyn.NewRangeSeries()
+	}
+	var rec *anondyn.Recorder
+	if *traceOut != "" {
+		rec = anondyn.NewRecorder()
+	}
+	s := anondyn.Scenario{
+		N: *n, F: *f, Eps: *eps,
+		Algorithm:       algo,
+		PiggybackWindow: *window,
+		MegaT:           *megaT,
+		PEndOverride:    *pEnd,
+		Inputs:          inputs,
+		Adversary:       adv,
+		Crashes:         crashes,
+		Byzantine:       byz,
+		MaxRounds:       *maxRounds,
+		RandomPorts:     *randPorts,
+		Seed:            *seed,
+		Concurrent:      *concurrent,
+		Tracker:         tracker,
+		Series:          series,
+		Recorder:        rec,
+		KeepTrace:       true,
+		MaxMessageBytes: *maxBytes,
+		ShuffleDelivery: *shuffle,
+	}
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s  n=%d f=%d ε=%g  adversary=%s\n", algo, *n, *f, *eps, adv.Name())
+	fmt.Printf("rounds: %d   all fault-free decided: %v\n", res.Rounds, res.Decided)
+	fmt.Printf("messages: %d delivered, %d suppressed by the adversary\n",
+		res.MessagesDelivered, res.MessagesLost)
+	if res.MessagesOversized > 0 {
+		fmt.Printf("bandwidth: %d messages exceeded the %d-byte link budget\n",
+			res.MessagesOversized, *maxBytes)
+	}
+
+	nodes := make([]int, 0, len(res.Outputs))
+	for node := range res.Outputs {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		fmt.Printf("  node %2d → %.8f (round %d)\n", node, res.Outputs[node], res.DecideRound[node])
+	}
+	if res.Decided {
+		fmt.Printf("output range: %.3g   ε-agreement: %v   validity: %v\n",
+			res.OutputRange(), res.EpsAgreement(*eps), res.Valid())
+	}
+
+	if len(res.Trace) > 0 {
+		for _, T := range []int{1, 2, 4} {
+			if T <= len(res.Trace) {
+				fmt.Printf("trace satisfies (T=%d, D=%d)-dynaDegree\n",
+					T, anondyn.MaxDynaDegree(res.Trace, res.FaultFree, T))
+			}
+		}
+	}
+	if p := tracker.MaxPhase(); p > 0 {
+		fmt.Println("phase  |V(p)|  range(V(p))")
+		for q := 0; q <= p && q <= 12; q++ {
+			fmt.Printf("  %3d   %3d    %.8f\n", q, tracker.Count(q), tracker.Range(q))
+		}
+	}
+
+	if series != nil && series.Len() > 0 {
+		fmt.Printf("\nconvergence curve (range per round, log scale ▁=≤1e-6 … █=1):\n  %s\n",
+			series.Sparkline(60, 1e-6))
+		fmt.Printf("  rounds to range ≤ ε: %d\n", series.RoundsToRange(*eps))
+	}
+
+	if rec != nil {
+		out, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteJSONL(out, rec.Events()); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("event log (%d events) written to %s\n", rec.Len(), *traceOut)
+	}
+	return nil
+}
+
+func parseAlgo(s string) (anondyn.Algo, error) {
+	switch strings.ToLower(s) {
+	case "dac":
+		return anondyn.AlgoDAC, nil
+	case "dbac":
+		return anondyn.AlgoDBAC, nil
+	case "dbac-pb":
+		return anondyn.AlgoDBACPiggyback, nil
+	case "megaround":
+		return anondyn.AlgoMegaRound, nil
+	case "fullinfo":
+		return anondyn.AlgoFullInfo, nil
+	case "reliter":
+		return anondyn.AlgoReliableIterated, nil
+	case "bacrel":
+		return anondyn.AlgoBACReliable, nil
+	case "floodmin":
+		return anondyn.AlgoFloodMin, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseAdversary(spec string, n int, seed int64) (anondyn.Adversary, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "complete":
+		return anondyn.Complete(), nil
+	case "fig1":
+		if n != 3 {
+			return nil, fmt.Errorf("fig1 is defined on exactly 3 nodes (got n=%d)", n)
+		}
+		return anondyn.Fig1(), nil
+	case "halves":
+		return anondyn.Halves(n), nil
+	case "chasemin":
+		return anondyn.ChaseMin(), nil
+	case "isolate":
+		victim, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("isolate needs a victim node: %v", err)
+		}
+		return anondyn.Isolate(victim), nil
+	case "er":
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return nil, fmt.Errorf("er needs a probability: %v", err)
+		}
+		return anondyn.Probabilistic(p, seed), nil
+	case "rotating", "clustered", "starve":
+		d, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%s needs an integer argument: %v", name, err)
+		}
+		switch name {
+		case "rotating":
+			return anondyn.Rotating(d), nil
+		case "clustered":
+			return anondyn.Clustered(d), nil
+		default:
+			return anondyn.Starve(d), nil
+		}
+	case "random":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("random adversary wants random:<B>,<D>")
+		}
+		b, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		d, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return anondyn.RandomDegree(b, d, 0.05, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", spec)
+	}
+}
+
+func parseCrashes(spec string) (map[int]anondyn.Crash, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	crashes := make(map[int]anondyn.Crash)
+	for _, part := range strings.Split(spec, ",") {
+		nodeStr, roundStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("crash entry %q wants node@round", part)
+		}
+		node, err := strconv.Atoi(nodeStr)
+		if err != nil {
+			return nil, err
+		}
+		round, err := strconv.Atoi(roundStr)
+		if err != nil {
+			return nil, err
+		}
+		crashes[node] = anondyn.CrashAt(round)
+	}
+	return crashes, nil
+}
+
+func parseByz(spec string, seed int64) (map[int]anondyn.Strategy, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	byz := make(map[int]anondyn.Strategy)
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("byz entry %q wants node:strategy[:arg]", part)
+		}
+		node, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		arg := 0.0
+		if len(fields) >= 3 {
+			if arg, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, err
+			}
+		}
+		switch fields[1] {
+		case "silent":
+			byz[node] = anondyn.Silent()
+		case "extremist":
+			byz[node] = anondyn.Extremist(arg)
+		case "equivocate":
+			byz[node] = anondyn.Equivocator(0, 1)
+		case "noise":
+			byz[node] = anondyn.RandomNoise(seed + int64(node))
+		case "laggard":
+			byz[node] = anondyn.Laggard(arg)
+		case "mimic":
+			byz[node] = anondyn.Mimic(int(arg))
+		default:
+			return nil, fmt.Errorf("unknown strategy %q", fields[1])
+		}
+	}
+	return byz, nil
+}
+
+func parseInputs(spec string, n int, seed int64) ([]float64, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "spread":
+		return anondyn.SpreadInputs(n), nil
+	case "split":
+		k := n / 2
+		if arg != "" {
+			var err error
+			if k, err = strconv.Atoi(arg); err != nil {
+				return nil, err
+			}
+		}
+		return anondyn.SplitInputs(n, k), nil
+	case "random":
+		return anondyn.RandomInputs(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown inputs %q", spec)
+	}
+}

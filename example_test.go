@@ -1,0 +1,53 @@
+package anondyn_test
+
+import (
+	"fmt"
+
+	"anondyn"
+)
+
+// ExampleScenario runs the smallest meaningful configuration: DAC among
+// five nodes on the benign complete-graph adversary. One phase per
+// round, range halving each phase — Theorem 3 at its friendliest.
+func ExampleScenario() {
+	res, err := anondyn.Scenario{
+		N: 5, F: 2, Eps: 0.01,
+		Algorithm: anondyn.AlgoDAC,
+		Inputs:    anondyn.SpreadInputs(5), // 0, 0.25, 0.5, 0.75, 1
+		Adversary: anondyn.Complete(),
+	}.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("decided:", res.Decided)
+	fmt.Println("rounds:", res.Rounds)
+	fmt.Println("ε-agreement:", res.EpsAgreement(0.01))
+	fmt.Println("validity:", res.Valid())
+	// Output:
+	// decided: true
+	// rounds: 7
+	// ε-agreement: true
+	// validity: true
+}
+
+// ExampleScenario_impossibility reproduces Theorem 9's necessity
+// direction: below the ⌊n/2⌋ dynaDegree threshold the real DAC refuses
+// to terminate.
+func ExampleScenario_impossibility() {
+	res, err := anondyn.Scenario{
+		N: 6, Eps: 0.01,
+		Algorithm: anondyn.AlgoDAC,
+		Unchecked: true,
+		Inputs:    anondyn.SplitInputs(6, 3),
+		Adversary: anondyn.Halves(6), // (1, 2)-dynaDegree < ⌊6/2⌋
+		MaxRounds: 100,
+	}.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("decided:", res.Decided)
+	// Output:
+	// decided: false
+}

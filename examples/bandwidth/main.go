@@ -1,0 +1,92 @@
+// Command bandwidth demonstrates the §VII bandwidth/convergence
+// trade-off on links with a hard byte budget. Three protocols negotiate
+// the same value over the same dynamic network, but the radio only
+// carries 24 bytes per message:
+//
+//   - DBAC (K=0): ~8-byte messages, always fits;
+//   - DBAC piggybacking K=2 old states: ~17 bytes, still fits, and
+//     recovers same-phase updates when receivers lag;
+//   - FullInfo (the unlimited-bandwidth simulation): messages grow with
+//     every phase and stop fitting after a few rounds — the run starves.
+//
+// The §II-A model allows O(log n) bits per link per round; this example
+// shows what happens to designs that ignore the budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anondyn"
+)
+
+const (
+	n        = 11
+	f        = 2
+	eps      = 1e-3
+	linkCap  = 24 // bytes per message per link
+	maxDrift = 14 // phase budget for the DBAC family
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Printf("per-link budget: %d bytes; n=%d, f=%d Byzantine-tolerant configuration\n\n", linkCap, n, f)
+
+	type row struct {
+		name string
+		algo anondyn.Algo
+		k    int
+		ff   int
+		pEnd int
+	}
+	rows := []row{
+		{"DBAC (K=0)", anondyn.AlgoDBAC, 0, f, maxDrift},
+		{"DBAC+piggyback K=2", anondyn.AlgoDBACPiggyback, 2, f, maxDrift},
+		{"DBAC+piggyback K=8", anondyn.AlgoDBACPiggyback, 8, f, maxDrift},
+		{"FullInfo", anondyn.AlgoFullInfo, 0, 0, 0},
+	}
+	anyStalled := false
+	for _, r := range rows {
+		adv := anondyn.Rotating(anondyn.ByzDegree(n, f))
+		if r.algo == anondyn.AlgoFullInfo {
+			adv = anondyn.Rotating(anondyn.CrashDegree(n))
+		}
+		res, err := anondyn.Scenario{
+			N: n, F: r.ff, Eps: eps,
+			Algorithm:        r.algo,
+			PiggybackWindow:  r.k,
+			PEndOverride:     r.pEnd,
+			Inputs:           anondyn.SpreadInputs(n),
+			Adversary:        adv,
+			MaxRounds:        400,
+			MaxMessageBytes:  linkCap,
+			AccountBandwidth: true,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		avg := 0.0
+		if res.MessagesDelivered > 0 {
+			avg = float64(res.BytesDelivered) / float64(res.MessagesDelivered)
+		}
+		status := fmt.Sprintf("decided in %d rounds, range %.2g", res.Rounds, res.OutputRange())
+		if !res.Decided {
+			status = fmt.Sprintf("STALLED after %d rounds (%d messages exceeded the link budget)",
+				res.Rounds, res.MessagesOversized)
+			anyStalled = true
+		}
+		fmt.Printf("%-22s avg %5.1f bytes/msg — %s\n", r.name, avg, status)
+	}
+
+	fmt.Println("\nmoral: the K window must be sized to the link; with K·~5+8 bytes ≤ budget")
+	fmt.Println("the piggyback extension improves worst-case convergence without starving the radio.")
+	if !anyStalled {
+		return fmt.Errorf("bandwidth: expected at least one starved protocol")
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command impossibility walks through the paper's necessity proofs
+// (§VI) as executable demonstrations:
+//
+//  1. Theorem 9, part 1 — with only (1, ⌊n/2⌋−1)-dynaDegree the real
+//     DAC never terminates, and any algorithm that does terminate
+//     (modeled by lowering the quorum by one) is forced into
+//     disagreement by the two-group adversary.
+//  2. Theorem 10 — the Byzantine construction: two groups overlapping in
+//     3f nodes, with the middle f nodes equivocating one input value to
+//     each side. Validity forces group A towards 0 and group B towards
+//     1; real DBAC stalls rather than err.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anondyn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if err := crashNecessity(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return byzantineNecessity()
+}
+
+func crashNecessity() error {
+	const (
+		n   = 7
+		eps = 1e-3
+	)
+	fmt.Printf("— Theorem 9, part 1: n=%d, split into isolated halves (degree %d < ⌊n/2⌋=%d)\n",
+		n, n/2-1, n/2)
+	fmt.Println("  first ⌈n/2⌉ nodes have input 0, the rest input 1")
+
+	// The real DAC: quorum ⌊n/2⌋+1 can never be met inside a half.
+	res, err := anondyn.Scenario{
+		N: n, F: 0, Eps: eps,
+		Algorithm: anondyn.AlgoDAC,
+		Unchecked: true,
+		Inputs:    anondyn.SplitInputs(n, (n+1)/2),
+		Adversary: anondyn.Halves(n),
+		MaxRounds: 1000,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  DAC with the paper quorum %d: decided=%v after %d rounds (correct refusal: termination is impossible)\n",
+		n/2+1, res.Decided, res.Rounds)
+	if res.Decided {
+		return fmt.Errorf("impossibility: DAC decided below the threshold")
+	}
+
+	// A hypothetical algorithm that settles for ⌊n/2⌋ states terminates
+	// — and the groups decide 0 and 1.
+	eager, err := anondyn.Scenario{
+		N: n, F: 0, Eps: eps,
+		Algorithm:      anondyn.AlgoDAC,
+		QuorumOverride: n / 2,
+		Unchecked:      true,
+		Inputs:         anondyn.SplitInputs(n, (n+1)/2),
+		Adversary:      anondyn.Halves(n),
+		MaxRounds:      1000,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  hypothetical quorum-%d algorithm: decided=%v, output range %.3g → ε-agreement %v\n",
+		n/2, eager.Decided, eager.OutputRange(), eager.EpsAgreement(eps))
+	if !eager.Decided || eager.EpsAgreement(eps) {
+		return fmt.Errorf("impossibility: the eager variant did not exhibit disagreement")
+	}
+	fmt.Println("  ⇒ any terminating algorithm at this degree violates ε-agreement")
+	return nil
+}
+
+func byzantineNecessity() error {
+	const (
+		n   = 16
+		f   = 3
+		eps = 1e-3
+	)
+	split, err := anondyn.NewByzSplit(n, f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("— Theorem 10: n=%d f=%d, two groups overlapping in 3f nodes, per-round degree %d = ⌊(n+3f)/2⌋−1\n",
+		n, f, split.Degree())
+	fmt.Printf("  Byzantine middle nodes show input 0 to group A and 1 to group B\n")
+	fmt.Printf("  (anonymity + local ports make the equivocation undetectable — no reliable broadcast, §VI-C)\n")
+
+	// Real DBAC refuses (stalls).
+	res, err := anondyn.Scenario{
+		N: n, F: f, Eps: eps,
+		Algorithm:    anondyn.AlgoDBAC,
+		PEndOverride: 12,
+		Unchecked:    true,
+		Inputs:       split.Inputs(),
+		Adversary:    split.Adversary(),
+		Byzantine:    split.Byzantine(),
+		MaxRounds:    500,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  DBAC with the paper quorum %d: decided=%v after %d rounds (correct refusal)\n",
+		anondyn.ByzDegree(n, f)+1, res.Decided, res.Rounds)
+	if res.Decided {
+		return fmt.Errorf("impossibility: DBAC decided below the threshold")
+	}
+
+	// The terminating variant splits exactly as the proof predicts.
+	eager, err := anondyn.Scenario{
+		N: n, F: f, Eps: eps,
+		Algorithm:      anondyn.AlgoDBAC,
+		QuorumOverride: anondyn.ByzDegree(n, f),
+		PEndOverride:   12,
+		Unchecked:      true,
+		Inputs:         split.Inputs(),
+		Adversary:      split.Adversary(),
+		Byzantine:      split.Byzantine(),
+		MaxRounds:      500,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	aOut, bOut := 0.0, 0.0
+	for _, v := range split.AReceivers() {
+		aOut += eager.Outputs[v] / float64(len(split.AReceivers()))
+	}
+	for _, v := range split.BReceivers() {
+		bOut += eager.Outputs[v] / float64(len(split.BReceivers()))
+	}
+	fmt.Printf("  hypothetical quorum-%d algorithm: decided=%v\n",
+		anondyn.ByzDegree(n, f), eager.Decided)
+	fmt.Printf("    group A (validity forces 0): mean output %.4f\n", aOut)
+	fmt.Printf("    group B (validity forces 1): mean output %.4f\n", bOut)
+	fmt.Printf("    range %.3g → ε-agreement %v\n", eager.OutputRange(), eager.EpsAgreement(eps))
+	if !eager.Decided || eager.EpsAgreement(eps) {
+		return fmt.Errorf("impossibility: the eager DBAC variant did not exhibit disagreement")
+	}
+	fmt.Println("  ⇒ n ≤ 5f or degree < ⌊(n+3f)/2⌋ makes Byzantine approximate consensus impossible")
+	return nil
+}

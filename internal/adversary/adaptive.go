@@ -1,0 +1,154 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"anondyn/internal/network"
+)
+
+// Clustered is an adaptive starving adversary: in every round it reads
+// the nodes' current state values, groups the value-sorted lower half and
+// upper half into two internally-complete clusters, and only every
+// period-th round does it deliver any cross-cluster links (a complete
+// round). Keeping low values with low values means intra-cluster
+// averaging barely shrinks the global range, so essentially all progress
+// toward ε-agreement happens on the sparse complete rounds — the
+// worst-case shape rounds ≈ T · p_end of §VII (experiment E4).
+//
+// The trace satisfies (period, n−1)-dynaDegree (every window of `period`
+// rounds contains a complete round) while windows shorter than the period
+// can have degree as low as ⌊n/2⌋−1.
+type Clustered struct {
+	period int
+}
+
+// NewClustered builds the adversary; period ≥ 1 is the spacing of
+// complete rounds (period = 1 degenerates to the complete adversary).
+func NewClustered(period int) (*Clustered, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("adversary: cluster period must be ≥ 1, got %d", period)
+	}
+	return &Clustered{period: period}, nil
+}
+
+// Name implements Adversary.
+func (c *Clustered) Name() string { return fmt.Sprintf("clustered(T=%d)", c.period) }
+
+// Period returns the spacing of complete rounds.
+func (c *Clustered) Period() int { return c.period }
+
+// Edges implements Adversary.
+func (c *Clustered) Edges(t int, view View) *network.EdgeSet {
+	n := view.N()
+	if (t+1)%c.period == 0 {
+		return network.Complete(n)
+	}
+	// Sort nodes by current value; crashed nodes sort with their last
+	// value, which is harmless (they send nothing anyway).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = view.Snapshot(i).Value
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+	half := (n + 1) / 2
+	return network.GroupComplete(n, order[:half], order[half:])
+}
+
+// Starve is an adaptive adversary targeting DAC's convergence: it always
+// lets each fault-free node hear from exactly D distinct neighbors per
+// round, choosing as senders the D nodes whose values are *closest* to
+// the receiver's own value. Quorums fill, phases advance — but each
+// average moves the state as little as the degree bound permits. Used to
+// probe how tight the rate-1/2 guarantee is (experiment E1's adversary
+// axis).
+type Starve struct {
+	d int
+}
+
+// NewStarve builds the adversary with per-round in-degree d ≥ 1.
+func NewStarve(d int) (*Starve, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("adversary: starve degree must be ≥ 1, got %d", d)
+	}
+	return &Starve{d: d}, nil
+}
+
+// Name implements Adversary.
+func (s *Starve) Name() string { return fmt.Sprintf("starve(d=%d)", s.d) }
+
+// Edges implements Adversary.
+func (s *Starve) Edges(t int, view View) *network.EdgeSet {
+	n := view.N()
+	d := s.d
+	if d > n-1 {
+		d = n - 1
+	}
+	e := network.NewEdgeSet(n)
+	cand := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		vv := view.Snapshot(v).Value
+		cand = cand[:0]
+		for u := 0; u < n; u++ {
+			if u != v {
+				cand = append(cand, u)
+			}
+		}
+		u := cand // closest-first by |value_u − value_v|, ties by ID
+		sort.SliceStable(u, func(a, b int) bool {
+			da := abs(view.Snapshot(u[a]).Value - vv)
+			db := abs(view.Snapshot(u[b]).Value - vv)
+			if da != db {
+				return da < db
+			}
+			return u[a] < u[b]
+		})
+		for i := 0; i < d; i++ {
+			e.Add(u[i], v)
+		}
+	}
+	return e
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Compose interleaves a fixed cycle of sub-adversaries round-robin:
+// round t is served by subs[t mod len(subs)].
+type Compose struct {
+	subs []Adversary
+}
+
+// NewCompose builds the round-robin composition of one or more
+// adversaries.
+func NewCompose(subs ...Adversary) (*Compose, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("adversary: compose needs at least one sub-adversary")
+	}
+	return &Compose{subs: subs}, nil
+}
+
+// Name implements Adversary.
+func (c *Compose) Name() string {
+	name := "compose("
+	for i, s := range c.subs {
+		if i > 0 {
+			name += ","
+		}
+		name += s.Name()
+	}
+	return name + ")"
+}
+
+// Edges implements Adversary.
+func (c *Compose) Edges(t int, view View) *network.EdgeSet {
+	return c.subs[t%len(c.subs)].Edges(t, view)
+}

@@ -1,0 +1,54 @@
+// Package adversary implements dynamic message adversaries (§II-A): for
+// every round the adversary chooses the set of directed links E(t) that
+// deliver reliably; every other message is lost. Adversaries may be
+// adaptive — the model lets them inspect nodes' internal states at the
+// start of the round — which the View interface exposes.
+package adversary
+
+import (
+	"anondyn/internal/core"
+	"anondyn/internal/network"
+)
+
+// View is the read-only window an adversary gets into the execution at
+// the start of a round.
+type View interface {
+	// N returns the network size.
+	N() int
+	// Snapshot returns node i's public state at the start of the round.
+	Snapshot(i int) core.Snapshot
+}
+
+// Adversary chooses E(t) for every round t.
+type Adversary interface {
+	// Name identifies the adversary in traces, tables and logs.
+	Name() string
+	// Edges returns the reliable directed link set for round t. The
+	// returned set must be over view.N() nodes; it may be shared across
+	// calls only if the caller never mutates it (the engine does not).
+	Edges(t int, view View) *network.EdgeSet
+}
+
+// staticView adapts a plain size (no state access) to View for
+// adversaries evaluated outside an engine, e.g. when pre-rendering a
+// trace for the dynaDegree checker.
+type staticView int
+
+func (v staticView) N() int                     { return int(v) }
+func (v staticView) Snapshot(int) core.Snapshot { return core.Snapshot{} }
+
+// SizeView returns a View with n nodes and zero-valued snapshots, for
+// rendering oblivious adversaries outside a simulation.
+func SizeView(n int) View { return staticView(n) }
+
+// Render materializes the first `rounds` edge sets of an adversary into a
+// network.Trace, e.g. to check its dynaDegree offline. Only meaningful
+// for oblivious (state-independent) adversaries.
+func Render(a Adversary, n, rounds int) network.Trace {
+	tr := make(network.Trace, rounds)
+	v := SizeView(n)
+	for t := 0; t < rounds; t++ {
+		tr[t] = a.Edges(t, v)
+	}
+	return tr
+}

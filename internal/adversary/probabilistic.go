@@ -1,0 +1,46 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anondyn/internal/network"
+)
+
+// Probabilistic is the §VII open-problem adversary: E(t) is an
+// Erdős–Rényi directed graph where each of the n(n−1) links is present
+// independently with probability p, freshly drawn every round. It makes
+// no dynaDegree guarantee at any (T, D) — only a high-probability one —
+// which is exactly why the paper asks what the optimal EXPECTED round
+// complexity is (experiment E10 measures it for DAC).
+type Probabilistic struct {
+	p   float64
+	rng *rand.Rand
+}
+
+// NewProbabilistic builds the adversary; p ∈ [0, 1] is the per-link
+// per-round presence probability.
+func NewProbabilistic(p float64, seed int64) (*Probabilistic, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("adversary: link probability %g outside [0,1]", p)
+	}
+	return &Probabilistic{p: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Name implements Adversary.
+func (a *Probabilistic) Name() string { return fmt.Sprintf("er(p=%.2f)", a.p) }
+
+// Edges implements Adversary. The RNG stream advances with every call;
+// replaying requires a fresh instance with the same seed.
+func (a *Probabilistic) Edges(t int, view View) *network.EdgeSet {
+	n := view.N()
+	e := network.NewEdgeSet(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && a.rng.Float64() < a.p {
+				e.Add(u, v)
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func feed(s *RangeSeries, ranges ...float64) {
+	for round, r := range ranges {
+		// Two synthetic nodes spanning the range.
+		s.OnRoundEnd(round, map[int]float64{0: 0.5 - r/2, 1: 0.5 + r/2})
+	}
+}
+
+func TestRangeSeriesBasics(t *testing.T) {
+	s := NewRangeSeries()
+	feed(s, 1, 0.5, 0.25, 0.01)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if got := s.At(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(1) = %g, want 0.5", got)
+	}
+	if !math.IsNaN(s.At(9)) || !math.IsNaN(s.At(-1)) {
+		t.Error("out-of-range At should be NaN")
+	}
+	if got := s.RoundsToRange(0.25); got != 2 {
+		t.Errorf("RoundsToRange(0.25) = %d, want 2", got)
+	}
+	if got := s.RoundsToRange(0.001); got != -1 {
+		t.Errorf("RoundsToRange(0.001) = %d, want -1", got)
+	}
+	ser := s.Series()
+	ser[0] = 99
+	if s.At(0) == 99 {
+		t.Error("Series must return a copy")
+	}
+}
+
+func TestRangeSeriesSingleNodeRangeZero(t *testing.T) {
+	s := NewRangeSeries()
+	s.OnRoundEnd(0, map[int]float64{3: 0.7})
+	if got := s.At(0); got != 0 {
+		t.Errorf("single running node range = %g, want 0", got)
+	}
+}
+
+func TestRangeSeriesSkippedRoundPadded(t *testing.T) {
+	s := NewRangeSeries()
+	s.OnRoundEnd(2, map[int]float64{0: 0, 1: 1})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !math.IsNaN(s.At(0)) || !math.IsNaN(s.At(1)) {
+		t.Error("skipped rounds should be NaN")
+	}
+	if s.At(2) != 1 {
+		t.Errorf("At(2) = %g", s.At(2))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := NewRangeSeries()
+	feed(s, 1, 0.1, 0.01, 0.001, 0.0001, 0.00001)
+	sp := s.Sparkline(6, 1e-6)
+	if len([]rune(sp)) != 6 {
+		t.Fatalf("sparkline %q has %d runes, want 6", sp, len([]rune(sp)))
+	}
+	runes := []rune(sp)
+	// Monotone decreasing series → non-increasing glyph levels.
+	levels := "▁▂▃▄▅▆▇█"
+	prev := strings.IndexRune(levels, runes[0])
+	for _, r := range runes[1:] {
+		cur := strings.IndexRune(levels, r)
+		if cur < 0 {
+			t.Fatalf("unexpected rune %q", r)
+		}
+		if cur > prev {
+			t.Errorf("sparkline %q not non-increasing", sp)
+		}
+		prev = cur
+	}
+	if s2 := NewRangeSeries(); s2.Sparkline(5, 1e-6) != "" {
+		t.Error("empty series should render empty")
+	}
+}
+
+func TestSparklineWiderThanSeries(t *testing.T) {
+	s := NewRangeSeries()
+	feed(s, 1, 0.5)
+	sp := s.Sparkline(10, 1e-6)
+	if got := len([]rune(sp)); got != 2 {
+		t.Errorf("sparkline %q has %d runes, want clamped 2", sp, got)
+	}
+}
+
+func TestFormatSampled(t *testing.T) {
+	s := NewRangeSeries()
+	feed(s, 1, 0.5, 0.25, 0.125)
+	out := s.FormatSampled(2)
+	if !strings.Contains(out, "0:1") || !strings.Contains(out, "2:0.25") {
+		t.Errorf("FormatSampled = %q", out)
+	}
+	if strings.Contains(out, "1:0.5") {
+		t.Errorf("stride ignored: %q", out)
+	}
+	if got := s.FormatSampled(0); !strings.Contains(got, "1:0.5") {
+		t.Errorf("stride 0 should clamp to 1: %q", got)
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("N/Min/Max = %d/%g/%g", s.N, s.Min, s.Max)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", s.Mean)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("Median = %g, want 2.5", s.Median)
+	}
+	wantStd := math.Sqrt(1.25)
+	if math.Abs(s.StdDev-wantStd) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", s.StdDev, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize sorted the caller's slice")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	for _, tt := range []struct {
+		p, want float64
+	}{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {-5, 10}, {105, 50},
+	} {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P%g = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", got)
+	}
+	// NaNs and non-positives are skipped.
+	if got := GeoMean([]float64{math.NaN(), 0, -1, 4}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean with junk = %g, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %g, want 0", got)
+	}
+}

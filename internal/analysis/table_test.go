@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E0: demo", "n", "rounds", "range")
+	tb.AddRowf(7, 14, 0.000488)
+	tb.AddRowf(9, 16, 0.000244)
+	tb.AddNote("adversary: rotating(d=⌊n/2⌋)")
+	out := tb.String()
+	if !strings.Contains(out, "E0: demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "rounds") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "0.000488") {
+		t.Error("float cell missing")
+	}
+	if !strings.Contains(out, "note: adversary") {
+		t.Error("note missing")
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", tb.Rows())
+	}
+	if got := tb.Cell(0, 0); got != "7" {
+		t.Errorf("Cell(0,0) = %q, want 7", got)
+	}
+	if got := tb.Cell(9, 9); got != "" {
+		t.Errorf("out-of-range cell = %q, want empty", got)
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := NewTable("", "a", "bbbb")
+	tb.AddRow("xxxxxx", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// header, rule, row
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	// The 'bbbb' header must start at the same column as 'y'.
+	if strings.Index(lines[0], "bbbb") != strings.Index(lines[2], "y") {
+		t.Errorf("columns misaligned:\n%s", tb.String())
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	tb.AddRow("1")
+	if got := tb.Cell(0, 2); got != "" {
+		t.Errorf("padded cell = %q", got)
+	}
+	// Must render without panicking.
+	_ = tb.String()
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.AddRowf(1, 2.5)
+	tb.AddRow("a,b", `quote"me`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Errorf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Error("comma cell not quoted")
+	}
+}

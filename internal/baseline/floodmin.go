@@ -1,0 +1,69 @@
+package baseline
+
+import (
+	"fmt"
+
+	"anondyn/internal/core"
+)
+
+// FloodMin is the classical binary EXACT consensus algorithm: every
+// round, broadcast the minimum input value seen so far; after R rounds,
+// output it. On a reliably-complete synchronous graph R = f+1 rounds
+// suffice (everyone hears every surviving value). It exists here to make
+// Corollary 1 executable: under the (1, n−2)-dynaDegree adversary that
+// keeps dropping one incoming message per receiver — the Gafni-Losa
+// "time is not a healer" regime — the minimum can be suppressed forever
+// and exact agreement fails even with zero faults, while DAC solves
+// APPROXIMATE consensus under the very same adversary (experiment E9).
+type FloodMin struct {
+	rounds int
+	v      float64
+	round  int
+
+	decided  bool
+	decision float64
+}
+
+var _ core.Process = (*FloodMin)(nil)
+
+// NewFloodMin builds a node deciding after `rounds` flooding rounds with
+// a binary input (0 or 1).
+func NewFloodMin(rounds int, input float64) (*FloodMin, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("baseline: floodmin needs ≥ 1 round, got %d", rounds)
+	}
+	if input != 0 && input != 1 {
+		return nil, fmt.Errorf("baseline: floodmin input must be binary, got %g", input)
+	}
+	return &FloodMin{rounds: rounds, v: input}, nil
+}
+
+// Broadcast implements core.Process.
+func (fm *FloodMin) Broadcast() core.Message {
+	return core.Message{Value: fm.v, Phase: fm.round}
+}
+
+// Deliver implements core.Process: adopt any smaller value.
+func (fm *FloodMin) Deliver(d core.Delivery) {
+	if d.Msg.Value < fm.v {
+		fm.v = d.Msg.Value
+	}
+}
+
+// EndRound implements core.Process.
+func (fm *FloodMin) EndRound() {
+	fm.round++
+	if !fm.decided && fm.round >= fm.rounds {
+		fm.decided = true
+		fm.decision = fm.v
+	}
+}
+
+// Output implements core.Process.
+func (fm *FloodMin) Output() (float64, bool) { return fm.decision, fm.decided }
+
+// Phase implements core.Process (the round count).
+func (fm *FloodMin) Phase() int { return fm.round }
+
+// Value implements core.Process.
+func (fm *FloodMin) Value() float64 { return fm.v }

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"testing"
+
+	"anondyn/internal/adversary"
+	"anondyn/internal/core"
+)
+
+func floodProcs(t *testing.T, n, rounds int, inputs []float64) []core.Process {
+	t.Helper()
+	procs := make([]core.Process, n)
+	for i := range procs {
+		fm, err := NewFloodMin(rounds, inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = fm
+	}
+	return procs
+}
+
+func TestFloodMinValidation(t *testing.T) {
+	if _, err := NewFloodMin(0, 0); err == nil {
+		t.Error("0 rounds accepted")
+	}
+	if _, err := NewFloodMin(3, 0.5); err == nil {
+		t.Error("non-binary input accepted")
+	}
+	if _, err := NewFloodMin(3, 1); err != nil {
+		t.Errorf("valid construction rejected: %v", err)
+	}
+}
+
+func TestFloodMinExactAgreementOnCompleteGraph(t *testing.T) {
+	n := 5
+	inputs := []float64{1, 1, 0, 1, 1}
+	res := runScenario(t, n, floodProcs(t, n, n, inputs), adversary.NewComplete(), 0)
+	if !res.Decided {
+		t.Fatal("undecided")
+	}
+	for node, v := range res.Outputs {
+		if v != 0 {
+			t.Errorf("node %d decided %g, want the global min 0", node, v)
+		}
+	}
+	if res.Rounds != n {
+		t.Errorf("rounds = %d, want %d", res.Rounds, n)
+	}
+}
+
+func TestFloodMinBrokenByIsolate(t *testing.T) {
+	// Corollary 1 in action: node 0 holds the only 0; the adversary
+	// suppresses its outgoing links every round while every receiver
+	// still has n−2 incoming neighbors. Node 0 decides 0, everyone else
+	// decides 1 — exact agreement fails with zero faults.
+	n := 6
+	iso, err := adversary.NewIsolate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []float64{0, 1, 1, 1, 1, 1}
+	res := runScenario(t, n, floodProcs(t, n, n, inputs), iso, 0)
+	if !res.Decided {
+		t.Fatal("undecided")
+	}
+	if res.Outputs[0] != 0 {
+		t.Errorf("victim decided %g, want its own 0", res.Outputs[0])
+	}
+	for node := 1; node < n; node++ {
+		if res.Outputs[node] != 1 {
+			t.Errorf("node %d decided %g, want 1 (the 0 must not have leaked)", node, res.Outputs[node])
+		}
+	}
+}
+
+func TestFloodMinBrokenByChaseMin(t *testing.T) {
+	n := 6
+	inputs := []float64{1, 1, 1, 0, 1, 1} // the min starts at node 3
+	res := runScenario(t, n, floodProcs(t, n, n, inputs), adversary.NewChaseMin(), 0)
+	if !res.Decided {
+		t.Fatal("undecided")
+	}
+	if res.Outputs[3] != 0 {
+		t.Errorf("min holder decided %g, want 0", res.Outputs[3])
+	}
+	ones := 0
+	for node, v := range res.Outputs {
+		if node != 3 && v == 1 {
+			ones++
+		}
+	}
+	if ones != n-1 {
+		t.Errorf("%d nodes decided 1, want %d (adaptive chase failed)", ones, n-1)
+	}
+}
+
+func TestFloodMinValidityAlwaysBinary(t *testing.T) {
+	// Whatever the adversary does, outputs must be actual inputs (exact
+	// consensus validity).
+	n := 5
+	inputs := []float64{0, 1, 0, 1, 1}
+	for _, adv := range []adversary.Adversary{
+		adversary.NewComplete(),
+		adversary.NewChaseMin(),
+		mustRotating(t, 2),
+	} {
+		res := runScenario(t, n, floodProcs(t, n, n, inputs), adv, 0)
+		for node, v := range res.Outputs {
+			if v != 0 && v != 1 {
+				t.Errorf("%s: node %d output %g not an input", adv.Name(), node, v)
+			}
+		}
+	}
+}
+
+func mustRotating(t *testing.T, d int) adversary.Adversary {
+	t.Helper()
+	a, err := adversary.NewRotating(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The DESIGN.md ablation: R_low/R_high as bounded flat slices (what
+// Algorithm 2's STORE implements) versus the naive "keep everything,
+// sort, index" alternative. The bounded variant is what limited
+// bandwidth forces on the algorithm; these benchmarks quantify what it
+// also saves computationally per phase.
+
+func benchValues(n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	return vals
+}
+
+func BenchmarkBoundedStore(b *testing.B) {
+	for _, f := range []int{1, 4, 16} {
+		vals := benchValues(256)
+		b.Run(quorumName(f), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lo := newBoundedLow(f + 1)
+				hi := newBoundedHigh(f + 1)
+				for _, v := range vals {
+					lo.add(v)
+					hi.add(v)
+				}
+				if lo.max() < 0 || hi.min() > 1 {
+					b.Fatal("impossible extremes")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFullSortStore(b *testing.B) {
+	for _, f := range []int{1, 4, 16} {
+		vals := benchValues(256)
+		b.Run(quorumName(f), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				all := make([]float64, 0, len(vals))
+				all = append(all, vals...)
+				sort.Float64s(all)
+				maxLow := all[f]
+				minHigh := all[len(all)-f-1]
+				if maxLow < 0 || minHigh > 1 {
+					b.Fatal("impossible extremes")
+				}
+			}
+		})
+	}
+}
+
+func quorumName(f int) string {
+	switch f {
+	case 1:
+		return "f=1"
+	case 4:
+		return "f=4"
+	default:
+		return "f=16"
+	}
+}
+
+// BenchmarkDACDeliver measures the per-message cost of the DAC state
+// machine at a realistic size.
+func BenchmarkDACDeliver(b *testing.B) {
+	n := 25
+	d, err := NewDACPhases(n, 0, 1<<30, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := benchValues(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port := i%(n-1) + 1
+		d.Deliver(Delivery{Port: port, Msg: Message{Value: vals[port], Phase: d.Phase()}})
+	}
+}
+
+// BenchmarkDBACDeliver measures the per-message cost of the DBAC state
+// machine (bounded multiset maintenance included).
+func BenchmarkDBACDeliver(b *testing.B) {
+	n, f := 25, 4
+	d, err := NewDBACPhases(n, f, 0, 1<<30, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := benchValues(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port := i%(n-1) + 1
+		d.Deliver(Delivery{Port: port, Msg: Message{Value: vals[port], Phase: d.Phase()}})
+	}
+}

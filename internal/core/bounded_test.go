@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedLowKeepsSmallest(t *testing.T) {
+	b := newBoundedLow(3)
+	for _, v := range []float64{0.9, 0.1, 0.5, 0.7, 0.3, 0.2} {
+		b.add(v)
+	}
+	// 3 smallest of the stream are {0.1, 0.2, 0.3}; max(Rlow) = 0.3.
+	if got := b.max(); got != 0.3 {
+		t.Errorf("max(Rlow) = %g, want 0.3", got)
+	}
+	if b.len() != 3 {
+		t.Errorf("len = %d, want 3", b.len())
+	}
+}
+
+func TestBoundedHighKeepsLargest(t *testing.T) {
+	b := newBoundedHigh(3)
+	for _, v := range []float64{0.9, 0.1, 0.5, 0.7, 0.3, 0.2} {
+		b.add(v)
+	}
+	// 3 largest are {0.5, 0.7, 0.9}; min(Rhigh) = 0.5.
+	if got := b.min(); got != 0.5 {
+		t.Errorf("min(Rhigh) = %g, want 0.5", got)
+	}
+}
+
+func TestBoundedDuplicatesCountWithMultiplicity(t *testing.T) {
+	b := newBoundedLow(2)
+	b.add(0.5)
+	b.add(0.5)
+	b.add(0.9)
+	if got := b.max(); got != 0.5 {
+		t.Errorf("max(Rlow) = %g, want 0.5 (multiset semantics)", got)
+	}
+}
+
+func TestBoundedClear(t *testing.T) {
+	b := newBoundedLow(2)
+	b.add(0.1)
+	b.add(0.2)
+	b.clear()
+	if b.len() != 0 {
+		t.Errorf("len after clear = %d, want 0", b.len())
+	}
+	b.add(0.7)
+	if got := b.max(); got != 0.7 {
+		t.Errorf("max after refill = %g, want 0.7", got)
+	}
+}
+
+func TestBoundedUnderfilled(t *testing.T) {
+	lo := newBoundedLow(4)
+	lo.add(0.3)
+	lo.add(0.6)
+	if got := lo.max(); got != 0.6 {
+		t.Errorf("underfilled max = %g, want 0.6", got)
+	}
+	hi := newBoundedHigh(4)
+	hi.add(0.3)
+	hi.add(0.6)
+	if got := hi.min(); got != 0.3 {
+		t.Errorf("underfilled min = %g, want 0.3", got)
+	}
+}
+
+// TestBoundedQuick property: after any stream of values, max(Rlow)
+// equals the k-th smallest of the stream (counting multiplicity) and
+// min(Rhigh) the k-th largest — Algorithm 2's r_{f+1} and
+// r_{|R|−f} selectors.
+func TestBoundedQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	property := func(raw []uint16, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kRaw)%4 + 1
+		lo := newBoundedLow(k)
+		hi := newBoundedHigh(k)
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r) / 65535
+			lo.add(vals[i])
+			hi.add(vals[i])
+		}
+		sort.Float64s(vals)
+		kk := k
+		if kk > len(vals) {
+			kk = len(vals)
+		}
+		wantLow := vals[kk-1]
+		wantHigh := vals[len(vals)-kk]
+		return lo.max() == wantLow && hi.min() == wantHigh
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

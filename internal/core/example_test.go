@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"anondyn/internal/core"
+)
+
+// ExampleDAC drives Algorithm 1 by hand: a 5-node network where this
+// node (self port 0) hears two peers, completing the ⌊n/2⌋+1 = 3 quorum
+// and advancing one phase with the midpoint update.
+func ExampleDAC() {
+	node, err := core.NewDAC(5, 0, 0.5, 0.25) // input 0.5, ε = 0.25 → p_end = 2
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("broadcast:", node.Broadcast())
+
+	node.Deliver(core.Delivery{Port: 1, Msg: core.Message{Value: 0.0, Phase: 0}})
+	node.Deliver(core.Delivery{Port: 2, Msg: core.Message{Value: 1.0, Phase: 0}})
+	fmt.Println("phase:", node.Phase(), "value:", node.Value())
+
+	// A message from a future phase makes the node jump.
+	node.Deliver(core.Delivery{Port: 3, Msg: core.Message{Value: 0.4375, Phase: 2}})
+	out, decided := node.Output()
+	fmt.Println("decided:", decided, "output:", out)
+	// Output:
+	// broadcast: ⟨v=0.5, p=0⟩
+	// phase: 1 value: 0.5
+	// decided: true output: 0.4375
+}
+
+// ExampleDBAC shows Algorithm 2's trimmed update: with f = 1, the
+// single extreme (Byzantine) value cannot drag the new state outside
+// the honest range.
+func ExampleDBAC() {
+	node, err := core.NewDBACPhases(6, 1, 0, 10, 0.5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	node.Deliver(core.Delivery{Port: 1, Msg: core.Message{Value: 0.4, Phase: 0}})
+	node.Deliver(core.Delivery{Port: 2, Msg: core.Message{Value: 0.6, Phase: 0}})
+	node.Deliver(core.Delivery{Port: 3, Msg: core.Message{Value: 0.5, Phase: 0}})
+	node.Deliver(core.Delivery{Port: 4, Msg: core.Message{Value: 1.0, Phase: 99}}) // Byzantine
+	fmt.Println("phase:", node.Phase())
+	fmt.Printf("value: %.2f (the Byzantine 1.0 was trimmed)\n", node.Value())
+	// Output:
+	// phase: 1
+	// value: 0.55 (the Byzantine 1.0 was trimmed)
+}

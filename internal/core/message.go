@@ -1,0 +1,48 @@
+// Package core implements the paper's primary contribution: the DAC and
+// DBAC approximate-consensus algorithms for anonymous dynamic networks
+// (Zhang & Tseng, ICDCS 2024), together with the state-machine interface
+// that the simulation engines drive.
+//
+// Nodes are anonymous: a message carries only a state value and a phase
+// index. Receivers distinguish senders exclusively through their local
+// port numbering, which the network layer supplies with each delivery.
+package core
+
+import "fmt"
+
+// Message is the only unit of communication in the model: the tuple
+// ⟨v, p⟩ broadcast by a node in every round (Algorithm 1/2, line 2).
+// The sender identity is deliberately absent — anonymity is a property of
+// the model, and the receiving port is attached by the network layer at
+// delivery time, never by the sender.
+type Message struct {
+	// Value is the sender's current state value, in [0,1] for fault-free
+	// nodes (inputs are scaled per §II-C).
+	Value float64
+	// Phase is the sender's current phase index p.
+	Phase int
+	// History optionally carries the sender's states from recent earlier
+	// phases (the §VII bandwidth/convergence trade-off extension and the
+	// full-information baseline). Plain DAC/DBAC leave it nil — their
+	// messages stay within the O(log n)-bit budget. Receivers must treat
+	// the slice as read-only.
+	History []HistEntry
+}
+
+// String renders the message the way the paper writes it.
+func (m Message) String() string {
+	return fmt.Sprintf("⟨v=%.6g, p=%d⟩", m.Value, m.Phase)
+}
+
+// Delivery is a message tagged with the receiver-local port it arrived on.
+// Ports are the receiver's private bijection over the node set (§II-A);
+// two receivers may use different ports for the same sender, so a port is
+// meaningless outside the receiving node.
+type Delivery struct {
+	// Port is the receiver-local port number in [0, n), identifying the
+	// incoming link the message arrived on. The underlying communication
+	// layer is authenticated: a Byzantine sender cannot forge the port.
+	Port int
+	// Msg is the received message.
+	Msg Message
+}

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+func TestDACNoJumpIgnoresFutureStates(t *testing.T) {
+	d, err := NewDACNoJumpPhases(5, 0, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(d, 1, 0.9, 7)
+	if d.Phase() != 0 {
+		t.Errorf("phase = %d, want 0 (ablation must not jump)", d.Phase())
+	}
+	if d.Value() != 0.5 {
+		t.Errorf("value = %g, want untouched 0.5", d.Value())
+	}
+	if d.Jumps() != 0 {
+		t.Errorf("jumps = %d, want 0", d.Jumps())
+	}
+	// Same-phase quorum still works.
+	deliver(d, 1, 0.4, 0)
+	deliver(d, 2, 0.6, 0)
+	if d.Phase() != 1 {
+		t.Errorf("phase = %d, want 1 (quorum path intact)", d.Phase())
+	}
+}
+
+func TestDACNoJumpStrandsBehindQuorum(t *testing.T) {
+	// The deadlock in miniature: the node needs 3 distinct phase-0
+	// states, but only two senders remain at phase 0 — everyone else
+	// has moved on and their messages are discarded.
+	d, err := NewDACNoJumpPhases(5, 0, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(d, 1, 0.4, 0)
+	for round := 0; round < 50; round++ {
+		deliver(d, 2, 0.6, 3)
+		deliver(d, 3, 0.7, 4)
+		deliver(d, 4, 0.8, 5)
+	}
+	if d.Phase() != 0 {
+		t.Errorf("phase = %d, want 0 (stranded)", d.Phase())
+	}
+	// A real DAC in the same position jumps immediately.
+	real, err := NewDACPhases(5, 0, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(real, 2, 0.6, 3)
+	if real.Phase() != 3 {
+		t.Errorf("real DAC phase = %d, want 3", real.Phase())
+	}
+}
+
+func TestDACNoJumpValidation(t *testing.T) {
+	if _, err := NewDACNoJumpPhases(5, 0, -1, 0.5); err == nil {
+		t.Error("negative pEnd accepted")
+	}
+	if _, err := NewDACNoJumpPhases(5, 9, 3, 0.5); err == nil {
+		t.Error("bad selfPort accepted")
+	}
+}

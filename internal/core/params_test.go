@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCrashQuorum(t *testing.T) {
+	tests := []struct {
+		n, want int
+	}{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {6, 4}, {7, 4}, {100, 51}, {101, 51},
+	}
+	for _, tt := range tests {
+		if got := CrashQuorum(tt.n); got != tt.want {
+			t.Errorf("CrashQuorum(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestByzQuorum(t *testing.T) {
+	tests := []struct {
+		n, f, want int
+	}{
+		{6, 1, 5},   // ⌊9/2⌋+1
+		{11, 2, 9},  // ⌊17/2⌋+1
+		{16, 3, 13}, // ⌊25/2⌋+1
+		{21, 4, 17}, // ⌊33/2⌋+1
+		{5, 0, 3},   // degenerates to ⌊n/2⌋+1
+	}
+	for _, tt := range tests {
+		if got := ByzQuorum(tt.n, tt.f); got != tt.want {
+			t.Errorf("ByzQuorum(%d,%d) = %d, want %d", tt.n, tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestDegreeThresholds(t *testing.T) {
+	if got := CrashDegree(7); got != 3 {
+		t.Errorf("CrashDegree(7) = %d, want 3", got)
+	}
+	if got := CrashDegree(8); got != 4 {
+		t.Errorf("CrashDegree(8) = %d, want 4", got)
+	}
+	if got := ByzDegree(11, 2); got != 8 {
+		t.Errorf("ByzDegree(11,2) = %d, want 8", got)
+	}
+	// Quorum is always threshold+1: the node's own value tops up the
+	// D incoming neighbors.
+	for n := 1; n <= 40; n++ {
+		if CrashQuorum(n) != CrashDegree(n)+1 {
+			t.Errorf("n=%d: CrashQuorum %d != CrashDegree+1 %d", n, CrashQuorum(n), CrashDegree(n)+1)
+		}
+		for f := 0; 5*f+1 <= n; f++ {
+			if ByzQuorum(n, f) != ByzDegree(n, f)+1 {
+				t.Errorf("n=%d f=%d: ByzQuorum %d != ByzDegree+1 %d", n, f, ByzQuorum(n, f), ByzDegree(n, f)+1)
+			}
+		}
+	}
+}
+
+func TestPEndDAC(t *testing.T) {
+	tests := []struct {
+		eps  float64
+		want int
+	}{
+		{0.5, 1}, {0.25, 2}, {0.1, 4}, {1e-3, 10}, {1e-6, 20}, {1, 0}, {2, 0},
+	}
+	for _, tt := range tests {
+		if got := PEndDAC(tt.eps); got != tt.want {
+			t.Errorf("PEndDAC(%g) = %d, want %d", tt.eps, got, tt.want)
+		}
+	}
+	// (1/2)^pEnd ≤ ε must hold (Equation 2's defining property).
+	for _, eps := range []float64{0.7, 0.3, 0.01, 1e-4, 1e-9} {
+		p := PEndDAC(eps)
+		if math.Pow(0.5, float64(p)) > eps {
+			t.Errorf("eps=%g: (1/2)^%d > eps", eps, p)
+		}
+	}
+}
+
+func TestPEndDBAC(t *testing.T) {
+	// The defining property of Equation 6: (1−2⁻ⁿ)^pEnd ≤ ε.
+	for _, tt := range []struct {
+		eps float64
+		n   int
+	}{{0.5, 6}, {1e-3, 6}, {1e-3, 11}, {0.01, 8}} {
+		p := PEndDBAC(tt.eps, tt.n)
+		rate := 1 - math.Pow(2, -float64(tt.n))
+		if math.Pow(rate, float64(p)) > tt.eps {
+			t.Errorf("eps=%g n=%d: rate^%d > eps", tt.eps, tt.n, p)
+		}
+		// And p is minimal.
+		if p > 0 && math.Pow(rate, float64(p-1)) <= tt.eps {
+			t.Errorf("eps=%g n=%d: pEnd %d not minimal", tt.eps, tt.n, p)
+		}
+	}
+	if got := PEndDBAC(1, 10); got != 0 {
+		t.Errorf("PEndDBAC(1,10) = %d, want 0", got)
+	}
+	// Large n must not overflow into nonsense.
+	if got := PEndDBAC(1e-3, 400); got <= 0 {
+		t.Errorf("PEndDBAC(1e-3,400) = %d, want a large positive value", got)
+	}
+}
+
+func TestValidateCrash(t *testing.T) {
+	if err := ValidateCrash(3, 1); err != nil {
+		t.Errorf("ValidateCrash(3,1) = %v, want nil", err)
+	}
+	if err := ValidateCrash(2, 1); !errors.Is(err, ErrResilience) {
+		t.Errorf("ValidateCrash(2,1) = %v, want ErrResilience", err)
+	}
+	if err := ValidateCrash(0, 0); !errors.Is(err, ErrResilience) {
+		t.Errorf("ValidateCrash(0,0) = %v, want ErrResilience", err)
+	}
+	if err := ValidateCrash(5, -1); !errors.Is(err, ErrResilience) {
+		t.Errorf("ValidateCrash(5,-1) = %v, want ErrResilience", err)
+	}
+}
+
+func TestValidateByz(t *testing.T) {
+	if err := ValidateByz(6, 1); err != nil {
+		t.Errorf("ValidateByz(6,1) = %v, want nil", err)
+	}
+	if err := ValidateByz(5, 1); !errors.Is(err, ErrResilience) {
+		t.Errorf("ValidateByz(5,1) = %v, want ErrResilience", err)
+	}
+	if err := ValidateByz(10, 2); !errors.Is(err, ErrResilience) {
+		t.Errorf("ValidateByz(10,2) = %v, want ErrResilience", err)
+	}
+}
+
+func TestValidateEpsilonAndInput(t *testing.T) {
+	for _, eps := range []float64{0, -1, 1, 2, math.NaN()} {
+		if err := ValidateEpsilon(eps); err == nil {
+			t.Errorf("ValidateEpsilon(%g) = nil, want error", eps)
+		}
+	}
+	for _, eps := range []float64{0.5, 1e-9, 0.999} {
+		if err := ValidateEpsilon(eps); err != nil {
+			t.Errorf("ValidateEpsilon(%g) = %v, want nil", eps, err)
+		}
+	}
+	for _, x := range []float64{-0.01, 1.01, math.NaN()} {
+		if err := ValidateInput(x); !errors.Is(err, ErrInput) {
+			t.Errorf("ValidateInput(%g) = %v, want ErrInput", x, err)
+		}
+	}
+	for _, x := range []float64{0, 0.5, 1} {
+		if err := ValidateInput(x); err != nil {
+			t.Errorf("ValidateInput(%g) = %v, want nil", x, err)
+		}
+	}
+}

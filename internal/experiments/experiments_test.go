@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"anondyn/internal/analysis"
+)
+
+// The experiment functions are the reproduction's deliverable; these
+// tests pin the *shape* of every table to the paper's claims, so a
+// regression in any algorithm, adversary, or engine that changes a
+// conclusion fails loudly.
+
+func cellFloat(t *testing.T, tb *analysis.Table, row, col int) float64 {
+	t.Helper()
+	s := tb.Cell(row, col)
+	if s == "+Inf" {
+		return 1e300
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not a float: %v", row, col, s, err)
+	}
+	return v
+}
+
+func cellBool(t *testing.T, tb *analysis.Table, row, col int) bool {
+	t.Helper()
+	switch tb.Cell(row, col) {
+	case "true":
+		return true
+	case "false":
+		return false
+	default:
+		t.Fatalf("cell (%d,%d) = %q not a bool", row, col, tb.Cell(row, col))
+		return false
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(reg))
+	}
+	for i, e := range reg {
+		want := "E" + strconv.Itoa(i+1)
+		if i >= 13 {
+			want = "F" + strconv.Itoa(i-12) // figure experiments follow the tables
+		}
+		if e.ID != want {
+			t.Errorf("registry[%d].ID = %s, want %s", i, e.ID, want)
+		}
+		if e.Run == nil || e.Desc == "" {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	tb := E1DACConvergence()
+	if tb.Rows() != 20 { // 5 sizes × 4 adversaries
+		t.Fatalf("rows = %d, want 20", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		adv := tb.Cell(r, 2)
+		if !cellBool(t, tb, r, 4) {
+			t.Errorf("row %d (%s): did not decide", r, adv)
+		}
+		// ε-agreement at ε = 1e-3.
+		if rng := cellFloat(t, tb, r, 5); rng > 1e-3 {
+			t.Errorf("row %d (%s): range %g > ε", r, adv, rng)
+		}
+		// Theorem 3: contraction never worse than 1/2 (small float slack).
+		if rho := cellFloat(t, tb, r, 6); rho > 0.5+1e-9 {
+			t.Errorf("row %d (%s): worst ρ = %g > 1/2", r, adv, rho)
+		}
+		// Complete graph: exactly p_end rounds.
+		if strings.HasPrefix(adv, "complete") {
+			if rounds := cellFloat(t, tb, r, 3); rounds != 10 {
+				t.Errorf("row %d: complete graph took %g rounds, want p_end=10", r, rounds)
+			}
+		}
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tb := E2CrashDegreeNecessity()
+	if tb.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		paper := strings.Contains(tb.Cell(r, 2), "paper")
+		decided := cellBool(t, tb, r, 3)
+		if paper && decided {
+			t.Errorf("row %d: real DAC decided below the degree threshold", r)
+		}
+		if !paper {
+			if !decided {
+				t.Errorf("row %d: hypothetical algorithm failed to decide", r)
+			}
+			// The two groups decide 0 and 1: range 1, no ε-agreement.
+			if rng := cellFloat(t, tb, r, 5); rng < 0.99 {
+				t.Errorf("row %d: range %g, want ≈1 (disagreement)", r, rng)
+			}
+			if cellBool(t, tb, r, 6) {
+				t.Errorf("row %d: ε-agreement unexpectedly holds", r)
+			}
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tb := E3CrashResilienceBoundary()
+	if tb.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		variant := tb.Cell(r, 2)
+		decided := cellBool(t, tb, r, 3)
+		agree := cellBool(t, tb, r, 7)
+		switch {
+		case strings.Contains(variant, "control"):
+			if !decided || !agree {
+				t.Errorf("row %d: n=2f+1 control failed (decided=%v agree=%v)", r, decided, agree)
+			}
+		case strings.Contains(variant, "eager"):
+			if !decided || agree {
+				t.Errorf("row %d: eager variant (decided=%v agree=%v), want decided disagreement", r, decided, agree)
+			}
+		default: // n=2f with the paper quorum
+			if decided {
+				t.Errorf("row %d: DAC decided with n=2f and f crashes", r)
+			}
+		}
+		// Validity must hold in every variant (it is agreement that breaks).
+		if !cellBool(t, tb, r, 6) {
+			t.Errorf("row %d: validity violated", r)
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tb := E4RoundsVsT()
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d, want 5", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		if !cellBool(t, tb, r, 4) {
+			t.Errorf("row %d: undecided", r)
+		}
+		// rounds = T·p_end exactly for the lockstep starve schedule.
+		if ratio := cellFloat(t, tb, r, 3); ratio != 1 {
+			t.Errorf("row %d: rounds/(T·p_end) = %g, want exactly 1", r, ratio)
+		}
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tb := E5DBACConvergence()
+	if tb.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		if !cellBool(t, tb, r, 8) {
+			t.Errorf("row %d: validity violated under Byzantine equivocation", r)
+		}
+		// Observed contraction must beat the paper's 1−2⁻ⁿ bound and in
+		// fact sit near 1/2 on the complete graph.
+		rho := cellFloat(t, tb, r, 4)
+		bound := cellFloat(t, tb, r, 6)
+		if rho > bound {
+			t.Errorf("row %d: observed ρ %g exceeds the Theorem 7 bound %g", r, rho, bound)
+		}
+		if rho > 0.75 {
+			t.Errorf("row %d: observed ρ %g far from the ≈1/2 expectation", r, rho)
+		}
+		// Phases to ε stays near log2(1/ε) = 10.
+		if phases := cellFloat(t, tb, r, 3); phases < 1 || phases > 20 {
+			t.Errorf("row %d: phases→ε = %g outside [1,20]", r, phases)
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tb := E6ByzantineNecessity()
+	if tb.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		paper := strings.Contains(tb.Cell(r, 3), "paper")
+		decided := cellBool(t, tb, r, 4)
+		if paper && decided {
+			t.Errorf("row %d: real DBAC decided below the degree threshold", r)
+		}
+		if !paper {
+			if !decided {
+				t.Errorf("row %d: hypothetical variant failed to decide", r)
+			}
+			if rng := cellFloat(t, tb, r, 6); rng < 0.99 {
+				t.Errorf("row %d: range %g, want ≈1", r, rng)
+			}
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tb := E7Baselines()
+	if tb.Rows() != 20 { // 5 algorithms × 4 adversaries
+		t.Fatalf("rows = %d, want 20", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		alg, adv := tb.Cell(r, 0), tb.Cell(r, 1)
+		decided := cellBool(t, tb, r, 2)
+		agree := cellBool(t, tb, r, 5)
+		if adv == "split halves" {
+			if alg == "RelIter" {
+				// The motivating failure: terminates, disagrees.
+				if !decided || agree {
+					t.Errorf("RelIter on split: decided=%v agree=%v, want true,false", decided, agree)
+				}
+			} else if decided {
+				t.Errorf("%s decided on the split adversary", alg)
+			}
+			continue
+		}
+		if !decided {
+			t.Errorf("%s on %s: undecided", alg, adv)
+		}
+		if !agree {
+			t.Errorf("%s on %s: ε-agreement violated", alg, adv)
+		}
+	}
+	// DAC beats MegaRound in rounds on every shared (non-split)
+	// adversary, and FullInfo pays in bytes.
+	rounds := map[string]map[string]float64{}
+	bytesPer := map[string]float64{}
+	for r := 0; r < tb.Rows(); r++ {
+		alg, adv := tb.Cell(r, 0), tb.Cell(r, 1)
+		if rounds[alg] == nil {
+			rounds[alg] = map[string]float64{}
+		}
+		rounds[alg][adv] = cellFloat(t, tb, r, 3)
+		bytesPer[alg] = cellFloat(t, tb, r, 6)
+	}
+	for _, adv := range []string{"complete", "rotating(3)", "periodic starve(2)"} {
+		if rounds["DAC"][adv] > rounds["MegaRound(T=4)"][adv] {
+			t.Errorf("DAC slower than MegaRound(T=4) on %s", adv)
+		}
+	}
+	if bytesPer["FullInfo"] < 3*bytesPer["DAC"] {
+		t.Errorf("FullInfo bytes/msg %g not ≫ DAC's %g", bytesPer["FullInfo"], bytesPer["DAC"])
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tb := E8BandwidthTradeoff()
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d, want 5", tb.Rows())
+	}
+	prevBytes := 0.0
+	for r := 0; r < tb.Rows(); r++ {
+		if !cellBool(t, tb, r, 2) {
+			t.Errorf("row %d: undecided", r)
+		}
+		// Message size must grow monotonically with K.
+		b := cellFloat(t, tb, r, 4)
+		if b < prevBytes {
+			t.Errorf("row %d: bytes/msg %g decreased from %g", r, b, prevBytes)
+		}
+		prevBytes = b
+		// Correctness (rate ≤ 1/2 territory) holds at every K.
+		if rho := cellFloat(t, tb, r, 5); rho > 0.5+1e-9 {
+			t.Errorf("row %d: worst ρ = %g", r, rho)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryIncludesExtensions(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(reg))
+	}
+	ids := map[string]bool{}
+	for _, e := range reg {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"E9", "E10", "E11", "E12", "E13"} {
+		if !ids[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tb := E12JumpAblation()
+	if tb.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		alg, adv := tb.Cell(r, 0), tb.Cell(r, 1)
+		decided := cellBool(t, tb, r, 2)
+		if alg == "DAC" && !decided {
+			t.Errorf("DAC undecided on %s", adv)
+		}
+		if alg == "DAC-nojump" {
+			if strings.HasPrefix(adv, "randDeg") {
+				if decided {
+					t.Error("no-jump ablation decided under staggered quorums — the jump rule should be essential")
+				}
+			} else if !decided {
+				t.Errorf("no-jump ablation undecided on lockstep adversary %s", adv)
+			}
+		}
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tb := E9ExactImpossibility()
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d, want 5", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		alg, adv := tb.Cell(r, 0), tb.Cell(r, 1)
+		agreement := cellBool(t, tb, r, 5)
+		switch {
+		case alg == "FloodMin" && adv == "complete":
+			if !agreement {
+				t.Error("FloodMin must reach exact agreement on the reliable complete graph")
+			}
+			if d := cellFloat(t, tb, r, 3); d != 1 {
+				t.Errorf("complete graph: %g distinct outputs, want 1", d)
+			}
+		case alg == "FloodMin":
+			// Corollary 1: exact agreement fails under one-drop-per-
+			// receiver adversaries.
+			if agreement {
+				t.Errorf("FloodMin agreed under %s — Corollary 1 violated", adv)
+			}
+			if d := cellFloat(t, tb, r, 3); d != 2 {
+				t.Errorf("%s: %g distinct outputs, want 2", adv, d)
+			}
+		default: // DAC rows
+			if !agreement {
+				t.Errorf("DAC failed ε-agreement under %s — approximate consensus should survive", adv)
+			}
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tb := E10ProbabilisticRounds()
+	if tb.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", tb.Rows())
+	}
+	prevMean := 1e18
+	for r := 0; r < tb.Rows(); r++ {
+		if !cellBool(t, tb, r, 1) {
+			t.Errorf("row %d: some seeds did not decide within budget", r)
+		}
+		// Safety never breaks even without a deterministic guarantee.
+		if v := cellFloat(t, tb, r, 6); v != 0 {
+			t.Errorf("row %d: %g safety violations", r, v)
+		}
+		// Expected rounds decrease with link probability.
+		mean := cellFloat(t, tb, r, 2)
+		if mean > prevMean {
+			t.Errorf("row %d: mean rounds %g increased from %g as p grew", r, mean, prevMean)
+		}
+		prevMean = mean
+	}
+	// p=1 is the complete graph: exactly p_end rounds.
+	if mean := cellFloat(t, tb, tb.Rows()-1, 2); mean != 10 {
+		t.Errorf("p=1 mean rounds = %g, want 10", mean)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tb := E11BandwidthCaps()
+	if tb.Rows() != 10 {
+		t.Fatalf("rows = %d, want 10", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		alg, cap := tb.Cell(r, 0), tb.Cell(r, 1)
+		decided := cellBool(t, tb, r, 2)
+		drops := cellFloat(t, tb, r, 4)
+		if cap == "∞" {
+			if !decided || drops != 0 {
+				t.Errorf("%s uncapped: decided=%v drops=%g", alg, decided, drops)
+			}
+			continue
+		}
+		switch alg {
+		case "DAC", "DBAC", "DBAC+pb(K=2)":
+			if !decided || drops != 0 {
+				t.Errorf("%s under cap: decided=%v drops=%g, want fit", alg, decided, drops)
+			}
+		case "DBAC+pb(K=8)", "FullInfo":
+			if decided {
+				t.Errorf("%s under cap decided — messages should outgrow the link", alg)
+			}
+			if drops == 0 {
+				t.Errorf("%s under cap: no oversized drops recorded", alg)
+			}
+		}
+	}
+}
+
+func TestExtensionDescriptionsMentionPaperAnchors(t *testing.T) {
+	for _, e := range extensionRegistry() {
+		if !strings.Contains(e.Desc, "Corollary") && !strings.Contains(e.Desc, "§") {
+			t.Errorf("%s description lacks a paper anchor: %q", e.ID, e.Desc)
+		}
+	}
+}

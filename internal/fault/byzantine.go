@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anondyn/internal/core"
+)
+
+// View is the read-only execution state a Byzantine strategy may consult
+// (Byzantine nodes know everything the adversary knows).
+type View interface {
+	N() int
+	Snapshot(i int) core.Snapshot
+}
+
+// Strategy produces a Byzantine node's per-receiver messages for a round.
+// Byzantine nodes may equivocate — send different messages to different
+// receivers — because port numberings are local and receivers cannot
+// compare notes about sender identities (§VI-C). They cannot, however,
+// forge the port their message arrives on: the channel is authenticated.
+type Strategy interface {
+	// Name identifies the strategy in traces and tables.
+	Name() string
+	// Messages returns the message for each receiver in [0, n); a nil
+	// entry means "send nothing to that receiver this round". Entries
+	// for receivers outside the adversary's edge set are dropped by the
+	// engine regardless.
+	Messages(round, self int, view View) []*core.Message
+}
+
+// uniform broadcasts one message to everyone; helper for the strategies
+// below.
+func uniform(n int, m core.Message) []*core.Message {
+	out := make([]*core.Message, n)
+	for i := range out {
+		mm := m
+		out[i] = &mm
+	}
+	return out
+}
+
+// Silent never sends anything — a Byzantine node indistinguishable from
+// an early crash.
+type Silent struct{}
+
+// Name implements Strategy.
+func (Silent) Name() string { return "silent" }
+
+// Messages implements Strategy.
+func (Silent) Messages(round, self int, view View) []*core.Message {
+	return make([]*core.Message, view.N())
+}
+
+// Extremist always claims an extreme value at a far-future phase, the
+// strongest uniform attack against trimmed averaging: the claimed phase
+// is always ≥ the receiver's, so the value is always counted.
+type Extremist struct {
+	// Value is the claimed state value (typically 0 or 1).
+	Value float64
+}
+
+// Name implements Strategy.
+func (e Extremist) Name() string { return fmt.Sprintf("extremist(%g)", e.Value) }
+
+// Messages implements Strategy.
+func (e Extremist) Messages(round, self int, view View) []*core.Message {
+	return uniform(view.N(), core.Message{Value: e.Value, Phase: int(^uint(0) >> 2)})
+}
+
+// Equivocator sends value Low to the lower half of receiver IDs and High
+// to the upper half, both at a far-future phase — the generic two-faced
+// attack.
+type Equivocator struct {
+	Low, High float64
+}
+
+// Name implements Strategy.
+func (e Equivocator) Name() string { return fmt.Sprintf("equivocator(%g|%g)", e.Low, e.High) }
+
+// Messages implements Strategy.
+func (e Equivocator) Messages(round, self int, view View) []*core.Message {
+	n := view.N()
+	out := make([]*core.Message, n)
+	phase := int(^uint(0) >> 2)
+	for i := 0; i < n; i++ {
+		v := e.Low
+		if i >= n/2 {
+			v = e.High
+		}
+		out[i] = &core.Message{Value: v, Phase: phase}
+	}
+	return out
+}
+
+// SplitBrain is the Theorem 10 equivocation: behave towards one receiver
+// group as if the input were ValueA and towards everyone else as if it
+// were ValueB. InA decides group membership per receiver.
+type SplitBrain struct {
+	InA    func(receiver int) bool
+	ValueA float64
+	ValueB float64
+}
+
+// Name implements Strategy.
+func (s SplitBrain) Name() string { return fmt.Sprintf("splitBrain(%g|%g)", s.ValueA, s.ValueB) }
+
+// Messages implements Strategy.
+func (s SplitBrain) Messages(round, self int, view View) []*core.Message {
+	n := view.N()
+	out := make([]*core.Message, n)
+	phase := int(^uint(0) >> 2)
+	for i := 0; i < n; i++ {
+		v := s.ValueB
+		if s.InA != nil && s.InA(i) {
+			v = s.ValueA
+		}
+		out[i] = &core.Message{Value: v, Phase: phase}
+	}
+	return out
+}
+
+// RandomNoise sends every receiver an independently random value in
+// [0, 1] and a random phase within a window above the receiver's phase —
+// plausible-looking garbage.
+type RandomNoise struct {
+	rng *rand.Rand
+}
+
+// NewRandomNoise builds the strategy with its own deterministic stream.
+func NewRandomNoise(seed int64) *RandomNoise {
+	return &RandomNoise{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (*RandomNoise) Name() string { return "randomNoise" }
+
+// Messages implements Strategy.
+func (r *RandomNoise) Messages(round, self int, view View) []*core.Message {
+	n := view.N()
+	out := make([]*core.Message, n)
+	for i := 0; i < n; i++ {
+		recvPhase := view.Snapshot(i).Phase
+		out[i] = &core.Message{
+			Value: r.rng.Float64(),
+			Phase: recvPhase + r.rng.Intn(3),
+		}
+	}
+	return out
+}
+
+// Laggard replays stale protocol state: it sends its genuine-looking
+// value but with a phase far behind every receiver, so correct algorithms
+// must ignore it. Useful for checking that stale messages are filtered.
+type Laggard struct {
+	Value float64
+}
+
+// Name implements Strategy.
+func (l Laggard) Name() string { return fmt.Sprintf("laggard(%g)", l.Value) }
+
+// Messages implements Strategy.
+func (l Laggard) Messages(round, self int, view View) []*core.Message {
+	return uniform(view.N(), core.Message{Value: l.Value, Phase: 0})
+}
+
+// Mimic copies the public state of a chosen fault-free node, making the
+// Byzantine node look perfectly honest — the null attack baseline.
+type Mimic struct {
+	Target int
+}
+
+// Name implements Strategy.
+func (m Mimic) Name() string { return fmt.Sprintf("mimic(%d)", m.Target) }
+
+// Messages implements Strategy.
+func (m Mimic) Messages(round, self int, view View) []*core.Message {
+	snap := view.Snapshot(m.Target)
+	return uniform(view.N(), core.Message{Value: snap.Value, Phase: snap.Phase})
+}

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"testing"
+
+	"anondyn/internal/core"
+)
+
+// testView is a fault.View with fixed snapshots.
+type testView []core.Snapshot
+
+func (v testView) N() int                       { return len(v) }
+func (v testView) Snapshot(i int) core.Snapshot { return v[i] }
+
+func flatView(n int) testView {
+	return make(testView, n)
+}
+
+func TestSilent(t *testing.T) {
+	msgs := Silent{}.Messages(0, 2, flatView(5))
+	if len(msgs) != 5 {
+		t.Fatalf("len = %d, want 5", len(msgs))
+	}
+	for i, m := range msgs {
+		if m != nil {
+			t.Errorf("receiver %d got a message from a silent node", i)
+		}
+	}
+}
+
+func TestExtremist(t *testing.T) {
+	msgs := Extremist{Value: 1}.Messages(3, 0, flatView(4))
+	for i, m := range msgs {
+		if m == nil {
+			t.Fatalf("receiver %d got nothing", i)
+		}
+		if m.Value != 1 {
+			t.Errorf("receiver %d value = %g, want 1", i, m.Value)
+		}
+		// The claimed phase must dominate any real phase so the value is
+		// always counted by DBAC's pj ≥ pi rule.
+		if m.Phase < 1<<20 {
+			t.Errorf("claimed phase %d too small to dominate", m.Phase)
+		}
+	}
+}
+
+func TestEquivocatorSplitsByHalf(t *testing.T) {
+	msgs := Equivocator{Low: 0, High: 1}.Messages(0, 0, flatView(6))
+	for i := 0; i < 3; i++ {
+		if msgs[i].Value != 0 {
+			t.Errorf("low receiver %d got %g", i, msgs[i].Value)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if msgs[i].Value != 1 {
+			t.Errorf("high receiver %d got %g", i, msgs[i].Value)
+		}
+	}
+}
+
+func TestSplitBrain(t *testing.T) {
+	s := SplitBrain{
+		InA:    func(r int) bool { return r%2 == 0 },
+		ValueA: 0.1,
+		ValueB: 0.9,
+	}
+	msgs := s.Messages(0, 1, flatView(4))
+	if msgs[0].Value != 0.1 || msgs[2].Value != 0.1 {
+		t.Error("A-receivers got the wrong face")
+	}
+	if msgs[1].Value != 0.9 || msgs[3].Value != 0.9 {
+		t.Error("B-receivers got the wrong face")
+	}
+	// nil InA means everyone sees ValueB.
+	all := SplitBrain{ValueA: 0.1, ValueB: 0.9}.Messages(0, 1, flatView(3))
+	for i, m := range all {
+		if m.Value != 0.9 {
+			t.Errorf("receiver %d = %g, want 0.9", i, m.Value)
+		}
+	}
+}
+
+func TestRandomNoiseDeterministicPerSeed(t *testing.T) {
+	a := NewRandomNoise(42)
+	b := NewRandomNoise(42)
+	view := flatView(5)
+	for round := 0; round < 3; round++ {
+		ma := a.Messages(round, 0, view)
+		mb := b.Messages(round, 0, view)
+		for i := range ma {
+			if ma[i].Value != mb[i].Value || ma[i].Phase != mb[i].Phase {
+				t.Fatalf("round %d receiver %d differs across same-seed instances", round, i)
+			}
+		}
+	}
+}
+
+func TestRandomNoiseValuesInRange(t *testing.T) {
+	r := NewRandomNoise(7)
+	view := make(testView, 6)
+	for i := range view {
+		view[i] = core.Snapshot{Phase: 3}
+	}
+	for round := 0; round < 10; round++ {
+		for i, m := range r.Messages(round, 0, view) {
+			if m.Value < 0 || m.Value > 1 {
+				t.Fatalf("receiver %d value %g outside [0,1]", i, m.Value)
+			}
+			if m.Phase < 3 || m.Phase > 5 {
+				t.Fatalf("receiver %d phase %d outside receiver+[0,2]", i, m.Phase)
+			}
+		}
+	}
+}
+
+func TestLaggard(t *testing.T) {
+	msgs := Laggard{Value: 0.3}.Messages(9, 0, flatView(3))
+	for _, m := range msgs {
+		if m.Phase != 0 || m.Value != 0.3 {
+			t.Errorf("laggard sent %v, want phase-0 0.3", m)
+		}
+	}
+}
+
+func TestMimic(t *testing.T) {
+	view := testView{
+		{Value: 0.7, Phase: 4},
+		{},
+	}
+	msgs := Mimic{Target: 0}.Messages(0, 1, view)
+	for _, m := range msgs {
+		if m.Value != 0.7 || m.Phase != 4 {
+			t.Errorf("mimic sent %v, want target's ⟨0.7, 4⟩", m)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	strategies := []Strategy{
+		Silent{}, Extremist{Value: 1}, Equivocator{Low: 0, High: 1},
+		SplitBrain{}, NewRandomNoise(1), Laggard{}, Mimic{Target: 2},
+	}
+	seen := make(map[string]bool)
+	for _, s := range strategies {
+		name := s.Name()
+		if name == "" {
+			t.Errorf("%T has empty name", s)
+		}
+		if seen[name] {
+			t.Errorf("duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,198 @@
+// Package network models the communication substrate of the anonymous
+// dynamic network (§II-A): directed per-round edge sets chosen by the
+// message adversary, receiver-local port numberings, dynamic-graph traces
+// and the (T, D)-dynaDegree stability property (Definition 1).
+package network
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// EdgeSet is one round's directed communication graph E(t) over nodes
+// [0, n). The model has no self-loops (self-delivery is reliable and
+// modeled inside the algorithms), so Add silently drops (u, u).
+//
+// The representation is a bitset row per source node; n is tiny compared
+// to round counts in every experiment, and the dynaDegree checker unions
+// thousands of these, so word-wise operations matter.
+type EdgeSet struct {
+	n     int
+	words int
+	out   []uint64 // out[u*words + w]: bitmap of u's outgoing neighbors
+}
+
+// NewEdgeSet returns an empty edge set over n nodes.
+func NewEdgeSet(n int) *EdgeSet {
+	if n < 1 {
+		panic(fmt.Sprintf("network: invalid node count %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	return &EdgeSet{n: n, words: w, out: make([]uint64, n*w)}
+}
+
+// N returns the number of nodes.
+func (e *EdgeSet) N() int { return e.n }
+
+// Add inserts the directed link u→v. Self-loops are ignored; out-of-range
+// endpoints panic (adversaries constructing edges out of range are bugs).
+func (e *EdgeSet) Add(u, v int) {
+	e.check(u)
+	e.check(v)
+	if u == v {
+		return
+	}
+	e.out[u*e.words+v/wordBits] |= 1 << (uint(v) % wordBits)
+}
+
+// Remove deletes the directed link u→v if present.
+func (e *EdgeSet) Remove(u, v int) {
+	e.check(u)
+	e.check(v)
+	e.out[u*e.words+v/wordBits] &^= 1 << (uint(v) % wordBits)
+}
+
+// Has reports whether the directed link u→v is present.
+func (e *EdgeSet) Has(u, v int) bool {
+	e.check(u)
+	e.check(v)
+	return e.out[u*e.words+v/wordBits]&(1<<(uint(v)%wordBits)) != 0
+}
+
+// OutNeighbors returns u's outgoing neighbors in ascending order.
+func (e *EdgeSet) OutNeighbors(u int) []int {
+	e.check(u)
+	var res []int
+	base := u * e.words
+	for w := 0; w < e.words; w++ {
+		bits := e.out[base+w]
+		for bits != 0 {
+			b := trailingZeros(bits)
+			res = append(res, w*wordBits+b)
+			bits &= bits - 1
+		}
+	}
+	return res
+}
+
+// InNeighbors returns v's incoming neighbors in ascending order.
+func (e *EdgeSet) InNeighbors(v int) []int {
+	e.check(v)
+	var res []int
+	for u := 0; u < e.n; u++ {
+		if e.Has(u, v) {
+			res = append(res, u)
+		}
+	}
+	return res
+}
+
+// InDegree returns the number of incoming links at v.
+func (e *EdgeSet) InDegree(v int) int {
+	e.check(v)
+	d := 0
+	for u := 0; u < e.n; u++ {
+		if e.Has(u, v) {
+			d++
+		}
+	}
+	return d
+}
+
+// OutDegree returns the number of outgoing links at u.
+func (e *EdgeSet) OutDegree(u int) int {
+	e.check(u)
+	d := 0
+	base := u * e.words
+	for w := 0; w < e.words; w++ {
+		d += popCount(e.out[base+w])
+	}
+	return d
+}
+
+// Len returns the total number of directed links.
+func (e *EdgeSet) Len() int {
+	total := 0
+	for _, w := range e.out {
+		total += popCount(w)
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (e *EdgeSet) Clone() *EdgeSet {
+	c := &EdgeSet{n: e.n, words: e.words, out: make([]uint64, len(e.out))}
+	copy(c.out, e.out)
+	return c
+}
+
+// UnionWith merges other's links into e in place. Both sets must share n.
+func (e *EdgeSet) UnionWith(other *EdgeSet) {
+	if other.n != e.n {
+		panic(fmt.Sprintf("network: union of mismatched sizes %d and %d", e.n, other.n))
+	}
+	for i, w := range other.out {
+		e.out[i] |= w
+	}
+}
+
+// IntersectWith keeps only the links present in both sets, in place.
+func (e *EdgeSet) IntersectWith(other *EdgeSet) {
+	if other.n != e.n {
+		panic(fmt.Sprintf("network: intersection of mismatched sizes %d and %d", e.n, other.n))
+	}
+	for i, w := range other.out {
+		e.out[i] &= w
+	}
+}
+
+// Equal reports structural equality.
+func (e *EdgeSet) Equal(other *EdgeSet) bool {
+	if other == nil || other.n != e.n {
+		return false
+	}
+	for i, w := range other.out {
+		if e.out[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Edges returns all directed links as (from, to) pairs in row order,
+// useful for traces and tests.
+func (e *EdgeSet) Edges() [][2]int {
+	res := make([][2]int, 0, e.Len())
+	for u := 0; u < e.n; u++ {
+		for _, v := range e.OutNeighbors(u) {
+			res = append(res, [2]int{u, v})
+		}
+	}
+	return res
+}
+
+// InBitsInto accumulates, into acc (length words), the bitmap of v's
+// incoming neighbors. Used by the dynaDegree checker to union windows
+// without allocating.
+func (e *EdgeSet) InBitsInto(v int, acc []uint64) {
+	e.check(v)
+	word := v / wordBits
+	bit := uint64(1) << (uint(v) % wordBits)
+	for u := 0; u < e.n; u++ {
+		if e.out[u*e.words+word]&bit != 0 {
+			acc[u/wordBits] |= 1 << (uint(u) % wordBits)
+		}
+	}
+}
+
+func (e *EdgeSet) check(v int) {
+	if v < 0 || v >= e.n {
+		panic(fmt.Sprintf("network: node %d out of range [0,%d)", v, e.n))
+	}
+}
+
+func popCount(x uint64) int { return bits.OnesCount64(x) }
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

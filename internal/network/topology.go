@@ -1,0 +1,96 @@
+package network
+
+import "fmt"
+
+// Static topology generators. These build the "base" communication graph
+// G(V, E) of §II-B — the capability graph when every link is reliable —
+// which adversaries then thin out round by round.
+
+// Complete returns the complete directed graph on n nodes (no self-loops).
+func Complete(n int) *EdgeSet {
+	e := NewEdgeSet(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				e.Add(u, v)
+			}
+		}
+	}
+	return e
+}
+
+// Ring returns the directed cycle 0→1→…→n−1→0.
+func Ring(n int) *EdgeSet {
+	e := NewEdgeSet(n)
+	for u := 0; u < n; u++ {
+		e.Add(u, (u+1)%n)
+	}
+	return e
+}
+
+// BidirectionalRing returns the cycle with links in both directions.
+func BidirectionalRing(n int) *EdgeSet {
+	e := NewEdgeSet(n)
+	for u := 0; u < n; u++ {
+		e.Add(u, (u+1)%n)
+		e.Add((u+1)%n, u)
+	}
+	return e
+}
+
+// Star returns the graph where the hub exchanges links with every other
+// node (hub→i and i→hub for all i ≠ hub).
+func Star(n, hub int) *EdgeSet {
+	if hub < 0 || hub >= n {
+		panic(fmt.Sprintf("network: hub %d out of range [0,%d)", hub, n))
+	}
+	e := NewEdgeSet(n)
+	for v := 0; v < n; v++ {
+		if v != hub {
+			e.Add(hub, v)
+			e.Add(v, hub)
+		}
+	}
+	return e
+}
+
+// InRegular returns a directed graph where every node has exactly d
+// incoming links, from the d cyclically-preceding nodes shifted by
+// offset. Varying offset between rounds makes the in-neighbor sets
+// rotate, which is how the rotating adversaries guarantee distinctness
+// across windows.
+func InRegular(n, d, offset int) *EdgeSet {
+	if d < 0 || d > n-1 {
+		panic(fmt.Sprintf("network: in-degree %d out of range [0,%d]", d, n-1))
+	}
+	e := NewEdgeSet(n)
+	for v := 0; v < n; v++ {
+		added := 0
+		for j := 1; added < d && j <= n; j++ {
+			u := (v + offset + j) % n
+			if u == v {
+				continue
+			}
+			e.Add(u, v)
+			added++
+		}
+	}
+	return e
+}
+
+// GroupComplete returns the graph whose links are exactly the complete
+// graphs within each listed group (no cross-group links). Used by the
+// impossibility constructions of Theorems 9 and 10.
+func GroupComplete(n int, groups ...[]int) *EdgeSet {
+	e := NewEdgeSet(n)
+	for _, g := range groups {
+		for _, u := range g {
+			for _, v := range g {
+				if u != v {
+					e.Add(u, v)
+				}
+			}
+		}
+	}
+	return e
+}

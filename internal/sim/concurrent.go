@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"sync"
+
+	"anondyn/internal/core"
+	"anondyn/internal/network"
+	"anondyn/internal/trace"
+	"anondyn/internal/wire"
+)
+
+// ConcurrentEngine executes the same synchronous-round semantics as
+// Engine with one goroutine per non-Byzantine node and a two-phase round
+// barrier (broadcast collection, then delivery processing). Per-node
+// delivery sequences are identical to the sequential engine's, so for
+// any configuration the two engines produce identical Results — the
+// equivalence tests assert it. Its purpose is twofold: it demonstrates
+// the algorithms are driven purely through the Process interface with no
+// hidden shared state, and it exercises them under the race detector.
+type ConcurrentEngine struct {
+	cfg       Config
+	maxRounds int
+	ports     network.Ports
+
+	round   int
+	view    *execView
+	snaps   []core.Snapshot
+	decided map[int]bool
+	result  Result
+
+	cmds    []chan nodeCmd
+	replies chan nodeReply
+	wg      sync.WaitGroup
+	started bool
+}
+
+type cmdKind int
+
+const (
+	cmdBroadcast cmdKind = iota + 1
+	cmdDeliver
+)
+
+type nodeCmd struct {
+	kind       cmdKind
+	deliveries []core.Delivery
+}
+
+type transition struct {
+	from, to int
+	value    float64
+}
+
+type nodeReply struct {
+	node        int
+	msg         core.Message
+	transitions []transition
+	output      float64
+	hasOutput   bool
+	snap        core.Snapshot
+}
+
+// NewConcurrentEngine validates the configuration and prepares the
+// goroutine-per-node execution. Call Close (or finish Run) to release
+// the workers.
+func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
+	maxRounds, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	ports := cfg.Ports
+	if ports == nil {
+		ports = network.IdentityPorts(cfg.N)
+	}
+	e := &ConcurrentEngine{
+		cfg:       cfg,
+		maxRounds: maxRounds,
+		ports:     ports,
+		snaps:     make([]core.Snapshot, cfg.N),
+		decided:   make(map[int]bool, cfg.N),
+		replies:   make(chan nodeReply, cfg.N),
+		cmds:      make([]chan nodeCmd, cfg.N),
+	}
+	e.view = newExecView(cfg)
+	e.result = Result{
+		Outputs:     make(map[int]float64, cfg.N),
+		DecideRound: make(map[int]int, cfg.N),
+		Inputs:      make(map[int]float64, cfg.N),
+		FaultFree:   cfg.FaultFree(),
+	}
+	for i, p := range cfg.Procs {
+		if p == nil {
+			continue
+		}
+		e.result.Inputs[i] = p.Value()
+		e.snaps[i] = core.Snap(p)
+		if v, ok := p.Output(); ok {
+			e.noteDecision(i, v, 0)
+		}
+	}
+	return e, nil
+}
+
+// Run executes rounds until all fault-free nodes decide or the budget is
+// exhausted, shuts the workers down, and returns the result.
+func (e *ConcurrentEngine) Run() *Result {
+	e.start()
+	for e.round < e.maxRounds && !e.allDecided() {
+		e.step()
+	}
+	e.Close()
+	e.result.Rounds = e.round
+	e.result.Decided = e.allDecided()
+	return &e.result
+}
+
+// Close terminates the worker goroutines. Idempotent.
+func (e *ConcurrentEngine) Close() {
+	if !e.started {
+		return
+	}
+	for i, ch := range e.cmds {
+		if ch != nil {
+			close(ch)
+			e.cmds[i] = nil
+		}
+	}
+	e.wg.Wait()
+	e.started = false
+}
+
+func (e *ConcurrentEngine) start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	for i := 0; i < e.cfg.N; i++ {
+		if _, byz := e.cfg.Byzantine[i]; byz {
+			continue
+		}
+		ch := make(chan nodeCmd, 1)
+		e.cmds[i] = ch
+		e.wg.Add(1)
+		go e.worker(i, e.cfg.Procs[i], ch)
+	}
+}
+
+// worker owns one Process: all algorithm calls for the node happen on
+// this goroutine, mirroring a real deployment where each device runs its
+// own protocol stack.
+func (e *ConcurrentEngine) worker(node int, proc core.Process, cmds <-chan nodeCmd) {
+	defer e.wg.Done()
+	for cmd := range cmds {
+		switch cmd.kind {
+		case cmdBroadcast:
+			e.replies <- nodeReply{node: node, msg: proc.Broadcast()}
+		case cmdDeliver:
+			var trs []transition
+			for _, d := range cmd.deliveries {
+				before := proc.Phase()
+				proc.Deliver(d)
+				if after := proc.Phase(); after != before {
+					trs = append(trs, transition{from: before, to: after, value: proc.Value()})
+				}
+			}
+			proc.EndRound()
+			out, ok := proc.Output()
+			e.replies <- nodeReply{
+				node: node, transitions: trs,
+				output: out, hasOutput: ok, snap: core.Snap(proc),
+			}
+		}
+	}
+}
+
+func (e *ConcurrentEngine) step() {
+	t := e.round
+
+	// (1) Start-of-round view for the adversary and Byzantine nodes,
+	// from the snapshots gathered at the end of the previous round.
+	for i := 0; i < e.cfg.N; i++ {
+		if _, byz := e.cfg.Byzantine[i]; byz {
+			e.view.snaps[i] = core.Snapshot{Byzantine: true}
+			continue
+		}
+		s := e.snaps[i]
+		s.Crashed = !e.cfg.Crashes.Alive(t, i)
+		e.view.snaps[i] = s
+	}
+	e.view.round = t
+
+	edges := e.cfg.Adversary.Edges(t, e.view)
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindRound, Round: t, Edges: edges.Edges()})
+	}
+	if e.cfg.KeepTrace {
+		e.result.Trace = append(e.result.Trace, edges.Clone())
+	}
+
+	byzMsgs := make(map[int][]*core.Message, len(e.cfg.Byzantine))
+	for i, strat := range e.cfg.Byzantine {
+		byzMsgs[i] = strat.Messages(t, i, e.view)
+	}
+
+	// (2) Broadcast barrier.
+	broadcasts := make([]core.Message, e.cfg.N)
+	hasBcast := make([]bool, e.cfg.N)
+	pending := 0
+	for i := 0; i < e.cfg.N; i++ {
+		if e.cmds[i] == nil || !e.cfg.Crashes.Alive(t, i) {
+			continue
+		}
+		e.cmds[i] <- nodeCmd{kind: cmdBroadcast}
+		pending++
+	}
+	for ; pending > 0; pending-- {
+		r := <-e.replies
+		broadcasts[r.node] = r.msg
+		hasBcast[r.node] = true
+	}
+	if e.cfg.Recorder != nil {
+		for i := 0; i < e.cfg.N; i++ {
+			if hasBcast[i] {
+				e.cfg.Recorder.Record(trace.Event{
+					Kind: trace.KindBroadcast, Round: t, Node: i,
+					Value: broadcasts[i].Value, Phase: broadcasts[i].Phase,
+				})
+			}
+			if c, ok := e.cfg.Crashes[i]; ok && c.Round == t {
+				e.cfg.Recorder.Record(trace.Event{Kind: trace.KindCrash, Round: t, Node: i})
+			}
+		}
+	}
+
+	// (3) Build per-receiver delivery sequences (identical order to the
+	// sequential engine: ascending port).
+	for v := 0; v < e.cfg.N; v++ {
+		if e.cmds[v] == nil || !e.cfg.Crashes.FullyAlive(t, v) {
+			continue
+		}
+		var ds []core.Delivery
+		numbering := e.ports[v]
+		for port := 0; port < e.cfg.N; port++ {
+			u := numbering.Node(port)
+			if u == v || !edges.Has(u, v) {
+				continue
+			}
+			var m core.Message
+			if msgs, byz := byzMsgs[u]; byz {
+				if msgs[v] == nil {
+					continue
+				}
+				m = *msgs[v]
+			} else {
+				if !hasBcast[u] {
+					continue
+				}
+				if c, ok := e.cfg.Crashes[u]; ok && c.Round == t && !c.AllowsFinalDelivery(v) {
+					continue
+				}
+				m = broadcasts[u]
+			}
+			if cap := e.cfg.linkCap(u, v); cap > 0 && wire.Size(m) > cap {
+				e.result.MessagesOversized++
+				continue
+			}
+			ds = append(ds, core.Delivery{Port: port, Msg: m})
+		}
+		if e.cfg.ShuffleDelivery {
+			shuffleDeliveries(ds, e.cfg.ShuffleSeed, t, v)
+		}
+		e.result.MessagesDelivered += len(ds)
+		if e.cfg.AccountBandwidth {
+			for _, d := range ds {
+				e.result.BytesDelivered += wire.Size(d.Msg)
+			}
+		}
+		if e.cfg.Recorder != nil {
+			for _, d := range ds {
+				e.cfg.Recorder.Record(trace.Event{
+					Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
+					Value: d.Msg.Value, Phase: d.Msg.Phase,
+				})
+			}
+		}
+		e.cmds[v] <- nodeCmd{kind: cmdDeliver, deliveries: ds}
+		pending++
+	}
+
+	// (4) Delivery barrier: collect replies, then apply callbacks in
+	// ascending node order for deterministic observer streams.
+	replies := make([]*nodeReply, e.cfg.N)
+	for ; pending > 0; pending-- {
+		r := <-e.replies
+		rr := r
+		replies[r.node] = &rr
+	}
+	for v := 0; v < e.cfg.N; v++ {
+		r := replies[v]
+		if r == nil {
+			continue
+		}
+		e.snaps[v] = r.snap
+		for _, tr := range r.transitions {
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.OnPhaseEnter(v, tr.from, tr.to, tr.value, t)
+			}
+			if e.cfg.Recorder != nil {
+				e.cfg.Recorder.Record(trace.Event{
+					Kind: trace.KindPhase, Round: t, Node: v,
+					FromPhase: tr.from, Phase: tr.to, Value: tr.value,
+				})
+			}
+		}
+		if r.hasOutput {
+			e.noteDecision(v, r.output, t)
+		}
+	}
+
+	// Adversary-suppressed message accounting (alive sender, no link).
+	for u := 0; u < e.cfg.N; u++ {
+		if _, byz := e.cfg.Byzantine[u]; !byz && !e.cfg.Crashes.Alive(t, u) {
+			continue
+		}
+		e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
+	}
+
+	if ro, ok := e.cfg.Observer.(RoundObserver); ok {
+		values := make(map[int]float64, e.cfg.N)
+		for i := 0; i < e.cfg.N; i++ {
+			if e.cmds[i] == nil || !e.cfg.Crashes.Alive(t+1, i) {
+				continue
+			}
+			values[i] = e.snaps[i].Value
+		}
+		ro.OnRoundEnd(t, values)
+	}
+
+	e.round++
+}
+
+func (e *ConcurrentEngine) noteDecision(node int, v float64, round int) {
+	if e.decided[node] {
+		return
+	}
+	e.decided[node] = true
+	e.result.Outputs[node] = v
+	e.result.DecideRound[node] = round
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnDecide(node, v, round)
+	}
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindDecide, Round: round, Node: node, Value: v})
+	}
+}
+
+func (e *ConcurrentEngine) allDecided() bool {
+	for _, i := range e.result.FaultFree {
+		if !e.decided[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"anondyn/internal/core"
+	"anondyn/internal/network"
+	"anondyn/internal/trace"
+	"anondyn/internal/wire"
+)
+
+// Engine is the deterministic sequential executor. One instance runs one
+// execution; it is not safe for concurrent use.
+type Engine struct {
+	cfg       Config
+	maxRounds int
+	ports     network.Ports
+
+	round   int
+	view    *execView
+	decided map[int]bool
+	result  Result
+
+	// scratch reused across rounds
+	broadcasts  []core.Message
+	hasBcast    []bool
+	byzMsgs     map[int][]*core.Message
+	deliveries  []core.Delivery
+	roundValues map[int]float64
+}
+
+// NewEngine validates the configuration and prepares an execution.
+func NewEngine(cfg Config) (*Engine, error) {
+	maxRounds, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	ports := cfg.Ports
+	if ports == nil {
+		ports = network.IdentityPorts(cfg.N)
+	}
+	e := &Engine{
+		cfg:        cfg,
+		maxRounds:  maxRounds,
+		ports:      ports,
+		decided:    make(map[int]bool, cfg.N),
+		broadcasts: make([]core.Message, cfg.N),
+		hasBcast:   make([]bool, cfg.N),
+		byzMsgs:    make(map[int][]*core.Message, len(cfg.Byzantine)),
+	}
+	e.view = newExecView(cfg)
+	e.result = Result{
+		Outputs:     make(map[int]float64, cfg.N),
+		DecideRound: make(map[int]int, cfg.N),
+		Inputs:      make(map[int]float64, cfg.N),
+		FaultFree:   cfg.FaultFree(),
+	}
+	for i, p := range cfg.Procs {
+		if p != nil {
+			e.result.Inputs[i] = p.Value()
+		}
+	}
+	// A degenerate network (or pEnd = 0) can decide at construction.
+	for i, p := range cfg.Procs {
+		if p != nil {
+			e.noteDecision(i, p, 0)
+		}
+	}
+	return e, nil
+}
+
+// Run executes rounds until every fault-free node has decided or the
+// round budget is exhausted, and returns the result.
+func (e *Engine) Run() *Result {
+	for e.round < e.maxRounds && !e.allDecided() {
+		e.Step()
+	}
+	e.result.Rounds = e.round
+	e.result.Decided = e.allDecided()
+	return &e.result
+}
+
+// RunRounds executes exactly k further rounds (regardless of decisions)
+// and returns the running result. Useful for convergence measurements
+// that outlive the first decision.
+func (e *Engine) RunRounds(k int) *Result {
+	for i := 0; i < k; i++ {
+		e.Step()
+	}
+	e.result.Rounds = e.round
+	e.result.Decided = e.allDecided()
+	return &e.result
+}
+
+// Round returns the number of rounds executed so far.
+func (e *Engine) Round() int { return e.round }
+
+// Proc exposes a node's Process for inspection (nil for Byzantine IDs).
+func (e *Engine) Proc(i int) core.Process { return e.cfg.Procs[i] }
+
+// Step executes one synchronous round.
+func (e *Engine) Step() {
+	t := e.round
+	e.view.refresh(t)
+
+	// (1) The adversary chooses E(t) (it may read start-of-round state).
+	edges := e.cfg.Adversary.Edges(t, e.view)
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindRound, Round: t, Edges: edges.Edges()})
+	}
+	if e.cfg.KeepTrace {
+		e.result.Trace = append(e.result.Trace, edges.Clone())
+	}
+
+	// (2) Broadcasts. Crash-scheduled nodes still broadcast in their
+	// crash round (possibly reaching only a subset); Byzantine nodes
+	// produce per-receiver messages.
+	for i := 0; i < e.cfg.N; i++ {
+		e.hasBcast[i] = false
+		if strat, byz := e.cfg.Byzantine[i]; byz {
+			e.byzMsgs[i] = strat.Messages(t, i, e.view)
+			continue
+		}
+		if !e.cfg.Crashes.Alive(t, i) {
+			continue
+		}
+		e.broadcasts[i] = e.cfg.Procs[i].Broadcast()
+		e.hasBcast[i] = true
+		if e.cfg.Recorder != nil {
+			m := e.broadcasts[i]
+			e.cfg.Recorder.Record(trace.Event{
+				Kind: trace.KindBroadcast, Round: t, Node: i, Value: m.Value, Phase: m.Phase,
+			})
+		}
+		if c, ok := e.cfg.Crashes[i]; ok && c.Round == t && e.cfg.Recorder != nil {
+			e.cfg.Recorder.Record(trace.Event{Kind: trace.KindCrash, Round: t, Node: i})
+		}
+	}
+
+	// (3) Deliveries, per receiver in node order, per sender in the
+	// receiver's port order — fully deterministic.
+	for v := 0; v < e.cfg.N; v++ {
+		if _, byz := e.cfg.Byzantine[v]; byz {
+			continue
+		}
+		// A node receives in round t only if it survives the whole
+		// round: its crash round delivers nothing to it.
+		if !e.cfg.Crashes.FullyAlive(t, v) {
+			continue
+		}
+		e.deliveries = e.deliveries[:0]
+		numbering := e.ports[v]
+		for port := 0; port < e.cfg.N; port++ {
+			u := numbering.Node(port)
+			if u == v || !edges.Has(u, v) {
+				continue
+			}
+			m, ok := e.outgoing(t, u, v)
+			if !ok {
+				continue // sender silent towards v (crashed, partial, or Byzantine nil)
+			}
+			if cap := e.cfg.linkCap(u, v); cap > 0 && wire.Size(m) > cap {
+				e.result.MessagesOversized++
+				continue // the link cannot carry a message this large
+			}
+			e.deliveries = append(e.deliveries, core.Delivery{Port: port, Msg: m})
+		}
+		if e.cfg.ShuffleDelivery {
+			shuffleDeliveries(e.deliveries, e.cfg.ShuffleSeed, t, v)
+		}
+		e.result.MessagesDelivered += len(e.deliveries)
+		proc := e.cfg.Procs[v]
+		for _, d := range e.deliveries {
+			if e.cfg.AccountBandwidth {
+				e.result.BytesDelivered += wire.Size(d.Msg)
+			}
+			if e.cfg.Recorder != nil {
+				e.cfg.Recorder.Record(trace.Event{
+					Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
+					Value: d.Msg.Value, Phase: d.Msg.Phase,
+				})
+			}
+			before := proc.Phase()
+			proc.Deliver(d)
+			if after := proc.Phase(); after != before {
+				e.notePhase(v, before, after, proc.Value(), t)
+			}
+		}
+		proc.EndRound()
+		e.noteDecision(v, proc, t)
+	}
+
+	// Count adversary-suppressed messages: alive sender, no link.
+	for u := 0; u < e.cfg.N; u++ {
+		if !e.aliveSender(t, u) {
+			continue
+		}
+		e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
+	}
+
+	e.notifyRoundEnd(t)
+	e.round++
+}
+
+// notifyRoundEnd feeds the optional RoundObserver extension.
+func (e *Engine) notifyRoundEnd(t int) {
+	ro, ok := e.cfg.Observer.(RoundObserver)
+	if !ok {
+		return
+	}
+	if e.roundValues == nil {
+		e.roundValues = make(map[int]float64, e.cfg.N)
+	}
+	for k := range e.roundValues {
+		delete(e.roundValues, k)
+	}
+	for i, p := range e.cfg.Procs {
+		if p == nil || !e.cfg.Crashes.Alive(t+1, i) {
+			continue
+		}
+		e.roundValues[i] = p.Value()
+	}
+	ro.OnRoundEnd(t, e.roundValues)
+}
+
+// outgoing resolves the message sender u directs at receiver v in round
+// t, honoring Byzantine per-receiver choice and crash partial delivery.
+func (e *Engine) outgoing(t, u, v int) (core.Message, bool) {
+	if msgs, byz := e.byzMsgs[u]; byz {
+		if _, isByz := e.cfg.Byzantine[u]; isByz {
+			if m := msgs[v]; m != nil {
+				return *m, true
+			}
+			return core.Message{}, false
+		}
+	}
+	if !e.hasBcast[u] {
+		return core.Message{}, false
+	}
+	if c, ok := e.cfg.Crashes[u]; ok && c.Round == t && !c.AllowsFinalDelivery(v) {
+		return core.Message{}, false
+	}
+	return e.broadcasts[u], true
+}
+
+func (e *Engine) aliveSender(t, u int) bool {
+	if _, byz := e.cfg.Byzantine[u]; byz {
+		return true
+	}
+	return e.cfg.Crashes.Alive(t, u)
+}
+
+func (e *Engine) notePhase(node, from, to int, value float64, round int) {
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnPhaseEnter(node, from, to, value, round)
+	}
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(trace.Event{
+			Kind: trace.KindPhase, Round: round, Node: node,
+			FromPhase: from, Phase: to, Value: value,
+		})
+	}
+}
+
+func (e *Engine) noteDecision(node int, proc core.Process, round int) {
+	if e.decided[node] {
+		return
+	}
+	v, ok := proc.Output()
+	if !ok {
+		return
+	}
+	e.decided[node] = true
+	e.result.Outputs[node] = v
+	e.result.DecideRound[node] = round
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnDecide(node, v, round)
+	}
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindDecide, Round: round, Node: node, Value: v})
+	}
+}
+
+func (e *Engine) allDecided() bool {
+	for _, i := range e.result.FaultFree {
+		if !e.decided[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"anondyn/internal/adversary"
+	"anondyn/internal/fault"
+	"anondyn/internal/network"
+)
+
+// buildPair constructs two identical configurations (fresh Process
+// instances, fresh adversaries from the same factory) for the two
+// engines.
+func buildPair(t *testing.T, mk func() Config) (Config, Config) {
+	t.Helper()
+	return mk(), mk()
+}
+
+// assertSameResult compares everything that must match between engines.
+func assertSameResult(t *testing.T, seq, conc *Result) {
+	t.Helper()
+	if seq.Decided != conc.Decided {
+		t.Fatalf("Decided: seq %v, conc %v", seq.Decided, conc.Decided)
+	}
+	if seq.Rounds != conc.Rounds {
+		t.Errorf("Rounds: seq %d, conc %d", seq.Rounds, conc.Rounds)
+	}
+	if !reflect.DeepEqual(seq.Outputs, conc.Outputs) {
+		t.Errorf("Outputs differ:\nseq  %v\nconc %v", seq.Outputs, conc.Outputs)
+	}
+	if !reflect.DeepEqual(seq.DecideRound, conc.DecideRound) {
+		t.Errorf("DecideRound differ:\nseq  %v\nconc %v", seq.DecideRound, conc.DecideRound)
+	}
+	if seq.MessagesDelivered != conc.MessagesDelivered {
+		t.Errorf("MessagesDelivered: seq %d, conc %d", seq.MessagesDelivered, conc.MessagesDelivered)
+	}
+	if seq.MessagesLost != conc.MessagesLost {
+		t.Errorf("MessagesLost: seq %d, conc %d", seq.MessagesLost, conc.MessagesLost)
+	}
+	if seq.MessagesOversized != conc.MessagesOversized {
+		t.Errorf("MessagesOversized: seq %d, conc %d", seq.MessagesOversized, conc.MessagesOversized)
+	}
+	if seq.BytesDelivered != conc.BytesDelivered {
+		t.Errorf("BytesDelivered: seq %d, conc %d", seq.BytesDelivered, conc.BytesDelivered)
+	}
+}
+
+func runBoth(t *testing.T, mk func() Config) (*Result, *Result) {
+	t.Helper()
+	seqCfg, concCfg := buildPair(t, mk)
+	seqEng, err := NewEngine(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := seqEng.Run()
+	concEng, err := NewConcurrentEngine(concCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc := concEng.Run()
+	return seq, conc
+}
+
+func TestEquivalenceDACRotating(t *testing.T) {
+	mk := func() Config {
+		rot, err := adversary.NewRotating(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			N:                7,
+			Procs:            dacProcs(t, 7, 10, spread(7)),
+			Adversary:        rot,
+			AccountBandwidth: true,
+		}
+	}
+	seq, conc := runBoth(t, mk)
+	assertSameResult(t, seq, conc)
+	if !seq.Decided {
+		t.Error("scenario never decided — equivalence test vacuous")
+	}
+}
+
+func TestEquivalenceDACCrashesRandomPorts(t *testing.T) {
+	mk := func() Config {
+		rd, err := adversary.NewRandomDegree(2, 3, 0.1, 4242)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			N:     7,
+			F:     2,
+			Procs: dacProcs(t, 7, 8, spread(7)),
+			Crashes: fault.Schedule{
+				2: fault.CrashPartial(3, 0, 5),
+				5: fault.CrashSilent(6),
+			},
+			Adversary: rd,
+			Ports:     network.RandomPorts(7, newRand(17)),
+		}
+	}
+	seq, conc := runBoth(t, mk)
+	assertSameResult(t, seq, conc)
+	if !seq.Decided {
+		t.Error("scenario never decided — equivalence test vacuous")
+	}
+}
+
+func TestEquivalenceDBACByzantine(t *testing.T) {
+	mk := func() Config {
+		byz := map[int]fault.Strategy{
+			3:  fault.Equivocator{Low: 0, High: 1},
+			10: fault.NewRandomNoise(555),
+		}
+		return Config{
+			N:         11,
+			F:         2,
+			Procs:     dbacProcs(t, 11, 2, 10, spread(11), byz),
+			Byzantine: byz,
+			Adversary: adversary.NewComplete(),
+		}
+	}
+	seq, conc := runBoth(t, mk)
+	assertSameResult(t, seq, conc)
+	if !seq.Decided {
+		t.Error("scenario never decided — equivalence test vacuous")
+	}
+}
+
+func TestEquivalenceAdaptiveClustered(t *testing.T) {
+	mk := func() Config {
+		cl, err := adversary.NewClustered(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			N:         9,
+			Procs:     dacProcs(t, 9, 6, spread(9)),
+			Adversary: cl,
+			MaxRounds: 400,
+		}
+	}
+	seq, conc := runBoth(t, mk)
+	assertSameResult(t, seq, conc)
+	if !seq.Decided {
+		t.Error("scenario never decided — equivalence test vacuous")
+	}
+}
+
+func TestEquivalenceUndecidedRun(t *testing.T) {
+	mk := func() Config {
+		halves, err := adversary.NewHalves(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			N:         6,
+			Procs:     dacProcs(t, 6, 4, spread(6)),
+			Adversary: halves,
+			MaxRounds: 40,
+		}
+	}
+	seq, conc := runBoth(t, mk)
+	assertSameResult(t, seq, conc)
+	if seq.Decided {
+		t.Error("split scenario should not decide")
+	}
+}
+
+// observerLog records callbacks for cross-engine comparison. Within a
+// round the concurrent engine groups transitions by node, so we compare
+// per-node sequences, which must match exactly.
+type observerLog struct {
+	phases  map[int][]int
+	decides map[int]float64
+}
+
+func newObserverLog() *observerLog {
+	return &observerLog{phases: make(map[int][]int), decides: make(map[int]float64)}
+}
+
+func (o *observerLog) OnPhaseEnter(node, from, to int, value float64, round int) {
+	o.phases[node] = append(o.phases[node], from, to, round)
+}
+
+func (o *observerLog) OnDecide(node int, value float64, round int) {
+	o.decides[node] = value
+}
+
+func TestEquivalenceObserverStreams(t *testing.T) {
+	mkWith := func(obs Observer) Config {
+		rot, err := adversary.NewRotating(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			N:         9,
+			Procs:     dacProcs(t, 9, 6, spread(9)),
+			Adversary: rot,
+			Observer:  obs,
+		}
+	}
+	seqObs, concObs := newObserverLog(), newObserverLog()
+	seqEng, err := NewEngine(mkWith(seqObs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqEng.Run()
+	concEng, err := NewConcurrentEngine(mkWith(concObs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	concEng.Run()
+	if !reflect.DeepEqual(seqObs.phases, concObs.phases) {
+		t.Error("per-node phase transition streams differ between engines")
+	}
+	if !reflect.DeepEqual(seqObs.decides, concObs.decides) {
+		t.Error("decide callbacks differ between engines")
+	}
+}
+
+func TestConcurrentEngineNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		cfg := Config{
+			N:         7,
+			Procs:     dacProcs(t, 7, 5, spread(7)),
+			Adversary: adversary.NewComplete(),
+		}
+		eng, err := NewConcurrentEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := eng.Run(); !res.Decided {
+			t.Fatal("undecided")
+		}
+	}
+	// Give exiting workers a moment, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after — workers leaked", before, runtime.NumGoroutine())
+}
+
+func TestConcurrentEngineCloseIdempotent(t *testing.T) {
+	cfg := Config{
+		N:         3,
+		Procs:     dacProcs(t, 3, 2, []float64{0, 0.5, 1}),
+		Adversary: adversary.NewComplete(),
+	}
+	eng, err := NewConcurrentEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if !res.Decided {
+		t.Error("undecided")
+	}
+	eng.Close()
+	eng.Close()
+}
+
+func TestConcurrentMatchesTheoreticalContraction(t *testing.T) {
+	// Concurrent engine, complete graph: same optimal-rate result as the
+	// sequential engine’s Theorem 3 behavior.
+	cfg := Config{
+		N:         9,
+		Procs:     dacProcs(t, 9, 10, spread(9)),
+		Adversary: adversary.NewComplete(),
+	}
+	eng, err := NewConcurrentEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if !res.Decided || res.Rounds != 10 {
+		t.Fatalf("rounds = %d decided = %v, want 10, true", res.Rounds, res.Decided)
+	}
+	if res.OutputRange() > math.Pow(0.5, 10) {
+		t.Errorf("range %g exceeds (1/2)^10", res.OutputRange())
+	}
+}

@@ -1,0 +1,6 @@
+package sim
+
+import "math/rand"
+
+// newRand returns a deterministic RNG for test port numberings.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

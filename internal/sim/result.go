@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+
+	"anondyn/internal/network"
+)
+
+// Result summarizes one execution.
+type Result struct {
+	// Rounds is the number of rounds executed (the run stops as soon as
+	// every fault-free node has decided, or at MaxRounds).
+	Rounds int
+	// Decided reports whether every fault-free node produced an output
+	// within the round budget.
+	Decided bool
+	// Outputs maps node ID → output for every non-Byzantine node that
+	// decided (crash-scheduled nodes may decide before crashing and then
+	// appear here too).
+	Outputs map[int]float64
+	// DecideRound maps node ID → the round in which it decided.
+	DecideRound map[int]int
+	// Inputs maps node ID → initial value for every non-Byzantine node
+	// (captured at engine construction; used by the validity checker).
+	Inputs map[int]float64
+	// FaultFree is the set H of the execution.
+	FaultFree []int
+
+	// MessagesDelivered counts messages actually delivered over E(t)
+	// links (self-deliveries are internal to the algorithms and not
+	// counted); MessagesLost counts messages suppressed by the adversary
+	// (sender alive, link absent).
+	MessagesDelivered int
+	MessagesLost      int
+	// MessagesOversized counts messages dropped by the per-link
+	// bandwidth budget (Config.MaxMessageBytes).
+	MessagesOversized int
+	// BytesDelivered is the wire-format volume of delivered messages
+	// when Config.AccountBandwidth is set.
+	BytesDelivered int
+
+	// Trace holds E(t) per round when Config.KeepTrace is set.
+	Trace network.Trace
+}
+
+// OutputRange returns max−min over the fault-free outputs, the quantity
+// ε-agreement bounds. Nodes that did not decide make the range +Inf.
+func (r *Result) OutputRange() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, node := range r.FaultFree {
+		v, ok := r.Outputs[node]
+		if !ok {
+			return math.Inf(1)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0 // no fault-free nodes: vacuous
+	}
+	return hi - lo
+}
+
+// EpsAgreement reports whether the fault-free outputs are within eps of
+// each other (Definition 3(iii)).
+func (r *Result) EpsAgreement(eps float64) bool { return r.OutputRange() <= eps }
+
+// Valid reports Definition 3(ii): every fault-free output lies within
+// the convex hull of the non-Byzantine inputs.
+func (r *Result) Valid() bool {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range r.Inputs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if len(r.Inputs) == 0 {
+		return true
+	}
+	const slack = 1e-12 // floating-point midpoints can graze the hull edge
+	for _, node := range r.FaultFree {
+		v, ok := r.Outputs[node]
+		if !ok {
+			continue
+		}
+		if v < lo-slack || v > hi+slack {
+			return false
+		}
+	}
+	return true
+}

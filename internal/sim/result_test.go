@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResultOutputRange(t *testing.T) {
+	r := Result{
+		FaultFree: []int{0, 1, 2},
+		Outputs:   map[int]float64{0: 0.2, 1: 0.5, 2: 0.4},
+	}
+	if got := r.OutputRange(); math.Abs(got-0.3) > 1e-15 {
+		t.Errorf("range = %g, want 0.3", got)
+	}
+	if !r.EpsAgreement(0.3) {
+		t.Error("EpsAgreement(0.3) = false at range 0.3")
+	}
+	if r.EpsAgreement(0.29) {
+		t.Error("EpsAgreement(0.29) = true at range 0.3")
+	}
+}
+
+func TestResultOutputRangeUndecided(t *testing.T) {
+	r := Result{
+		FaultFree: []int{0, 1},
+		Outputs:   map[int]float64{0: 0.2},
+	}
+	if !math.IsInf(r.OutputRange(), 1) {
+		t.Error("missing output should make the range +Inf")
+	}
+	if r.EpsAgreement(10) {
+		t.Error("ε-agreement with an undecided node")
+	}
+}
+
+func TestResultOutputRangeNoFaultFree(t *testing.T) {
+	r := Result{}
+	if got := r.OutputRange(); got != 0 {
+		t.Errorf("vacuous range = %g, want 0", got)
+	}
+}
+
+func TestResultValid(t *testing.T) {
+	r := Result{
+		FaultFree: []int{0, 1},
+		Inputs:    map[int]float64{0: 0.2, 1: 0.8, 2: 0.5},
+		Outputs:   map[int]float64{0: 0.2, 1: 0.8},
+	}
+	if !r.Valid() {
+		t.Error("hull-boundary outputs rejected")
+	}
+	r.Outputs[1] = 0.81
+	if r.Valid() {
+		t.Error("output above the hull accepted")
+	}
+	r.Outputs[1] = 0.8
+	r.Outputs[0] = 0.19
+	if r.Valid() {
+		t.Error("output below the hull accepted")
+	}
+}
+
+func TestResultValidIgnoresUndecided(t *testing.T) {
+	r := Result{
+		FaultFree: []int{0, 1},
+		Inputs:    map[int]float64{0: 0.4, 1: 0.6},
+		Outputs:   map[int]float64{0: 0.5},
+	}
+	if !r.Valid() {
+		t.Error("undecided node should not break validity")
+	}
+}
+
+func TestResultValidEmptyInputs(t *testing.T) {
+	r := Result{FaultFree: []int{0}, Outputs: map[int]float64{0: 0.5}}
+	if !r.Valid() {
+		t.Error("no recorded inputs: validity is vacuous")
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"anondyn/internal/adversary"
+	"anondyn/internal/fault"
+	"anondyn/internal/network"
+)
+
+// TestAdversarySeesMonotonicRounds: the engines must consult the
+// adversary exactly once per round with strictly increasing round
+// numbers — stateful adversaries (RandomDegree, Probabilistic) rely on
+// it.
+func TestAdversarySeesMonotonicRounds(t *testing.T) {
+	var rounds []int
+	spy := adversaryFunc(func(round int, view adversary.View) *network.EdgeSet {
+		rounds = append(rounds, round)
+		return network.Complete(view.N())
+	})
+	cfg := Config{
+		N:         5,
+		Procs:     dacProcs(t, 5, 4, spread(5)),
+		Adversary: spy,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if len(rounds) != res.Rounds {
+		t.Fatalf("adversary consulted %d times for %d rounds", len(rounds), res.Rounds)
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("round sequence broken at index %d: got %d", i, r)
+		}
+	}
+}
+
+// TestRoundObserverValues: the optional per-round hook sees exactly the
+// running (non-crashed, non-Byzantine) nodes with their post-round
+// values.
+type roundSpy struct {
+	observerLog
+	perRound []map[int]float64
+}
+
+func (r *roundSpy) OnRoundEnd(round int, values map[int]float64) {
+	cp := make(map[int]float64, len(values))
+	for k, v := range values {
+		cp[k] = v
+	}
+	r.perRound = append(r.perRound, cp)
+}
+
+func TestRoundObserverValues(t *testing.T) {
+	n := 5
+	spy := &roundSpy{observerLog: *newObserverLog()}
+	cfg := Config{
+		N:         n,
+		F:         2,
+		Procs:     dacProcs(t, n, 4, spread(n)),
+		Crashes:   fault.Schedule{1: fault.CrashAt(1)},
+		Adversary: adversary.NewComplete(),
+		Observer:  spy,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunRounds(3)
+	if len(spy.perRound) != 3 {
+		t.Fatalf("round hook fired %d times, want 3", len(spy.perRound))
+	}
+	// Round 0: everyone running.
+	if len(spy.perRound[0]) != n {
+		t.Errorf("round 0 values = %d nodes, want %d", len(spy.perRound[0]), n)
+	}
+	// Round 1 onwards: node 1 is gone.
+	for r := 1; r < 3; r++ {
+		if _, ok := spy.perRound[r][1]; ok {
+			t.Errorf("round %d still reports the crashed node", r)
+		}
+		if len(spy.perRound[r]) != n-1 {
+			t.Errorf("round %d values = %d nodes, want %d", r, len(spy.perRound[r]), n-1)
+		}
+	}
+}

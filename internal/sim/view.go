@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"anondyn/internal/core"
+)
+
+// execView is the start-of-round state window handed to adversaries and
+// Byzantine strategies. It satisfies both adversary.View and fault.View
+// (structurally identical interfaces).
+type execView struct {
+	cfg   *Config
+	round int
+	snaps []core.Snapshot
+}
+
+func newExecView(cfg Config) *execView {
+	v := &execView{snaps: make([]core.Snapshot, cfg.N)}
+	v.cfg = &cfg
+	return v
+}
+
+// refresh captures every node's public state at the start of round t.
+// Crashed nodes keep their last observed value/phase with Crashed set;
+// Byzantine nodes expose only the Byzantine flag (their "state" is
+// whatever they choose to claim).
+func (v *execView) refresh(t int) {
+	v.round = t
+	for i := 0; i < v.cfg.N; i++ {
+		if _, byz := v.cfg.Byzantine[i]; byz {
+			v.snaps[i] = core.Snapshot{Byzantine: true}
+			continue
+		}
+		p := v.cfg.Procs[i]
+		s := core.Snap(p)
+		s.Crashed = !v.cfg.Crashes.Alive(t, i)
+		v.snaps[i] = s
+	}
+}
+
+// N implements adversary.View and fault.View.
+func (v *execView) N() int { return v.cfg.N }
+
+// Snapshot implements adversary.View and fault.View.
+func (v *execView) Snapshot(i int) core.Snapshot { return v.snaps[i] }

@@ -1,0 +1,302 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"anondyn/internal/adversary"
+	"anondyn/internal/core"
+	"anondyn/internal/network"
+)
+
+// The hub realizes the broadcast primitive of §II-A for honest senders:
+// it accepts exactly one broadcast per node per round and relays it
+// along the adversary's edge set. Byzantine PER-RECEIVER equivocation —
+// which the model permits because port numberings are local — cannot be
+// expressed through this relay; study Byzantine behavior with the
+// simulation engines (internal/sim), which drive fault.Strategy
+// implementations directly.
+
+// HubConfig configures the round coordinator.
+type HubConfig struct {
+	// N is the number of nodes that must connect before rounds start.
+	N int
+	// Adversary chooses E(t) per round — the configurable stand-in for
+	// the radio environment. Required.
+	Adversary adversary.Adversary
+	// Ports holds each node's receiver-local numbering; nil = identity.
+	// Node IDs are a hub-internal notion (connection order); nodes only
+	// ever see ports.
+	Ports network.Ports
+	// MaxRounds bounds the execution; 0 = DefaultMaxRounds.
+	MaxRounds int
+	// IOTimeout bounds each read/write to a node; 0 = no deadline. A
+	// synchronous protocol over real links needs this: one hung node
+	// otherwise blocks the round forever.
+	IOTimeout time.Duration
+}
+
+// DefaultMaxRounds caps hub executions without an explicit bound.
+const DefaultMaxRounds = 100_000
+
+// HubResult summarizes a hub-coordinated execution.
+type HubResult struct {
+	Rounds      int
+	Decided     bool
+	Outputs     map[int]float64
+	DecideRound map[int]int
+	Trace       network.Trace
+}
+
+// Hub coordinates one synchronous execution over real connections.
+type Hub struct {
+	cfg   HubConfig
+	ln    net.Listener
+	conns []*hubConn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type hubConn struct {
+	id   int
+	raw  net.Conn
+	c    *conn
+	snap core.Snapshot
+}
+
+// NewHub validates the configuration and starts listening on addr
+// (e.g. "127.0.0.1:0"). Call Serve to accept nodes and run rounds.
+func NewHub(addr string, cfg HubConfig) (*Hub, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("transport: hub needs n ≥ 1, got %d", cfg.N)
+	}
+	if cfg.Adversary == nil {
+		return nil, errors.New("transport: hub needs an adversary (use adversary.NewComplete for a benign medium)")
+	}
+	if cfg.Ports != nil && len(cfg.Ports) != cfg.N {
+		return nil, fmt.Errorf("transport: %d port numberings for n=%d", len(cfg.Ports), cfg.N)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.Ports == nil {
+		cfg.Ports = network.IdentityPorts(cfg.N)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Hub{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the hub's listen address (useful with ":0").
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Close tears the hub down; safe to call concurrently with Serve.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.ln.Close()
+	for _, hc := range h.conns {
+		if hc != nil {
+			hc.raw.Close()
+		}
+	}
+}
+
+// Serve accepts n nodes, performs the handshake, runs rounds until
+// every node reports a decision (or MaxRounds), sends stop frames, and
+// returns the result. It runs the whole execution on the calling
+// goroutine.
+func (h *Hub) Serve() (*HubResult, error) {
+	defer h.Close()
+	if err := h.accept(); err != nil {
+		return nil, err
+	}
+	res := &HubResult{
+		Outputs:     make(map[int]float64, h.cfg.N),
+		DecideRound: make(map[int]int, h.cfg.N),
+	}
+	view := &hubView{hub: h}
+	for round := 0; round < h.cfg.MaxRounds; round++ {
+		edges := h.cfg.Adversary.Edges(round, view)
+		res.Trace = append(res.Trace, edges.Clone())
+		if err := h.runRound(round, edges, res); err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		res.Rounds = round + 1
+		if len(res.Outputs) == h.cfg.N {
+			res.Decided = true
+			break
+		}
+	}
+	h.broadcastStop()
+	return res, nil
+}
+
+// accept waits for all n nodes and handshakes each.
+func (h *Hub) accept() error {
+	h.conns = make([]*hubConn, h.cfg.N)
+	for id := 0; id < h.cfg.N; id++ {
+		raw, err := h.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accept node %d: %w", id, err)
+		}
+		hc := &hubConn{id: id, raw: raw, c: newConn(raw)}
+		if err := h.handshake(hc); err != nil {
+			raw.Close()
+			return fmt.Errorf("transport: handshake node %d: %w", id, err)
+		}
+		h.conns[id] = hc
+	}
+	return nil
+}
+
+func (h *Hub) handshake(hc *hubConn) error {
+	h.deadline(hc)
+	ft, err := hc.c.readType()
+	if err != nil {
+		return err
+	}
+	if ft != frameHello {
+		return fmt.Errorf("%w: got 0x%02x, want hello", ErrBadType, ft)
+	}
+	ver, err := hc.c.readUvarint()
+	if err != nil {
+		return err
+	}
+	if ver != protocolVersion {
+		return fmt.Errorf("%w: node speaks v%d, hub v%d", ErrVersion, ver, protocolVersion)
+	}
+	selfPort := h.cfg.Ports[hc.id].Port(hc.id)
+	if err := hc.c.writeFrame(frameConfig, protocolVersion, uint64(h.cfg.N), uint64(selfPort)); err != nil {
+		return err
+	}
+	return hc.c.flush()
+}
+
+// runRound executes one synchronous round: collect broadcasts, route
+// per the edge set, collect statuses.
+func (h *Hub) runRound(round int, edges *network.EdgeSet, res *HubResult) error {
+	n := h.cfg.N
+	// (1) Round start + broadcast collection.
+	broadcasts := make([]core.Message, n)
+	for _, hc := range h.conns {
+		h.deadline(hc)
+		if err := hc.c.writeFrame(frameRoundStart, uint64(round)); err != nil {
+			return fmt.Errorf("node %d: %w", hc.id, err)
+		}
+		if err := hc.c.flush(); err != nil {
+			return fmt.Errorf("node %d: %w", hc.id, err)
+		}
+	}
+	for _, hc := range h.conns {
+		h.deadline(hc)
+		ft, err := hc.c.readType()
+		if err != nil {
+			return fmt.Errorf("node %d: %w", hc.id, err)
+		}
+		if ft != frameBroadcast {
+			return fmt.Errorf("node %d: %w: got 0x%02x, want broadcast", hc.id, ErrBadType, ft)
+		}
+		m, err := hc.c.readMessage()
+		if err != nil {
+			return fmt.Errorf("node %d: %w", hc.id, err)
+		}
+		broadcasts[hc.id] = m
+	}
+
+	// (2) Deliveries, tagged with each receiver's local ports, in
+	// ascending port order (the sim engines' semantics).
+	for _, hc := range h.conns {
+		numbering := h.cfg.Ports[hc.id]
+		type entry struct {
+			port int
+			msg  core.Message
+		}
+		var entries []entry
+		for port := 0; port < n; port++ {
+			u := numbering.Node(port)
+			if u == hc.id || !edges.Has(u, hc.id) {
+				continue
+			}
+			entries = append(entries, entry{port: port, msg: broadcasts[u]})
+		}
+		sort.Slice(entries, func(a, b int) bool { return entries[a].port < entries[b].port })
+		h.deadline(hc)
+		if err := hc.c.writeFrame(frameDeliver, uint64(round), uint64(len(entries))); err != nil {
+			return fmt.Errorf("node %d: %w", hc.id, err)
+		}
+		for _, e := range entries {
+			if err := hc.c.writeUvarint(uint64(e.port)); err != nil {
+				return fmt.Errorf("node %d: %w", hc.id, err)
+			}
+			if err := hc.c.writeMessage(e.msg); err != nil {
+				return fmt.Errorf("node %d: %w", hc.id, err)
+			}
+		}
+		if err := hc.c.flush(); err != nil {
+			return fmt.Errorf("node %d: %w", hc.id, err)
+		}
+	}
+
+	// (3) Status barrier.
+	for _, hc := range h.conns {
+		h.deadline(hc)
+		ft, err := hc.c.readType()
+		if err != nil {
+			return fmt.Errorf("node %d: %w", hc.id, err)
+		}
+		if ft != frameStatus {
+			return fmt.Errorf("node %d: %w: got 0x%02x, want status", hc.id, ErrBadType, ft)
+		}
+		st, err := hc.c.readStatusBody()
+		if err != nil {
+			return fmt.Errorf("node %d: %w", hc.id, err)
+		}
+		hc.snap = core.Snapshot{Phase: st.Phase, Value: st.Value, Decided: st.Decided}
+		if st.Decided {
+			if _, seen := res.Outputs[hc.id]; !seen {
+				res.Outputs[hc.id] = st.Output
+				res.DecideRound[hc.id] = round
+			}
+		}
+	}
+	return nil
+}
+
+func (h *Hub) broadcastStop() {
+	for _, hc := range h.conns {
+		if hc == nil {
+			continue
+		}
+		h.deadline(hc)
+		if err := hc.c.writeFrame(frameStop); err == nil {
+			hc.c.flush() //nolint:errcheck // best effort during shutdown
+		}
+	}
+}
+
+func (h *Hub) deadline(hc *hubConn) {
+	if h.cfg.IOTimeout > 0 {
+		hc.raw.SetDeadline(time.Now().Add(h.cfg.IOTimeout)) //nolint:errcheck
+	}
+}
+
+// hubView exposes start-of-round snapshots to the adversary.
+type hubView struct {
+	hub *Hub
+}
+
+func (v *hubView) N() int { return v.hub.cfg.N }
+
+func (v *hubView) Snapshot(i int) core.Snapshot { return v.hub.conns[i].snap }

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"anondyn/internal/core"
+)
+
+// pipeConn builds a conn over an in-memory buffer for frame round trips.
+func pipeConn() (*conn, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return newConn(&buf), &buf
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	c, _ := pipeConn()
+	if err := c.writeFrame(frameRoundStart, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.flush(); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := c.readType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != frameRoundStart {
+		t.Errorf("type = 0x%02x", ft)
+	}
+	v, err := c.readUvarint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("field = %d", v)
+	}
+}
+
+func TestMessageFrameRoundTrip(t *testing.T) {
+	c, _ := pipeConn()
+	want := core.Message{Value: 0.625, Phase: 9, History: []core.HistEntry{{Value: 0.5, Phase: 8}}}
+	if err := c.writeMessage(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.readMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phase != want.Phase || got.Value != want.Value || len(got.History) != 1 {
+		t.Errorf("round trip: %v → %v", want, got)
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	c, _ := pipeConn()
+	want := Status{Phase: 7, Value: 0.375, Decided: true, Output: 0.5}
+	if err := c.writeStatus(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.flush(); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := c.readType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != frameStatus {
+		t.Fatalf("type = 0x%02x", ft)
+	}
+	got, err := c.readStatusBody()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phase != want.Phase || got.Decided != want.Decided {
+		t.Errorf("status %+v → %+v", want, got)
+	}
+	if math.Abs(got.Value-want.Value) > 1.0/(1<<29) || math.Abs(got.Output-want.Output) > 1.0/(1<<29) {
+		t.Errorf("quantization error too large: %+v → %+v", want, got)
+	}
+}
+
+func TestReadBytesLimit(t *testing.T) {
+	c, _ := pipeConn()
+	if err := c.writeBytes(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.readBytes(50); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversized payload: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(frameDeliver)
+	c := newConn(&buf)
+	if _, err := c.readType(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.readUvarint(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated frame: err = %v, want ErrBadFrame", err)
+	}
+	// Empty stream → clean shutdown error.
+	c2 := newConn(&bytes.Buffer{})
+	if _, err := c2.readType(); !errors.Is(err, ErrShutdown) {
+		t.Errorf("EOF: err = %v, want ErrShutdown", err)
+	}
+}
+
+func TestQuantClamps(t *testing.T) {
+	if quant(-1) != 0 || quant(2) != 1<<30 {
+		t.Error("quant does not clamp")
+	}
+	if dequant(1<<31) != 1 {
+		t.Error("dequant does not clamp")
+	}
+	for _, v := range []float64{0, 0.25, 0.5, 1} {
+		if got := dequant(quant(v)); got != v {
+			t.Errorf("round trip %g → %g", v, got)
+		}
+	}
+}
+
+func TestMessageFrameCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	c := newConn(&buf)
+	// Length says 3 bytes of message, but the payload is garbage that
+	// decodes short.
+	buf.Write([]byte{3, 0x80, 0x80, 0x80})
+	if _, err := c.readMessage(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("corrupt message: err = %v, want ErrBadFrame", err)
+	}
+}

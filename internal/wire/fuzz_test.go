@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"anondyn/internal/core"
+)
+
+// FuzzDecode hardens the wire decoder against arbitrary input: it must
+// never panic, never allocate absurdly, and anything it accepts must
+// re-encode to something it accepts again (decode∘encode fixpoint).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add(Encode(nil, core.Message{Value: 0.5, Phase: 3}))
+	f.Add(Encode(nil, core.Message{Value: 1, Phase: 1 << 20, History: []core.HistEntry{
+		{Value: 0.25, Phase: 2}, {Value: 0, Phase: 0},
+	}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if math.IsNaN(m.Value) || m.Value < 0 || m.Value > 1 {
+			t.Fatalf("decoded value %g outside [0,1]", m.Value)
+		}
+		// Round trip: the canonical re-encoding must decode to the same
+		// message.
+		buf := Encode(nil, m)
+		m2, n2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != len(buf) || m2.Phase != m.Phase || m2.Value != m.Value || len(m2.History) != len(m.History) {
+			t.Fatalf("fixpoint violated: %v → %v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"testing"
+
+	"anondyn/internal/core"
+)
+
+func BenchmarkEncodePlain(b *testing.B) {
+	m := core.Message{Value: 0.73241, Phase: 17}
+	buf := make([]byte, 0, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty encoding")
+	}
+}
+
+func BenchmarkEncodeHistory8(b *testing.B) {
+	m := core.Message{Value: 0.7, Phase: 9}
+	for q := 8; q >= 1; q-- {
+		m.History = append(m.History, core.HistEntry{Value: float64(q) / 10, Phase: q})
+	}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecodePlain(b *testing.B) {
+	buf := Encode(nil, core.Message{Value: 0.73241, Phase: 17})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSize(b *testing.B) {
+	m := core.Message{Value: 0.73241, Phase: 17, History: []core.HistEntry{{Value: 0.5, Phase: 16}}}
+	b.ReportAllocs()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += Size(m)
+	}
+	if total == 0 {
+		b.Fatal("zero size")
+	}
+}

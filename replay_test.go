@@ -1,0 +1,82 @@
+package anondyn_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"anondyn"
+)
+
+// TestFacadeReplayRoundTrip: record a randomized run through the
+// facade, serialize the log, deserialize, replay — identical outputs.
+func TestFacadeReplayRoundTrip(t *testing.T) {
+	n := 7
+	rec := anondyn.NewRecorder()
+	base := anondyn.Scenario{
+		N: n, F: 2, Eps: 1e-3,
+		Algorithm: anondyn.AlgoDAC,
+		Inputs:    anondyn.RandomInputs(n, 5),
+		Adversary: anondyn.Probabilistic(0.5, 77),
+		Crashes:   map[int]anondyn.Crash{3: anondyn.CrashAt(2)},
+		Recorder:  rec,
+	}
+	orig, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Decided {
+		t.Fatal("original run undecided")
+	}
+
+	var buf bytes.Buffer
+	if err := anondyn.WriteTrace(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	events, err := anondyn.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := anondyn.ReplayEvents(n, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rerun := base
+	rerun.Recorder = nil
+	rerun.Adversary = replay
+	res, err := rerun.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Outputs, res.Outputs) {
+		t.Errorf("outputs differ:\norig  %v\nreplay %v", orig.Outputs, res.Outputs)
+	}
+	if orig.Rounds != res.Rounds {
+		t.Errorf("rounds: orig %d, replay %d", orig.Rounds, res.Rounds)
+	}
+}
+
+func TestFacadeReplayDirect(t *testing.T) {
+	rec := anondyn.NewRecorder()
+	s := anondyn.Scenario{
+		N: 5, F: 0, Eps: 0.1,
+		Algorithm: anondyn.AlgoDAC,
+		Inputs:    anondyn.SpreadInputs(5),
+		Adversary: anondyn.Rotating(2),
+		Recorder:  rec,
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := anondyn.Replay(5, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Name() == "" {
+		t.Error("empty replay name")
+	}
+	if _, err := anondyn.Replay(5, anondyn.NewRecorder()); err == nil {
+		t.Error("empty recorder accepted")
+	}
+}

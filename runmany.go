@@ -1,0 +1,95 @@
+package anondyn
+
+import (
+	"fmt"
+
+	"anondyn/internal/analysis"
+)
+
+// MultiResult aggregates a batch of seeded runs of one scenario family
+// (the Monte-Carlo companion to Scenario.Run; experiment E10 is built
+// from the same pattern).
+type MultiResult struct {
+	// Results holds each run's outcome, indexed by batch position.
+	Results []*Result
+	// Seeds holds the seed that produced each result.
+	Seeds []int64
+}
+
+// RunMany executes the scenario produced by mk(seed) for each seed and
+// collects the results. mk must return a fresh Scenario per call —
+// adversaries and strategies hold RNG state and must not be shared
+// between runs.
+func RunMany(seeds []int64, mk func(seed int64) Scenario) (*MultiResult, error) {
+	mr := &MultiResult{
+		Results: make([]*Result, 0, len(seeds)),
+		Seeds:   append([]int64(nil), seeds...),
+	}
+	for _, seed := range seeds {
+		res, err := mk(seed).Run()
+		if err != nil {
+			return nil, fmt.Errorf("anondyn: seed %d: %w", seed, err)
+		}
+		mr.Results = append(mr.Results, res)
+	}
+	return mr, nil
+}
+
+// Seeds returns 0, 1, …, n−1 offset by base — the conventional seed
+// batch for RunMany.
+func Seeds(n int, base int64) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}
+
+// DecidedAll reports whether every run decided.
+func (m *MultiResult) DecidedAll() bool {
+	for _, r := range m.Results {
+		if !r.Decided {
+			return false
+		}
+	}
+	return true
+}
+
+// DecidedCount returns how many runs decided.
+func (m *MultiResult) DecidedCount() int {
+	count := 0
+	for _, r := range m.Results {
+		if r.Decided {
+			count++
+		}
+	}
+	return count
+}
+
+// Rounds summarizes the round counts of the decided runs.
+func (m *MultiResult) Rounds() analysis.Summary {
+	var rounds []float64
+	for _, r := range m.Results {
+		if r.Decided {
+			rounds = append(rounds, float64(r.Rounds))
+		}
+	}
+	return analysis.Summarize(rounds)
+}
+
+// Violations counts decided runs that broke validity or ε-agreement.
+func (m *MultiResult) Violations(eps float64) int {
+	count := 0
+	for _, r := range m.Results {
+		if !r.Decided {
+			continue
+		}
+		if !r.Valid() || !r.EpsAgreement(eps) {
+			count++
+		}
+	}
+	return count
+}
+
+// Summary is a re-export of the analysis summary type for RunMany users.
+type Summary = analysis.Summary

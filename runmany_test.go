@@ -1,0 +1,53 @@
+package anondyn_test
+
+import (
+	"testing"
+
+	"anondyn"
+)
+
+func TestRunMany(t *testing.T) {
+	mr, err := anondyn.RunMany(anondyn.Seeds(10, 100), func(seed int64) anondyn.Scenario {
+		return anondyn.Scenario{
+			N: 7, F: 3, Eps: 1e-3,
+			Algorithm:   anondyn.AlgoDAC,
+			Inputs:      anondyn.RandomInputs(7, seed),
+			Adversary:   anondyn.Probabilistic(0.4, seed),
+			RandomPorts: true,
+			Seed:        seed,
+			MaxRounds:   5000,
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Results) != 10 || len(mr.Seeds) != 10 {
+		t.Fatalf("results/seeds = %d/%d", len(mr.Results), len(mr.Seeds))
+	}
+	if !mr.DecidedAll() {
+		t.Errorf("only %d/10 decided", mr.DecidedCount())
+	}
+	if v := mr.Violations(1e-3); v != 0 {
+		t.Errorf("%d safety violations", v)
+	}
+	s := mr.Rounds()
+	if s.N != 10 || s.Min < 1 || s.Max < s.Min {
+		t.Errorf("rounds summary = %+v", s)
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	_, err := anondyn.RunMany(anondyn.Seeds(3, 0), func(seed int64) anondyn.Scenario {
+		return anondyn.Scenario{} // invalid
+	})
+	if err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := anondyn.Seeds(3, 40)
+	if len(s) != 3 || s[0] != 40 || s[2] != 42 {
+		t.Errorf("Seeds = %v", s)
+	}
+}

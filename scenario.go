@@ -1,0 +1,364 @@
+package anondyn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"anondyn/internal/baseline"
+	"anondyn/internal/core"
+	"anondyn/internal/fault"
+	"anondyn/internal/network"
+	"anondyn/internal/sim"
+)
+
+// ErrScenario reports an invalid Scenario.
+var ErrScenario = errors.New("anondyn: invalid scenario")
+
+// Scenario describes one execution: the algorithm and its parameters,
+// the inputs, the message adversary, and the fault pattern. The zero
+// value is not runnable; fill in at least N, Eps, Algorithm, Inputs and
+// Adversary.
+type Scenario struct {
+	// N is the network size; F the fault bound the algorithm is
+	// configured for (DBAC needs it; DAC/crash scenarios use it for
+	// validation).
+	N int
+	F int
+	// Eps is the ε of ε-agreement.
+	Eps float64
+	// Algorithm picks the protocol every non-Byzantine node runs.
+	Algorithm Algo
+
+	// PiggybackWindow is K for AlgoDBACPiggyback.
+	PiggybackWindow int
+	// MegaT is the block length T for AlgoMegaRound.
+	MegaT int
+
+	// PEndOverride, when > 0, replaces the paper-derived output phase
+	// (Equation 2 for DAC-family, Equation 6 for DBAC-family). The
+	// Equation 6 bound grows like 2ⁿ·ln(1/ε); measurement runs on larger
+	// n set an explicit budget instead and verify the achieved range.
+	PEndOverride int
+	// QuorumOverride, when > 0, replaces the algorithm's quorum. This
+	// models the hypothetical below-threshold algorithms of the
+	// necessity proofs (Theorems 9/10) and skips resilience validation.
+	// Never set it when you want a correct protocol.
+	QuorumOverride int
+	// Unchecked skips the n-vs-f resilience validation (necessity
+	// experiments run deliberately out-of-bounds configurations).
+	Unchecked bool
+
+	// Inputs holds every node's initial value in [0,1]; entries at
+	// Byzantine indices are ignored.
+	Inputs []float64
+
+	// Adversary picks E(t) each round.
+	Adversary Adversary
+	// Crashes schedules crash faults by node.
+	Crashes map[int]Crash
+	// Byzantine assigns strategies to Byzantine nodes.
+	Byzantine map[int]Strategy
+
+	// MaxRounds caps the run (0 = engine default).
+	MaxRounds int
+
+	// RandomPorts draws an independent random port numbering per node
+	// from Seed; otherwise every node uses the identity numbering.
+	RandomPorts bool
+	Seed        int64
+
+	// ShuffleDelivery randomizes intra-round delivery order per
+	// receiver (deterministically from Seed); the default is ascending
+	// port order. Correctness never depends on the choice.
+	ShuffleDelivery bool
+
+	// Concurrent runs the goroutine-per-node engine instead of the
+	// sequential one (identical results, parallel execution).
+	Concurrent bool
+
+	// Tracker, when non-nil, reconstructs the V(p) multisets during the
+	// run (it is seeded with the inputs automatically).
+	Tracker *PhaseTracker
+	// Series, when non-nil, records the per-round range of running
+	// nodes' values — the round-resolution convergence curve (figure
+	// F1).
+	Series *RangeSeries
+	// Recorder, when non-nil, captures the execution event log.
+	Recorder *Recorder
+	// KeepTrace retains E(t) per round in the Result.
+	KeepTrace bool
+	// AccountBandwidth tallies delivered wire bytes in the Result.
+	AccountBandwidth bool
+	// MaxMessageBytes, when > 0, drops any message whose wire encoding
+	// exceeds the per-link bandwidth budget (§VII; experiment E11).
+	MaxMessageBytes int
+	// LinkBandwidth optionally gives every directed link its own byte
+	// budget (≤ 0 = unlimited); it overrides MaxMessageBytes.
+	LinkBandwidth func(from, to int) int
+}
+
+// Run executes the scenario and returns its result.
+func (s Scenario) Run() (*Result, error) {
+	cfg, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	if s.Concurrent {
+		eng, err := sim.NewConcurrentEngine(*cfg)
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run(), nil
+	}
+	eng, err := sim.NewEngine(*cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(), nil
+}
+
+// build assembles the engine configuration.
+func (s Scenario) build() (*sim.Config, error) {
+	if s.N < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrScenario, s.N)
+	}
+	if len(s.Inputs) != s.N {
+		return nil, fmt.Errorf("%w: %d inputs for n=%d", ErrScenario, len(s.Inputs), s.N)
+	}
+	if s.Adversary == nil {
+		return nil, fmt.Errorf("%w: nil adversary", ErrScenario)
+	}
+	if s.Algorithm == 0 {
+		return nil, fmt.Errorf("%w: no algorithm selected", ErrScenario)
+	}
+	if s.Eps == 0 && s.PEndOverride <= 0 && s.Algorithm != AlgoFloodMin {
+		return nil, fmt.Errorf("%w: neither Eps nor PEndOverride set", ErrScenario)
+	}
+	if !s.Unchecked && s.QuorumOverride == 0 {
+		switch s.Algorithm {
+		case AlgoDAC, AlgoDACNoJump, AlgoMegaRound, AlgoFullInfo, AlgoReliableIterated:
+			if err := core.ValidateCrash(s.N, s.F); err != nil {
+				return nil, err
+			}
+		case AlgoDBAC, AlgoDBACPiggyback:
+			if err := core.ValidateByz(s.N, s.F); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var ports network.Ports
+	if s.RandomPorts {
+		ports = network.RandomPorts(s.N, rand.New(rand.NewSource(s.Seed)))
+	} else {
+		ports = network.IdentityPorts(s.N)
+	}
+
+	byz := make(map[int]fault.Strategy, len(s.Byzantine))
+	for i, strat := range s.Byzantine {
+		byz[i] = strat
+	}
+
+	procs := make([]core.Process, s.N)
+	for i := 0; i < s.N; i++ {
+		if _, isByz := byz[i]; isByz {
+			continue
+		}
+		p, err := s.newProc(i, ports[i].Port(i))
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		procs[i] = p
+		if s.Tracker != nil {
+			s.Tracker.SetInput(i, s.Inputs[i])
+		}
+	}
+
+	crashes := fault.Schedule{}
+	for node, c := range s.Crashes {
+		crashes[node] = c
+	}
+
+	f := s.F
+	if f == 0 {
+		f = len(byz) + len(crashes) // pass validation for f-unset scenarios
+	}
+	var observers []sim.Observer
+	if s.Tracker != nil {
+		observers = append(observers, s.Tracker)
+	}
+	if s.Series != nil {
+		observers = append(observers, s.Series)
+	}
+	var obs sim.Observer
+	switch len(observers) {
+	case 0:
+		// leave nil (avoid a typed-nil Observer interface)
+	case 1:
+		obs = observers[0]
+	default:
+		obs = multiObserver(observers)
+	}
+	return &sim.Config{
+		N:                s.N,
+		F:                f,
+		Procs:            procs,
+		Byzantine:        byz,
+		Crashes:          crashes,
+		Adversary:        s.Adversary,
+		Ports:            ports,
+		MaxRounds:        s.MaxRounds,
+		Recorder:         s.Recorder,
+		Observer:         obs,
+		KeepTrace:        s.KeepTrace,
+		AccountBandwidth: s.AccountBandwidth,
+		MaxMessageBytes:  s.MaxMessageBytes,
+		LinkBandwidth:    s.LinkBandwidth,
+		ShuffleDelivery:  s.ShuffleDelivery,
+		ShuffleSeed:      s.Seed,
+	}, nil
+}
+
+// newProc instantiates the selected algorithm for one node.
+func (s Scenario) newProc(i, selfPort int) (core.Process, error) {
+	input := s.Inputs[i]
+	switch s.Algorithm {
+	case AlgoDAC:
+		switch {
+		case s.QuorumOverride > 0:
+			return core.NewDACCustom(s.N, selfPort, s.pEndDAC(), s.QuorumOverride, input)
+		case s.Unchecked:
+			// Below-threshold configurations with the paper quorum: the
+			// checked constructors would reject n < 2f+1.
+			return core.NewDACCustom(s.N, selfPort, s.pEndDAC(), core.CrashQuorum(s.N), input)
+		case s.PEndOverride > 0:
+			return core.NewDACPhases(s.N, selfPort, s.PEndOverride, input)
+		default:
+			return core.NewDAC(s.N, selfPort, input, s.Eps)
+		}
+	case AlgoDBAC:
+		switch {
+		case s.QuorumOverride > 0:
+			return core.NewDBACCustom(s.N, s.F, selfPort, s.pEndDBAC(), s.QuorumOverride, input)
+		case s.Unchecked:
+			return core.NewDBACCustom(s.N, s.F, selfPort, s.pEndDBAC(), core.ByzQuorum(s.N, s.F), input)
+		case s.PEndOverride > 0:
+			return core.NewDBACPhases(s.N, s.F, selfPort, s.PEndOverride, input)
+		default:
+			return core.NewDBAC(s.N, s.F, selfPort, input, s.Eps)
+		}
+	case AlgoDBACPiggyback:
+		if s.PEndOverride > 0 {
+			return core.NewDBACPiggybackPhases(s.N, s.F, selfPort, s.PiggybackWindow, s.PEndOverride, input)
+		}
+		return core.NewDBACPiggyback(s.N, s.F, selfPort, s.PiggybackWindow, input, s.Eps)
+	case AlgoMegaRound:
+		t := s.MegaT
+		if t == 0 {
+			t = 1
+		}
+		return baseline.NewMegaRound(s.N, t, selfPort, input, s.Eps)
+	case AlgoFullInfo:
+		return baseline.NewFullInfo(s.N, selfPort, input, s.Eps)
+	case AlgoReliableIterated:
+		return baseline.NewReliableIterated(s.N, input, s.Eps)
+	case AlgoBACReliable:
+		return baseline.NewBACReliable(s.N, s.F, input, s.Eps)
+	case AlgoFloodMin:
+		rounds := s.PEndOverride
+		if rounds <= 0 {
+			rounds = s.N // ≥ f+1 for any admissible f
+		}
+		return baseline.NewFloodMin(rounds, input)
+	case AlgoDACNoJump:
+		return core.NewDACNoJumpPhases(s.N, selfPort, s.pEndDAC(), input)
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrScenario, int(s.Algorithm))
+	}
+}
+
+// pEndDAC resolves the DAC-family output phase.
+func (s Scenario) pEndDAC() int {
+	if s.PEndOverride > 0 {
+		return s.PEndOverride
+	}
+	return core.PEndDAC(s.Eps)
+}
+
+// pEndDBAC resolves the DBAC-family output phase.
+func (s Scenario) pEndDBAC() int {
+	if s.PEndOverride > 0 {
+		return s.PEndOverride
+	}
+	return core.PEndDBAC(s.Eps, s.N)
+}
+
+// multiObserver fans engine callbacks out to several observers,
+// forwarding the optional round hook to those that implement it.
+type multiObserver []sim.Observer
+
+func (m multiObserver) OnPhaseEnter(node, from, to int, value float64, round int) {
+	for _, o := range m {
+		o.OnPhaseEnter(node, from, to, value, round)
+	}
+}
+
+func (m multiObserver) OnDecide(node int, value float64, round int) {
+	for _, o := range m {
+		o.OnDecide(node, value, round)
+	}
+}
+
+func (m multiObserver) OnRoundEnd(round int, values map[int]float64) {
+	for _, o := range m {
+		if ro, ok := o.(sim.RoundObserver); ok {
+			ro.OnRoundEnd(round, values)
+		}
+	}
+}
+
+// SpreadInputs returns n inputs evenly spread over [0,1]: 0, 1/(n−1), …,
+// 1 — the canonical worst-ish-case spread used across the experiments.
+func SpreadInputs(n int) []float64 {
+	in := make([]float64, n)
+	if n == 1 {
+		return in
+	}
+	for i := range in {
+		in[i] = float64(i) / float64(n-1)
+	}
+	return in
+}
+
+// SplitInputs returns n inputs where the first k are 0 and the rest 1 —
+// the two-camp inputs of the impossibility constructions.
+func SplitInputs(n, k int) []float64 {
+	in := make([]float64, n)
+	for i := k; i < n; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+// RandomInputs returns n inputs drawn uniformly from [0,1].
+func RandomInputs(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	return in
+}
+
+// PEndDAC re-exports Equation (2): the DAC output phase for ε.
+func PEndDAC(eps float64) int { return core.PEndDAC(eps) }
+
+// PEndDBAC re-exports Equation (6): the DBAC output phase bound for ε, n.
+func PEndDBAC(eps float64, n int) int { return core.PEndDBAC(eps, n) }
+
+// CrashDegree re-exports the DAC dynaDegree threshold ⌊n/2⌋.
+func CrashDegree(n int) int { return core.CrashDegree(n) }
+
+// ByzDegree re-exports the DBAC dynaDegree threshold ⌊(n+3f)/2⌋.
+func ByzDegree(n, f int) int { return core.ByzDegree(n, f) }
