@@ -24,7 +24,9 @@
 package anondyn
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"anondyn/internal/adversary"
 	"anondyn/internal/analysis"
@@ -93,6 +95,34 @@ func (a Algo) String() string {
 		return "DAC-nojump"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseAlgo resolves the CLI spelling of an algorithm name (dac, dbac,
+// dbac-pb, megaround, fullinfo, reliter, bacrel, floodmin, dac-nojump),
+// case-insensitively.
+func ParseAlgo(name string) (Algo, error) {
+	switch strings.ToLower(name) {
+	case "dac":
+		return AlgoDAC, nil
+	case "dbac":
+		return AlgoDBAC, nil
+	case "dbac-pb":
+		return AlgoDBACPiggyback, nil
+	case "megaround":
+		return AlgoMegaRound, nil
+	case "fullinfo":
+		return AlgoFullInfo, nil
+	case "reliter":
+		return AlgoReliableIterated, nil
+	case "bacrel":
+		return AlgoBACReliable, nil
+	case "floodmin":
+		return AlgoFloodMin, nil
+	case "dac-nojump":
+		return AlgoDACNoJump, nil
+	default:
+		return 0, fmt.Errorf("anondyn: unknown algorithm %q", name)
 	}
 }
 

@@ -1,0 +1,176 @@
+package anondyn
+
+import (
+	"fmt"
+
+	"anondyn/internal/analysis"
+	"anondyn/internal/harness"
+)
+
+// ResultSink consumes the results of a seeded batch as they complete.
+// RunManyStream delivers results in batch order (index 0, 1, 2, …)
+// from a single goroutine regardless of worker count, so sinks need no
+// locking and every aggregate they build is deterministic. Returning
+// an error aborts further deliveries and fails the batch.
+type ResultSink interface {
+	Consume(index int, seed int64, res *Result) error
+}
+
+// BatchOptions tunes the worker pool behind a batch.
+type BatchOptions struct {
+	// Workers is the pool size; values < 1 mean GOMAXPROCS.
+	Workers int
+	// Retries re-executes a failing scenario up to this many extra
+	// times before recording its error (0 = a single attempt).
+	Retries int
+	// OnProgress, when non-nil, is called after each delivery with the
+	// number of completed runs and the batch size, from one goroutine.
+	OnProgress func(done, total int)
+}
+
+// RunManyStream executes the scenario produced by mk(seed) for each
+// seed across a worker pool and streams every result into sink —
+// nothing is retained once a sink call returns, so memory stays
+// bounded by the in-flight window rather than the batch size. mk must
+// return a fresh Scenario per call (adversaries and strategies hold
+// RNG state) and is invoked concurrently for distinct seeds. Results
+// are bit-identical across worker counts.
+func RunManyStream(seeds []int64, mk func(seed int64) Scenario, sink ResultSink, opts BatchOptions) error {
+	return harness.Run(len(seeds),
+		func(i int) (*Result, error) {
+			res, err := mk(seeds[i]).Run()
+			if err != nil {
+				return nil, fmt.Errorf("anondyn: seed %d: %w", seeds[i], err)
+			}
+			return res, nil
+		},
+		func(i int, res *Result) error {
+			return sink.Consume(i, seeds[i], res)
+		},
+		harness.Options{Workers: opts.Workers, Retries: opts.Retries, OnProgress: opts.OnProgress})
+}
+
+// RetainSink is the opt-in retention policy: it keeps every Result and
+// reassembles the MultiResult that RunMany returns. Use it only when
+// the batch is small enough to hold in memory; aggregate with
+// BatchStats otherwise.
+type RetainSink struct {
+	mr MultiResult
+}
+
+// NewRetainSink returns a sink pre-sized for a batch of n runs.
+func NewRetainSink(n int) *RetainSink {
+	return &RetainSink{mr: MultiResult{
+		Results: make([]*Result, 0, n),
+		Seeds:   make([]int64, 0, n),
+	}}
+}
+
+// Consume implements ResultSink.
+func (s *RetainSink) Consume(_ int, seed int64, res *Result) error {
+	s.mr.Results = append(s.mr.Results, res)
+	s.mr.Seeds = append(s.mr.Seeds, seed)
+	return nil
+}
+
+// MultiResult returns the retained batch.
+func (s *RetainSink) MultiResult() *MultiResult { return &s.mr }
+
+// BatchStats is the streaming aggregation sink: it folds each result
+// into counters and analysis accumulators — decided count, safety
+// violations, rounds/output-range/bandwidth summaries — and retains
+// nothing else, so a million-run batch costs a few float64s per run.
+type BatchStats struct {
+	// Eps is the ε used for the agreement half of the violation check;
+	// leave 0 to count only validity violations.
+	Eps float64
+
+	runs, decided, violations int
+	rounds, outRange, bytes   analysis.Accumulator
+}
+
+// Consume implements ResultSink.
+func (b *BatchStats) Consume(_ int, _ int64, res *Result) error {
+	b.runs++
+	b.bytes.Add(float64(res.BytesDelivered))
+	if !res.Decided {
+		return nil
+	}
+	b.decided++
+	b.rounds.Add(float64(res.Rounds))
+	b.outRange.Add(res.OutputRange())
+	if !res.Valid() || (b.Eps > 0 && !res.EpsAgreement(b.Eps)) {
+		b.violations++
+	}
+	return nil
+}
+
+// Runs returns how many results have been consumed.
+func (b *BatchStats) Runs() int { return b.runs }
+
+// Decided returns how many consumed runs decided.
+func (b *BatchStats) Decided() int { return b.decided }
+
+// DecidedAll reports whether every consumed run decided.
+func (b *BatchStats) DecidedAll() bool { return b.decided == b.runs }
+
+// Violations returns how many decided runs broke validity or
+// ε-agreement.
+func (b *BatchStats) Violations() int { return b.violations }
+
+// Rounds summarizes the round counts of the decided runs.
+func (b *BatchStats) Rounds() Summary { return b.rounds.Summary() }
+
+// OutputRange summarizes the output ranges of the decided runs.
+func (b *BatchStats) OutputRange() Summary { return b.outRange.Summary() }
+
+// Bytes summarizes delivered wire bytes per run (all zeros unless the
+// scenarios set AccountBandwidth).
+func (b *BatchStats) Bytes() Summary { return b.bytes.Summary() }
+
+// Report snapshots the aggregates as a JSON-marshalable record — the
+// batch half of the CLI sweep reports.
+func (b *BatchStats) Report() BatchReport {
+	return BatchReport{
+		Runs:        b.runs,
+		Decided:     b.decided,
+		Violations:  b.violations,
+		Rounds:      b.Rounds(),
+		OutputRange: b.OutputRange(),
+		Bytes:       b.Bytes(),
+	}
+}
+
+// BatchReport is the serialized form of a BatchStats aggregate.
+type BatchReport struct {
+	Runs        int     `json:"runs"`
+	Decided     int     `json:"decided"`
+	Violations  int     `json:"violations"`
+	Rounds      Summary `json:"rounds"`
+	OutputRange Summary `json:"output_range"`
+	Bytes       Summary `json:"bytes_delivered"`
+}
+
+// SinkFunc adapts a plain function to the ResultSink interface.
+type SinkFunc func(index int, seed int64, res *Result) error
+
+// Consume implements ResultSink.
+func (f SinkFunc) Consume(index int, seed int64, res *Result) error {
+	return f(index, seed, res)
+}
+
+// Sinks fans one result stream out to several sinks in order — e.g. a
+// BatchStats aggregate plus a per-run logger. The first sink error
+// aborts the fan-out.
+func Sinks(sinks ...ResultSink) ResultSink { return multiSink(sinks) }
+
+type multiSink []ResultSink
+
+func (m multiSink) Consume(index int, seed int64, res *Result) error {
+	for _, s := range m {
+		if err := s.Consume(index, seed, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package anondyn_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"anondyn"
@@ -79,6 +80,44 @@ func BenchmarkE13RateProbe(b *testing.B) {
 
 func BenchmarkF1ConvergenceCurves(b *testing.B) {
 	benchExperiment(b, func() interface{ Rows() int } { return experiments.F1ConvergenceCurves() })
+}
+
+// BenchmarkRunManyParallel measures the worker-pool batch harness on a
+// 1000-seed DAC Monte-Carlo batch against the sequential baseline
+// (workers=1). The per-seed results are identical by construction; the
+// ratio of the two ns/op figures is the parallel speedup.
+func BenchmarkRunManyParallel(b *testing.B) {
+	const batch = 1000
+	family := func(seed int64) anondyn.Scenario {
+		return anondyn.Scenario{
+			N: 9, F: 2, Eps: 1e-3,
+			Algorithm: anondyn.AlgoDAC,
+			Inputs:    anondyn.RandomInputs(9, seed),
+			Adversary: anondyn.Probabilistic(0.5, seed),
+			Seed:      seed,
+			MaxRounds: 5000,
+		}
+	}
+	pools := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pools = append(pools, n)
+	}
+	for _, workers := range pools {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats := &anondyn.BatchStats{Eps: 1e-3}
+				err := anondyn.RunManyStream(anondyn.Seeds(batch, 0), family, stats,
+					anondyn.BatchOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Runs() != batch {
+					b.Fatalf("streamed %d runs", stats.Runs())
+				}
+			}
+		})
+	}
 }
 
 // Substrate micro-benchmarks.

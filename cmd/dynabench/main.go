@@ -1,24 +1,36 @@
 // Command dynabench regenerates the experiment tables E1–E8 recorded in
 // EXPERIMENTS.md: the reproduction of every quantitative claim of the
 // paper (convergence rates, resilience and dynaDegree thresholds,
-// worst-case round counts, the §VII bandwidth trade-off).
+// worst-case round counts, the §VII bandwidth trade-off). Experiments
+// run concurrently on a worker pool; tables always print in registry
+// order. -sweep switches to the declarative scenario-matrix engine:
+// every combination of -ns, -fs, -epss, -algos and -advs is measured
+// over -seeds Monte-Carlo runs and reported as one aggregate row per
+// cell, optionally as JSON.
 //
 // Usage:
 //
-//	dynabench              # run every experiment
-//	dynabench -exp E4      # run one experiment
-//	dynabench -list        # list experiments
-//	dynabench -csv dir/    # additionally write one CSV per table
+//	dynabench                      # run every experiment
+//	dynabench -exp E4              # run one experiment
+//	dynabench -list                # list experiments
+//	dynabench -csv dir/            # additionally write one CSV per table
+//	dynabench -sweep -ns 5,7,9,11 -algos dac,fullinfo -advs complete,rotating:3 \
+//	          -seeds 50 -workers 8 -report sweep.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
+	"anondyn"
+	"anondyn/internal/analysis"
 	"anondyn/internal/experiments"
+	"anondyn/internal/harness"
 )
 
 func main() {
@@ -31,13 +43,36 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dynabench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "run only this experiment (e.g. E3)")
-		list   = fs.Bool("list", false, "list available experiments and exit")
-		csvDir = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		exp       = fs.String("exp", "", "run only this experiment (e.g. E3)")
+		list      = fs.Bool("list", false, "list available experiments and exit")
+		csvDir    = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		workers   = fs.Int("workers", 0, "worker-pool size for experiments (outer and inner pools) and sweeps (0 = GOMAXPROCS)")
+		sweep     = fs.Bool("sweep", false, "run a scenario-matrix sweep instead of the experiment registry")
+		nsSpec    = fs.String("ns", "5,7,9,11", "sweep axis: network sizes")
+		fsSpec    = fs.String("fs", "0", "sweep axis: fault bounds")
+		epsSpec   = fs.String("epss", "1e-3", "sweep axis: ε values")
+		algoSpec  = fs.String("algos", "dac", "sweep axis: algorithms (dac,dbac,…)")
+		advSpec   = fs.String("advs", "complete", "sweep axis: adversaries (complete | halves | er:<p> | rotating:<d> | clustered:<T> | starve:<d> | random:<B>,<D>)")
+		seedsN    = fs.Int("seeds", 20, "sweep: Monte-Carlo runs per cell")
+		baseSeed  = fs.Int64("seed", 0, "sweep: base seed")
+		maxRounds = fs.Int("rounds", 20000, "sweep: round budget per run")
+		reportOut = fs.String("report", "", "sweep: write the aggregate rows as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *sweep {
+		return runSweep(sweepFlags{
+			ns: *nsSpec, fs: *fsSpec, epss: *epsSpec, algos: *algoSpec, advs: *advSpec,
+			seeds: *seedsN, baseSeed: *baseSeed, maxRounds: *maxRounds,
+			workers: *workers, reportOut: *reportOut,
+		})
+	}
+
+	// One flag governs every pool: the outer experiment pool below and
+	// the Monte-Carlo batches the experiments spawn internally.
+	experiments.Workers = *workers
 
 	registry := experiments.Registry()
 	if *list {
@@ -61,32 +96,227 @@ func run(args []string) error {
 		}
 	}
 
-	for i, e := range selected {
-		if i > 0 {
-			fmt.Println()
-		}
-		tb := e.Run()
-		if err := tb.Fprint(os.Stdout); err != nil {
+	// Regenerate the selected tables concurrently; the ordered sink
+	// prints them in registry order as they become available.
+	return harness.Run(len(selected),
+		func(i int) (*analysis.Table, error) {
+			return selected[i].Run(), nil
+		},
+		func(i int, tb *analysis.Table) error {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := tb.Fprint(os.Stdout); err != nil {
+				return err
+			}
+			if *csvDir != "" {
+				return writeCSV(*csvDir, selected[i].ID, tb)
+			}
+			return nil
+		},
+		harness.Options{Workers: *workers})
+}
+
+func writeCSV(dir, id string, tb *analysis.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, strings.ToLower(id)+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tb.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(csv written to %s)\n", path)
+	return nil
+}
+
+// sweepFlags carries the parsed -sweep axes.
+type sweepFlags struct {
+	ns, fs, epss, algos, advs string
+	seeds                     int
+	baseSeed                  int64
+	maxRounds                 int
+	workers                   int
+	reportOut                 string
+}
+
+// sweepReport is the JSON envelope of one sweep.
+type sweepReport struct {
+	SeedsPerCell int                  `json:"seeds_per_cell"`
+	BaseSeed     int64                `json:"base_seed"`
+	Workers      int                  `json:"workers"`
+	Cells        []anondyn.CellResult `json:"cells"`
+}
+
+// runSweep builds the Grid from the axis flags, runs it on the worker
+// pool, prints one aggregate row per cell, and optionally writes JSON.
+func runSweep(sf sweepFlags) error {
+	ns, err := parseInts(sf.ns)
+	if err != nil {
+		return fmt.Errorf("-ns: %w", err)
+	}
+	fbounds, err := parseInts(sf.fs)
+	if err != nil {
+		return fmt.Errorf("-fs: %w", err)
+	}
+	epss, err := parseFloats(sf.epss)
+	if err != nil {
+		return fmt.Errorf("-epss: %w", err)
+	}
+	var algos []anondyn.Algo
+	for _, name := range strings.Split(sf.algos, ",") {
+		a, err := anondyn.ParseAlgo(strings.TrimSpace(name))
+		if err != nil {
 			return err
 		}
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				return err
-			}
-			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				return err
-			}
-			if err := tb.WriteCSV(f); err != nil {
-				f.Close()
-				return fmt.Errorf("write %s: %w", path, err)
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("(csv written to %s)\n", path)
+		algos = append(algos, a)
+	}
+	var specs []string
+	for _, tok := range strings.Split(sf.advs, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
 		}
+		// random:<B>,<D> spans a list comma: a bare-number token
+		// belongs to the previous spec.
+		if _, err := strconv.Atoi(tok); err == nil && len(specs) > 0 {
+			specs[len(specs)-1] += "," + tok
+			continue
+		}
+		specs = append(specs, tok)
+	}
+	var advs []anondyn.AdversaryFactory
+	for _, spec := range specs {
+		f, err := parseAdvFactory(spec)
+		if err != nil {
+			return err
+		}
+		advs = append(advs, f)
+	}
+
+	grid := anondyn.Grid{
+		Ns: ns, Fs: fbounds, Epss: epss,
+		Algorithms:   algos,
+		Adversaries:  advs,
+		SeedsPerCell: sf.seeds,
+		BaseSeed:     sf.baseSeed,
+		MaxRounds:    sf.maxRounds,
+	}
+	rows, err := grid.Run(anondyn.BatchOptions{Workers: sf.workers})
+	if err != nil {
+		return err
+	}
+
+	tb := analysis.NewTable(
+		fmt.Sprintf("sweep: %d cells × %d seeds", len(rows), max(sf.seeds, 1)),
+		"n", "f", "eps", "algorithm", "adversary", "decided", "violations",
+		"rounds mean", "rounds p95", "range max")
+	for _, r := range rows {
+		tb.AddRowf(r.N, r.F, r.Eps, r.Algorithm, r.Adversary,
+			fmt.Sprintf("%d/%d", r.Decided, r.Runs), r.Violations,
+			r.Rounds.Mean, r.Rounds.P95, r.OutputRange.Max)
+	}
+	if err := tb.Fprint(os.Stdout); err != nil {
+		return err
+	}
+
+	if sf.reportOut != "" {
+		data, err := json.MarshalIndent(sweepReport{
+			SeedsPerCell: max(sf.seeds, 1),
+			BaseSeed:     sf.baseSeed,
+			Workers:      sf.workers,
+			Cells:        rows,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(sf.reportOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(report written to %s)\n", sf.reportOut)
 	}
 	return nil
+}
+
+// parseAdvFactory resolves a sweep adversary spec into a seedable
+// factory. Specs mirror dynasim's -adversary grammar minus the
+// n-specific entries (fig1, isolate).
+func parseAdvFactory(spec string) (anondyn.AdversaryFactory, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	mk := anondyn.AdversaryFactory{Name: spec}
+	switch name {
+	case "complete":
+		mk.New = func(int, int64) anondyn.Adversary { return anondyn.Complete() }
+	case "halves":
+		mk.New = func(n int, _ int64) anondyn.Adversary { return anondyn.Halves(n) }
+	case "chasemin":
+		mk.New = func(int, int64) anondyn.Adversary { return anondyn.ChaseMin() }
+	case "er":
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return mk, fmt.Errorf("er needs a probability: %v", err)
+		}
+		mk.New = func(_ int, seed int64) anondyn.Adversary { return anondyn.Probabilistic(p, seed) }
+	case "rotating", "clustered", "starve":
+		d, err := strconv.Atoi(arg)
+		if err != nil {
+			return mk, fmt.Errorf("%s needs an integer argument: %v", name, err)
+		}
+		switch name {
+		case "rotating":
+			mk.New = func(int, int64) anondyn.Adversary { return anondyn.Rotating(d) }
+		case "clustered":
+			mk.New = func(int, int64) anondyn.Adversary { return anondyn.Clustered(d) }
+		default:
+			mk.New = func(int, int64) anondyn.Adversary { return anondyn.Starve(d) }
+		}
+	case "random":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return mk, fmt.Errorf("random adversary wants random:<B>,<D>")
+		}
+		b, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return mk, err
+		}
+		d, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return mk, err
+		}
+		mk.New = func(_ int, seed int64) anondyn.Adversary { return anondyn.RandomDegree(b, d, 0.05, seed) }
+	default:
+		return mk, fmt.Errorf("unknown sweep adversary %q", spec)
+	}
+	return mk, nil
+}
+
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(spec string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

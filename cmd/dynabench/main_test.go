@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -30,5 +31,46 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("empty csv")
+	}
+}
+
+func TestRunSweepWithReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	if err := run([]string{"-sweep", "-ns", "5,7", "-algos", "dac",
+		"-advs", "complete,random:2,3", "-seeds", "4", "-workers", "2",
+		"-report", out}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var report sweepReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	// 2 sizes × 1 algorithm × 2 adversaries (random:2,3 spans the comma).
+	if len(report.Cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(report.Cells))
+	}
+	if report.SeedsPerCell != 4 || report.Cells[0].Runs != 4 {
+		t.Errorf("seeds per cell = %d, first cell runs = %d",
+			report.SeedsPerCell, report.Cells[0].Runs)
+	}
+	if report.Cells[1].Adversary != "random:2,3" {
+		t.Errorf("adversary label = %q", report.Cells[1].Adversary)
+	}
+}
+
+func TestRunSweepBadAxes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sweep", "-ns", "x"},
+		{"-sweep", "-algos", "paxos"},
+		{"-sweep", "-advs", "warp"},
+		{"-sweep", "-epss", "zz"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
 	}
 }

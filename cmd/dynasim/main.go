@@ -1,7 +1,9 @@
 // Command dynasim runs one consensus scenario on the simulated
 // anonymous dynamic network and reports outputs, rounds, the property
 // checks of Definition 3, and the dynaDegree the adversary actually
-// provided.
+// provided. With -seeds > 1 it runs a seeded Monte-Carlo batch of the
+// same scenario on a worker pool and reports streaming aggregates
+// instead; -report writes the batch as JSON.
 //
 // Examples:
 //
@@ -9,9 +11,11 @@
 //	dynasim -algo dbac -n 11 -f 2 -adversary complete -byz 4:equivocate,9:extremist:1
 //	dynasim -algo dac  -n 3  -adversary fig1 -eps 0.01 -trace run.jsonl
 //	dynasim -algo dac  -n 6  -adversary halves -rounds 100   # stalls: below threshold
+//	dynasim -algo dac  -n 9  -adversary er:0.3 -inputs random -seeds 200 -workers 8 -report batch.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +56,9 @@ func run(args []string) error {
 		showSeries = fs.Bool("series", false, "print the per-round convergence curve (log-scale sparkline)")
 		maxBytes   = fs.Int("maxbytes", 0, "per-link bandwidth budget in bytes (0 = unlimited)")
 		shuffle    = fs.Bool("shuffle", false, "randomize intra-round delivery order (seeded)")
+		seedsN     = fs.Int("seeds", 1, "number of seeded runs; > 1 switches to Monte-Carlo batch mode")
+		workers    = fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+		reportOut  = fs.String("report", "", "write the batch aggregate as JSON to this file (implies batch mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +83,27 @@ func run(args []string) error {
 	algo, err := parseAlgo(*algoName)
 	if err != nil {
 		return err
+	}
+
+	if *seedsN < 1 {
+		return fmt.Errorf("-seeds wants a positive count (got %d)", *seedsN)
+	}
+	if *seedsN > 1 || *reportOut != "" {
+		if *traceOut != "" || *showSeries {
+			return fmt.Errorf("-trace and -series are per-run views; they do not combine with batch mode (-seeds/-report)")
+		}
+		cfg := batchConfig{
+			algoName: *algoName, algo: algo,
+			n: *n, f: *f, eps: *eps,
+			advSpec: *advSpec, byzSpec: *byzSpec, inputSpec: *inputSpec,
+			crashes: crashes,
+			window:  *window, megaT: *megaT, pEnd: *pEnd,
+			maxRounds: *maxRounds, maxBytes: *maxBytes,
+			randPorts: *randPorts, shuffle: *shuffle, concurrent: *concurrent,
+			seeds:   anondyn.Seeds(*seedsN, *seed),
+			workers: *workers, reportOut: *reportOut,
+		}
+		return runBatch(cfg)
 	}
 
 	tracker := anondyn.NewPhaseTracker()
@@ -173,27 +201,141 @@ func run(args []string) error {
 	return nil
 }
 
-func parseAlgo(s string) (anondyn.Algo, error) {
-	switch strings.ToLower(s) {
-	case "dac":
-		return anondyn.AlgoDAC, nil
-	case "dbac":
-		return anondyn.AlgoDBAC, nil
-	case "dbac-pb":
-		return anondyn.AlgoDBACPiggyback, nil
-	case "megaround":
-		return anondyn.AlgoMegaRound, nil
-	case "fullinfo":
-		return anondyn.AlgoFullInfo, nil
-	case "reliter":
-		return anondyn.AlgoReliableIterated, nil
-	case "bacrel":
-		return anondyn.AlgoBACReliable, nil
-	case "floodmin":
-		return anondyn.AlgoFloodMin, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q", s)
+// batchConfig carries one scenario family into Monte-Carlo batch mode:
+// the specs are re-instantiated per seed so seeded adversaries, inputs
+// and noise strategies vary across the batch.
+type batchConfig struct {
+	algoName  string
+	algo      anondyn.Algo
+	n, f      int
+	eps       float64
+	advSpec   string
+	byzSpec   string
+	inputSpec string
+	crashes   map[int]anondyn.Crash
+	window    int
+	megaT     int
+	pEnd      int
+	maxRounds int
+	maxBytes  int
+
+	randPorts  bool
+	shuffle    bool
+	concurrent bool
+
+	seeds     []int64
+	workers   int
+	reportOut string
+}
+
+// scenario builds one seeded run of the family. The specs were
+// validated before the batch started, so per-seed re-parsing cannot
+// fail.
+func (c batchConfig) scenario(seed int64) anondyn.Scenario {
+	adv, _ := parseAdversary(c.advSpec, c.n, seed)
+	byz, _ := parseByz(c.byzSpec, seed)
+	inputs, _ := parseInputs(c.inputSpec, c.n, seed)
+	return anondyn.Scenario{
+		N: c.n, F: c.f, Eps: c.eps,
+		Algorithm:        c.algo,
+		PiggybackWindow:  c.window,
+		MegaT:            c.megaT,
+		PEndOverride:     c.pEnd,
+		Inputs:           inputs,
+		Adversary:        adv,
+		Crashes:          c.crashes,
+		Byzantine:        byz,
+		MaxRounds:        c.maxRounds,
+		RandomPorts:      c.randPorts,
+		Seed:             seed,
+		Concurrent:       c.concurrent,
+		MaxMessageBytes:  c.maxBytes,
+		ShuffleDelivery:  c.shuffle,
+		AccountBandwidth: true,
 	}
+}
+
+// seedRow is the compact per-run record of the JSON report.
+type seedRow struct {
+	Seed    int64   `json:"seed"`
+	Decided bool    `json:"decided"`
+	Rounds  int     `json:"rounds"`
+	Range   float64 `json:"output_range"`
+}
+
+// batchReport is the JSON report of one Monte-Carlo batch.
+type batchReport struct {
+	Algorithm string              `json:"algorithm"`
+	N         int                 `json:"n"`
+	F         int                 `json:"f"`
+	Eps       float64             `json:"eps"`
+	Adversary string              `json:"adversary"`
+	Inputs    string              `json:"inputs"`
+	Workers   int                 `json:"workers"`
+	BaseSeed  int64               `json:"base_seed"`
+	Aggregate anondyn.BatchReport `json:"aggregate"`
+	Runs      []seedRow           `json:"runs"`
+}
+
+// runBatch executes the scenario family over the seed batch on the
+// worker pool, streaming every result through the aggregate and
+// per-run sinks, and prints (and optionally writes) the aggregates.
+func runBatch(cfg batchConfig) error {
+	stats := &anondyn.BatchStats{Eps: cfg.eps}
+	rows := make([]seedRow, 0, len(cfg.seeds))
+	rowSink := anondyn.SinkFunc(func(_ int, seed int64, res *anondyn.Result) error {
+		rows = append(rows, seedRow{
+			Seed: seed, Decided: res.Decided, Rounds: res.Rounds, Range: res.OutputRange(),
+		})
+		return nil
+	})
+	err := anondyn.RunManyStream(cfg.seeds, cfg.scenario,
+		anondyn.Sinks(stats, rowSink),
+		anondyn.BatchOptions{Workers: cfg.workers, Retries: 0})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s  n=%d f=%d ε=%g  adversary=%s  batch of %d seeds (base %d)\n",
+		cfg.algo, cfg.n, cfg.f, cfg.eps, cfg.advSpec, len(cfg.seeds), cfg.seeds[0])
+	fmt.Printf("decided: %d/%d   safety violations: %d\n",
+		stats.Decided(), stats.Runs(), stats.Violations())
+	if r := stats.Rounds(); r.N > 0 {
+		fmt.Printf("rounds:  mean %.1f  median %.0f  p95 %.0f  max %.0f\n",
+			r.Mean, r.Median, r.P95, r.Max)
+	}
+	if g := stats.OutputRange(); g.N > 0 {
+		fmt.Printf("range:   mean %.3g  max %.3g\n", g.Mean, g.Max)
+	}
+	if b := stats.Bytes(); b.N > 0 && b.Max > 0 {
+		fmt.Printf("bytes:   mean %.0f per run\n", b.Mean)
+	}
+
+	if cfg.reportOut != "" {
+		report := batchReport{
+			Algorithm: cfg.algoName,
+			N:         cfg.n, F: cfg.f, Eps: cfg.eps,
+			Adversary: cfg.advSpec,
+			Inputs:    cfg.inputSpec,
+			Workers:   cfg.workers,
+			BaseSeed:  cfg.seeds[0],
+			Aggregate: stats.Report(),
+			Runs:      rows,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.reportOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", cfg.reportOut)
+	}
+	return nil
+}
+
+func parseAlgo(s string) (anondyn.Algo, error) {
+	return anondyn.ParseAlgo(s)
 }
 
 func parseAdversary(spec string, n int, seed int64) (anondyn.Adversary, error) {

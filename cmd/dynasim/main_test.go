@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -134,5 +137,37 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-algo", "nope"}); err == nil {
 		t.Error("bad algorithm accepted")
+	}
+}
+
+// TestRunBatchMode drives the -seeds worker-pool path with a JSON
+// report.
+func TestRunBatchMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "batch.json")
+	if err := run([]string{"-algo", "dac", "-n", "7", "-f", "2",
+		"-adversary", "er:0.5", "-inputs", "random",
+		"-seeds", "12", "-workers", "3", "-report", out}); err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var report batchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if report.Aggregate.Runs != 12 || len(report.Runs) != 12 {
+		t.Errorf("report covers %d/%d runs, want 12", report.Aggregate.Runs, len(report.Runs))
+	}
+	if report.Aggregate.Decided != 12 || report.Aggregate.Violations != 0 {
+		t.Errorf("aggregate = %+v", report.Aggregate)
+	}
+	if report.Runs[0].Seed != 1 || !report.Runs[0].Decided {
+		t.Errorf("first run row = %+v", report.Runs[0])
+	}
+
+	if err := run([]string{"-seeds", "0", "-report", out}); err == nil {
+		t.Error("-seeds 0 accepted")
 	}
 }

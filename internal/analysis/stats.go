@@ -7,11 +7,13 @@ import (
 
 // Summary holds descriptive statistics of a sample.
 type Summary struct {
-	N           int
-	Min, Max    float64
-	Mean        float64
-	Median, P95 float64
-	StdDev      float64
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	StdDev float64 `json:"stddev"`
 }
 
 // Summarize computes descriptive statistics; an empty sample yields the

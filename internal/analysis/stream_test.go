@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	sample := []float64{4, 1, 9, 2.5, 7, 0.5, 3, 3, 8, 6}
+	var acc Accumulator
+	for _, v := range sample {
+		acc.Add(v)
+	}
+	if got, want := acc.Summary(), Summarize(sample); got != want {
+		t.Errorf("Summary() = %+v, want %+v", got, want)
+	}
+	if acc.N() != len(sample) || acc.Min() != 0.5 || acc.Max() != 9 {
+		t.Errorf("running stats: n=%d min=%g max=%g", acc.N(), acc.Min(), acc.Max())
+	}
+	want := Summarize(sample)
+	if math.Abs(acc.Mean()-want.Mean) > 1e-12 {
+		t.Errorf("Mean() = %g, want %g", acc.Mean(), want.Mean)
+	}
+	if math.Abs(acc.StdDev()-want.StdDev) > 1e-9 {
+		t.Errorf("StdDev() = %g, want %g", acc.StdDev(), want.StdDev)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if acc.N() != 0 || acc.Mean() != 0 || acc.StdDev() != 0 {
+		t.Error("zero-value accumulator not neutral")
+	}
+	if got := acc.Summary(); got != (Summary{}) {
+		t.Errorf("empty Summary() = %+v", got)
+	}
+}
+
+func TestAccumulatorNegativeAndSingle(t *testing.T) {
+	var acc Accumulator
+	acc.Add(-3)
+	if acc.Min() != -3 || acc.Max() != -3 || acc.Mean() != -3 || acc.StdDev() != 0 {
+		t.Errorf("single observation: min=%g max=%g mean=%g std=%g",
+			acc.Min(), acc.Max(), acc.Mean(), acc.StdDev())
+	}
+}

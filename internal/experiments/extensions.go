@@ -47,7 +47,8 @@ func E9ExactImpossibility() *analysis.Table {
 		{anondyn.AlgoDAC, "isolate(0)", anondyn.Isolate(0)},
 		{anondyn.AlgoDAC, "chaseMin", anondyn.ChaseMin()},
 	}
-	for _, tc := range cases {
+	runCases(len(cases), func(i int) (*anondyn.Result, error) {
+		tc := cases[i]
 		res, err := anondyn.Scenario{
 			N: n, F: 0, Eps: eps,
 			Algorithm: tc.algo,
@@ -57,8 +58,11 @@ func E9ExactImpossibility() *analysis.Table {
 			MaxRounds: 500,
 		}.Run()
 		if err != nil {
-			panic(fmt.Sprintf("E9 %v/%s: %v", tc.algo, tc.name, err))
+			return nil, fmt.Errorf("E9 %v/%s: %w", tc.algo, tc.name, err)
 		}
+		return res, nil
+	}, func(i int, res *anondyn.Result) {
+		tc := cases[i]
 		distinct := countDistinct(res.Outputs)
 		agreement := false
 		if tc.algo == anondyn.AlgoFloodMin {
@@ -67,7 +71,7 @@ func E9ExactImpossibility() *analysis.Table {
 			agreement = res.Decided && res.EpsAgreement(eps)
 		}
 		tb.AddRowf(tc.algo.String(), tc.name, res.Decided, distinct, res.OutputRange(), agreement)
-	}
+	})
 	tb.AddNote("exact consensus: the adversary suppresses one message per receiver per round and the 0 never spreads")
 	tb.AddNote("DAC under the same adversaries: n−2 = 5 ≥ ⌊n/2⌋ = 3, so approximate consensus remains solvable")
 	return tb
@@ -84,7 +88,8 @@ func countDistinct(outputs map[int]float64) int {
 // E10ProbabilisticRounds measures DAC's rounds-to-output under the
 // random per-round Erdős–Rényi adversary across link probabilities —
 // the expected-round-complexity question §VII poses. Each cell
-// aggregates 20 seeded runs.
+// aggregates 20 seeded runs; the whole p × seed matrix runs as one
+// worker-pool batch with a streaming BatchStats aggregate per p.
 func E10ProbabilisticRounds() *analysis.Table {
 	const (
 		n      = 9
@@ -96,12 +101,18 @@ func E10ProbabilisticRounds() *analysis.Table {
 	tb := analysis.NewTable(
 		fmt.Sprintf("E10: DAC under er(p), n=%d, f=%d crashes, ε=1e-3, %d seeds per p", n, f, runs),
 		"p", "decided", "rounds mean", "rounds median", "rounds p95", "rounds max", "violations")
-	for _, p := range []float64{0.05, 0.1, 0.2, 0.4, 0.7, 1.0} {
-		var rounds []float64
-		decidedAll := true
-		violations := 0
-		for seed := int64(0); seed < runs; seed++ {
-			res, err := anondyn.Scenario{
+	ps := []float64{0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
+	stats := make([]*anondyn.BatchStats, len(ps))
+	sinks := make([]anondyn.ResultSink, len(ps))
+	for i := range ps {
+		stats[i] = &anondyn.BatchStats{Eps: eps}
+		sinks[i] = stats[i]
+	}
+	err := anondyn.RunManyStream(anondyn.Seeds(len(ps)*runs, 0),
+		func(batchSeed int64) anondyn.Scenario {
+			p := ps[int(batchSeed)/runs]
+			seed := batchSeed % runs
+			return anondyn.Scenario{
 				N: n, F: f, Eps: eps,
 				Algorithm: anondyn.AlgoDAC,
 				Inputs:    anondyn.RandomInputs(n, 7000+seed),
@@ -111,21 +122,18 @@ func E10ProbabilisticRounds() *analysis.Table {
 					5: anondyn.CrashAt(9),
 				},
 				MaxRounds: budget,
-			}.Run()
-			if err != nil {
-				panic(fmt.Sprintf("E10 p=%g seed=%d: %v", p, seed, err))
 			}
-			if !res.Decided {
-				decidedAll = false
-				continue
-			}
-			rounds = append(rounds, float64(res.Rounds))
-			if !res.Valid() || !res.EpsAgreement(eps) {
-				violations++
-			}
-		}
-		s := analysis.Summarize(rounds)
-		tb.AddRowf(p, decidedAll, s.Mean, s.Median, s.P95, s.Max, violations)
+		},
+		anondyn.SinkFunc(func(index int, seed int64, res *anondyn.Result) error {
+			return sinks[index/runs].Consume(index, seed, res)
+		}),
+		batchOptions())
+	if err != nil {
+		panic(fmt.Sprintf("E10: %v", err))
+	}
+	for i, p := range ps {
+		s := stats[i].Rounds()
+		tb.AddRowf(p, stats[i].DecidedAll(), s.Mean, s.Median, s.P95, s.Max, stats[i].Violations())
 	}
 	tb.AddNote("no (T,D) guarantee holds deterministically; termination is only probabilistic — yet safety (validity, ε-agreement) never breaks")
 	return tb
@@ -173,20 +181,23 @@ func E11BandwidthCaps() *analysis.Table {
 		{"DBAC+pb(K=8)", mk(anondyn.AlgoDBACPiggyback, 8, f)},
 		{"FullInfo", mk(anondyn.AlgoFullInfo, 0, 0)},
 	}
-	for _, tc := range cases {
-		for _, cap := range []int{0, 24} {
-			res, err := tc.run(cap)
-			if err != nil {
-				panic(fmt.Sprintf("E11 %s cap=%d: %v", tc.name, cap, err))
-			}
-			capLabel := "∞"
-			if cap > 0 {
-				capLabel = fmt.Sprintf("%d", cap)
-			}
-			tb.AddRowf(tc.name, capLabel, res.Decided, res.Rounds,
-				res.MessagesOversized, res.OutputRange())
+	limits := []int{0, 24}
+	runCases(len(cases)*len(limits), func(i int) (*anondyn.Result, error) {
+		tc, limit := cases[i/len(limits)], limits[i%len(limits)]
+		res, err := tc.run(limit)
+		if err != nil {
+			return nil, fmt.Errorf("E11 %s cap=%d: %w", tc.name, limit, err)
 		}
-	}
+		return res, nil
+	}, func(i int, res *anondyn.Result) {
+		tc, limit := cases[i/len(limits)], limits[i%len(limits)]
+		capLabel := "∞"
+		if limit > 0 {
+			capLabel = fmt.Sprintf("%d", limit)
+		}
+		tb.AddRowf(tc.name, capLabel, res.Decided, res.Rounds,
+			res.MessagesOversized, res.OutputRange())
+	})
 	tb.AddNote("cap 24 bytes ≈ current state + 4 history entries; FullInfo outgrows it and stalls, bounded windows keep fitting")
 	return tb
 }
@@ -217,22 +228,24 @@ func E12JumpAblation() *analysis.Table {
 			return anondyn.RandomDegree(3, anondyn.CrashDegree(n), 0.05, 321)
 		}},
 	}
-	for _, algo := range algos {
-		for _, ac := range advs {
-			res, err := anondyn.Scenario{
-				N: n, F: 0, Eps: eps,
-				Algorithm: algo,
-				Inputs:    anondyn.SpreadInputs(n),
-				Adversary: ac.mk(),
-				MaxRounds: 2000,
-			}.Run()
-			if err != nil {
-				panic(fmt.Sprintf("E12 %v/%s: %v", algo, ac.name, err))
-			}
-			tb.AddRowf(algo.String(), ac.name, res.Decided, res.Rounds,
-				res.OutputRange(), res.EpsAgreement(eps))
+	runCases(len(algos)*len(advs), func(i int) (*anondyn.Result, error) {
+		algo, ac := algos[i/len(advs)], advs[i%len(advs)]
+		res, err := anondyn.Scenario{
+			N: n, F: 0, Eps: eps,
+			Algorithm: algo,
+			Inputs:    anondyn.SpreadInputs(n),
+			Adversary: ac.mk(),
+			MaxRounds: 2000,
+		}.Run()
+		if err != nil {
+			return nil, fmt.Errorf("E12 %v/%s: %w", algo, ac.name, err)
 		}
-	}
+		return res, nil
+	}, func(i int, res *anondyn.Result) {
+		algo, ac := algos[i/len(advs)], advs[i%len(advs)]
+		tb.AddRowf(algo.String(), ac.name, res.Decided, res.Rounds,
+			res.OutputRange(), res.EpsAgreement(eps))
+	})
 	tb.AddNote("without the jump rule, staggered quorums strand slow nodes in abandoned phases: deadlock")
 	return tb
 }

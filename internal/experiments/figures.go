@@ -42,7 +42,11 @@ func F1ConvergenceCurves() *analysis.Table {
 		{anondyn.AlgoDBAC, 11, 2, "rotating(8)+equivocate", anondyn.Rotating(8),
 			map[int]anondyn.Strategy{3: anondyn.Equivocator(0, 1), 8: anondyn.Equivocator(0, 1)}, 14},
 	}
-	for _, tc := range cases {
+	type curve struct {
+		series *anondyn.RangeSeries
+	}
+	runCases(len(cases), func(i int) (curve, error) {
+		tc := cases[i]
 		series := anondyn.NewRangeSeries()
 		res, err := anondyn.Scenario{
 			N: tc.n, F: tc.f, Eps: eps,
@@ -55,18 +59,21 @@ func F1ConvergenceCurves() *analysis.Table {
 			MaxRounds:    4000,
 		}.Run()
 		if err != nil {
-			panic(fmt.Sprintf("F1 %v/%s: %v", tc.algo, tc.advName, err))
+			return curve{}, fmt.Errorf("F1 %v/%s: %w", tc.algo, tc.advName, err)
 		}
 		if !res.Decided {
-			panic(fmt.Sprintf("F1 %v/%s: undecided", tc.algo, tc.advName))
+			return curve{}, fmt.Errorf("F1 %v/%s: undecided", tc.algo, tc.advName)
 		}
-		stride := series.Len() / 8
+		return curve{series: series}, nil
+	}, func(i int, c curve) {
+		tc := cases[i]
+		stride := c.series.Len() / 8
 		if stride < 1 {
 			stride = 1
 		}
 		tb.AddRowf(tc.algo.String(), tc.n, tc.advName,
-			series.RoundsToRange(eps), series.Sparkline(24, 1e-6), series.FormatSampled(stride))
-	}
+			c.series.RoundsToRange(eps), c.series.Sparkline(24, 1e-6), c.series.FormatSampled(stride))
+	})
 	tb.AddNote("curves contract geometrically; hostile schedules stretch the x-axis (rounds), never the contraction per phase")
 	return tb
 }

@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect runs a batch of n square tasks under the given worker count
+// and returns the (index, value) pairs in sink-delivery order.
+func collect(t *testing.T, n, workers int) []int {
+	t.Helper()
+	var got []int
+	err := Run(n,
+		func(i int) (int, error) {
+			// Stagger completion so higher indices often finish first.
+			time.Sleep(time.Duration((n-i)%7) * time.Microsecond)
+			return i * i, nil
+		},
+		func(i, v int) error {
+			if v != i*i {
+				t.Errorf("task %d delivered %d", i, v)
+			}
+			got = append(got, i)
+			return nil
+		},
+		Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestRunDeliversInOrder is the determinism contract: the sink sees
+// index order whatever the pool size or completion order.
+func TestRunDeliversInOrder(t *testing.T) {
+	const n = 200
+	want := collect(t, n, 1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), n + 5} {
+		got := collect(t, n, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d delivered %v, want strict index order", workers, got)
+		}
+	}
+	for i, idx := range want {
+		if idx != i {
+			t.Fatalf("delivery %d was index %d", i, idx)
+		}
+	}
+}
+
+func TestRunRetries(t *testing.T) {
+	var mu sync.Mutex
+	attempts := make(map[int]int)
+	err := Run(8,
+		func(i int) (int, error) {
+			mu.Lock()
+			attempts[i]++
+			tries := attempts[i]
+			mu.Unlock()
+			if tries <= i%3 { // indices 1,2,4,5,7 fail their first tries
+				return 0, fmt.Errorf("transient %d", i)
+			}
+			return i, nil
+		},
+		nil,
+		Options{Workers: 4, Retries: 2})
+	if err != nil {
+		t.Fatalf("retries should have absorbed the transient failures: %v", err)
+	}
+	if attempts[2] != 3 {
+		t.Errorf("task 2 ran %d times, want 3", attempts[2])
+	}
+}
+
+func TestRunCollectsTaskErrors(t *testing.T) {
+	var delivered []int
+	err := Run(10,
+		func(i int) (int, error) {
+			if i%4 == 1 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			delivered = append(delivered, i)
+			return nil
+		},
+		Options{Workers: 3, Retries: 1})
+	if err == nil {
+		t.Fatal("failing tasks reported no error")
+	}
+	for _, i := range []int{1, 5, 9} {
+		if !strings.Contains(err.Error(), fmt.Sprintf("task %d", i)) {
+			t.Errorf("error %q does not mention task %d", err, i)
+		}
+	}
+	if len(delivered) != 7 {
+		t.Errorf("delivered %v, want the 7 surviving tasks", delivered)
+	}
+}
+
+func TestRunBoundsCollectedErrors(t *testing.T) {
+	err := Run(maxCollectedErrors+10,
+		func(i int) (int, error) { return 0, errors.New("boom") },
+		nil, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := strings.Count(err.Error(), "boom"); got != maxCollectedErrors {
+		t.Errorf("retained %d verbatim errors, want %d", got, maxCollectedErrors)
+	}
+	if !strings.Contains(err.Error(), "10 further task errors omitted") {
+		t.Errorf("error %q does not summarize the omitted tail", err)
+	}
+}
+
+func TestRunSinkErrorStopsDeliveries(t *testing.T) {
+	var delivered []int
+	err := Run(10,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			if i == 2 {
+				return errors.New("sink full")
+			}
+			delivered = append(delivered, i)
+			return nil
+		},
+		Options{Workers: 4})
+	if err == nil || !strings.Contains(err.Error(), "sink at task 2") {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if !reflect.DeepEqual(delivered, []int{0, 1}) {
+		t.Errorf("delivered %v after sink failure, want [0 1]", delivered)
+	}
+}
+
+// TestRunSinkErrorHaltsDispatch: after a sink failure no new tasks are
+// handed to the pool — only the few already in flight drain.
+func TestRunSinkErrorHaltsDispatch(t *testing.T) {
+	const n = 100
+	var mu sync.Mutex
+	executed := 0
+	err := Run(n,
+		func(i int) (int, error) {
+			mu.Lock()
+			executed++
+			mu.Unlock()
+			return i, nil
+		},
+		func(i, v int) error { return errors.New("sink full") },
+		Options{Workers: 1})
+	if err == nil {
+		t.Fatal("sink error not reported")
+	}
+	if executed > n/2 {
+		t.Errorf("%d of %d tasks ran after the sink failed at task 0", executed, n)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var calls []int
+	err := Run(5,
+		func(i int) (int, error) { return i, nil },
+		nil,
+		Options{Workers: 3, OnProgress: func(done, total int) {
+			if total != 5 {
+				t.Errorf("total = %d", total)
+			}
+			calls = append(calls, done)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(calls, []int{1, 2, 3, 4, 5}) {
+		t.Errorf("progress calls = %v", calls)
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := Run(0, func(i int) (int, error) { return 0, nil }, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunConcurrentSinks exercises several batches with lock-free
+// mutating sinks at once — under -race this verifies the single-
+// goroutine sink guarantee.
+func TestRunConcurrentSinks(t *testing.T) {
+	var wg sync.WaitGroup
+	for batch := 0; batch < 8; batch++ {
+		wg.Add(1)
+		go func(batch int) {
+			defer wg.Done()
+			sum := 0
+			err := Run(50,
+				func(i int) (int, error) { return batch*1000 + i, nil },
+				func(i, v int) error { sum += v; return nil },
+				Options{Workers: 4})
+			if err != nil {
+				t.Error(err)
+			}
+			if want := batch*1000*50 + 49*50/2; sum != want {
+				t.Errorf("batch %d sum = %d, want %d", batch, sum, want)
+			}
+		}(batch)
+	}
+	wg.Wait()
+}

@@ -260,7 +260,7 @@ func (e *ConcurrentEngine) step() {
 				}
 				m = broadcasts[u]
 			}
-			if cap := e.cfg.linkCap(u, v); cap > 0 && wire.Size(m) > cap {
+			if limit := e.cfg.linkCap(u, v); limit > 0 && wire.Size(m) > limit {
 				e.result.MessagesOversized++
 				continue
 			}

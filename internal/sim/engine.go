@@ -157,7 +157,7 @@ func (e *Engine) Step() {
 			if !ok {
 				continue // sender silent towards v (crashed, partial, or Byzantine nil)
 			}
-			if cap := e.cfg.linkCap(u, v); cap > 0 && wire.Size(m) > cap {
+			if limit := e.cfg.linkCap(u, v); limit > 0 && wire.Size(m) > limit {
 				e.result.MessagesOversized++
 				continue // the link cannot carry a message this large
 			}

@@ -1,8 +1,6 @@
 package anondyn
 
 import (
-	"fmt"
-
 	"anondyn/internal/analysis"
 )
 
@@ -19,20 +17,17 @@ type MultiResult struct {
 // RunMany executes the scenario produced by mk(seed) for each seed and
 // collects the results. mk must return a fresh Scenario per call —
 // adversaries and strategies hold RNG state and must not be shared
-// between runs.
+// between runs — and is invoked concurrently for distinct seeds: the
+// batch runs on a GOMAXPROCS worker pool, with results ordered by
+// batch position exactly as the sequential loop produced them. Large
+// batches that only need aggregates should use RunManyStream with a
+// BatchStats sink instead of retaining every Result.
 func RunMany(seeds []int64, mk func(seed int64) Scenario) (*MultiResult, error) {
-	mr := &MultiResult{
-		Results: make([]*Result, 0, len(seeds)),
-		Seeds:   append([]int64(nil), seeds...),
+	sink := NewRetainSink(len(seeds))
+	if err := RunManyStream(seeds, mk, sink, BatchOptions{}); err != nil {
+		return nil, err
 	}
-	for _, seed := range seeds {
-		res, err := mk(seed).Run()
-		if err != nil {
-			return nil, fmt.Errorf("anondyn: seed %d: %w", seed, err)
-		}
-		mr.Results = append(mr.Results, res)
-	}
-	return mr, nil
+	return sink.MultiResult(), nil
 }
 
 // Seeds returns 0, 1, …, n−1 offset by base — the conventional seed

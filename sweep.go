@@ -1,0 +1,182 @@
+package anondyn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AdversaryFactory names a parametric adversary constructor so sweeps
+// can instantiate a fresh, independently seeded adversary per run.
+type AdversaryFactory struct {
+	// Name labels the axis value in cell results and reports.
+	Name string
+	// New builds the adversary for one run of size n with the run's
+	// seed. It must return a fresh value per call.
+	New func(n int, seed int64) Adversary
+}
+
+// CompleteFactory is the trivial always-complete-graph factory — the
+// default adversary axis of a Grid.
+func CompleteFactory() AdversaryFactory {
+	return AdversaryFactory{Name: "complete", New: func(int, int64) Adversary { return Complete() }}
+}
+
+// Cell is one point of a sweep grid: the cross product of the axes
+// minus whatever Skip rejects.
+type Cell struct {
+	N         int
+	F         int
+	Eps       float64
+	Algorithm Algo
+	Adversary AdversaryFactory
+}
+
+// Grid declares a scenario matrix: every combination of the axis
+// values is one cell, and each cell is measured over SeedsPerCell
+// independent seeded runs. Run executes the whole matrix on the batch
+// harness and produces one aggregate row per cell.
+//
+// Unset axes default to a single neutral value (F=0, ε=1e-3, AlgoDAC,
+// the complete-graph adversary); Ns is the only mandatory axis.
+type Grid struct {
+	// Ns are the network sizes (mandatory).
+	Ns []int
+	// Fs are the fault bounds (nil → {0}).
+	Fs []int
+	// Epss are the ε values (nil → {1e-3}).
+	Epss []float64
+	// Algorithms are the protocols (nil → {AlgoDAC}).
+	Algorithms []Algo
+	// Adversaries are the adversary constructors (nil → complete graph).
+	Adversaries []AdversaryFactory
+	// SeedsPerCell is the Monte-Carlo width per cell (< 1 → 1).
+	SeedsPerCell int
+	// BaseSeed offsets the global seed sequence; run j of cell i uses
+	// seed BaseSeed + i·SeedsPerCell + j.
+	BaseSeed int64
+
+	// MaxRounds caps each run (0 = engine default).
+	MaxRounds int
+	// AccountBandwidth tallies wire bytes per run.
+	AccountBandwidth bool
+	// Inputs generates each run's input vector (nil → RandomInputs).
+	Inputs func(n int, seed int64) []float64
+	// Skip, when non-nil, drops cells (e.g. inadmissible n/f pairs)
+	// from the cross product.
+	Skip func(c Cell) bool
+	// Mutate, when non-nil, adjusts each run's assembled Scenario —
+	// the hook for crash schedules, Byzantine strategies, overrides.
+	Mutate func(s *Scenario, c Cell, seed int64)
+}
+
+// CellResult is one aggregate row of a sweep: the cell's coordinates
+// plus the streaming BatchStats aggregate over its seeds.
+type CellResult struct {
+	N         int     `json:"n"`
+	F         int     `json:"f"`
+	Eps       float64 `json:"eps"`
+	Algorithm string  `json:"algorithm"`
+	Adversary string  `json:"adversary"`
+	BatchReport
+}
+
+// Cells enumerates the matrix in axis order (Ns outermost, Adversaries
+// innermost), applying defaults and the Skip filter.
+func (g Grid) Cells() []Cell {
+	fs := g.Fs
+	if len(fs) == 0 {
+		fs = []int{0}
+	}
+	epss := g.Epss
+	if len(epss) == 0 {
+		epss = []float64{1e-3}
+	}
+	algos := g.Algorithms
+	if len(algos) == 0 {
+		algos = []Algo{AlgoDAC}
+	}
+	advs := g.Adversaries
+	if len(advs) == 0 {
+		advs = []AdversaryFactory{CompleteFactory()}
+	}
+	var cells []Cell
+	for _, n := range g.Ns {
+		for _, f := range fs {
+			for _, eps := range epss {
+				for _, algo := range algos {
+					for _, adv := range advs {
+						c := Cell{N: n, F: f, Eps: eps, Algorithm: algo, Adversary: adv}
+						if g.Skip != nil && g.Skip(c) {
+							continue
+						}
+						cells = append(cells, c)
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// scenario assembles one run of one cell.
+func (g Grid) scenario(c Cell, seed int64) Scenario {
+	inputs := g.Inputs
+	if inputs == nil {
+		inputs = RandomInputs
+	}
+	s := Scenario{
+		N: c.N, F: c.F, Eps: c.Eps,
+		Algorithm:        c.Algorithm,
+		Inputs:           inputs(c.N, seed),
+		Adversary:        c.Adversary.New(c.N, seed),
+		Seed:             seed,
+		MaxRounds:        g.MaxRounds,
+		AccountBandwidth: g.AccountBandwidth,
+	}
+	if g.Mutate != nil {
+		g.Mutate(&s, c, seed)
+	}
+	return s
+}
+
+// Run executes the sweep: all cells' runs are flattened into one batch
+// so the pool stays saturated across cell boundaries, and each result
+// streams into its cell's BatchStats. The returned rows are in Cells()
+// order and bit-identical across worker counts.
+func (g Grid) Run(opts BatchOptions) ([]CellResult, error) {
+	cells := g.Cells()
+	if len(cells) == 0 {
+		return nil, errors.New("anondyn: empty sweep grid (set Grid.Ns)")
+	}
+	per := g.SeedsPerCell
+	if per < 1 {
+		per = 1
+	}
+	stats := make([]*BatchStats, len(cells))
+	for i, c := range cells {
+		stats[i] = &BatchStats{Eps: c.Eps}
+	}
+	seeds := Seeds(len(cells)*per, g.BaseSeed)
+	err := RunManyStream(seeds,
+		func(seed int64) Scenario {
+			i := int(seed-g.BaseSeed) / per
+			return g.scenario(cells[i], seed)
+		},
+		SinkFunc(func(index int, _ int64, res *Result) error {
+			return stats[index/per].Consume(index, seeds[index], res)
+		}),
+		opts)
+	if err != nil {
+		return nil, fmt.Errorf("anondyn: sweep: %w", err)
+	}
+	rows := make([]CellResult, len(cells))
+	for i, c := range cells {
+		rows[i] = CellResult{
+			N: c.N, F: c.F, Eps: c.Eps,
+			Algorithm:   c.Algorithm.String(),
+			Adversary:   c.Adversary.Name,
+			BatchReport: stats[i].Report(),
+		}
+	}
+	return rows, nil
+}

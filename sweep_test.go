@@ -1,0 +1,123 @@
+package anondyn_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"anondyn"
+)
+
+func TestGridCellsDefaultsAndSkip(t *testing.T) {
+	g := anondyn.Grid{Ns: []int{5, 7, 9}}
+	cells := g.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("%d cells, want 3 (unset axes default to one value)", len(cells))
+	}
+	c := cells[0]
+	if c.F != 0 || c.Eps != 1e-3 || c.Algorithm != anondyn.AlgoDAC || c.Adversary.Name != "complete" {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+
+	g.Fs = []int{0, 2}
+	g.Skip = func(c anondyn.Cell) bool { return c.N < 2*c.F+1 }
+	cells = g.Cells()
+	// n=5,7,9 × f=0,2; no pair is inadmissible for these sizes.
+	if len(cells) != 6 {
+		t.Fatalf("%d cells, want 6", len(cells))
+	}
+	g.Ns = []int{3, 7}
+	if got := len(g.Cells()); got != 3 {
+		t.Errorf("skip kept %d cells, want 3 (n=3,f=2 dropped)", got)
+	}
+}
+
+func TestGridRunAggregatesPerCell(t *testing.T) {
+	g := anondyn.Grid{
+		Ns:           []int{5, 7},
+		Algorithms:   []anondyn.Algo{anondyn.AlgoDAC},
+		SeedsPerCell: 4,
+		BaseSeed:     100,
+		MaxRounds:    2000,
+	}
+	rows, err := g.Run(anondyn.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Runs != 4 || r.Decided != 4 || r.Violations != 0 {
+			t.Errorf("cell n=%d: runs/decided/violations = %d/%d/%d",
+				r.N, r.Runs, r.Decided, r.Violations)
+		}
+		if r.Rounds.N != 4 || r.Rounds.Min < 1 {
+			t.Errorf("cell n=%d rounds summary = %+v", r.N, r.Rounds)
+		}
+		if r.Algorithm != "DAC" || r.Adversary != "complete" {
+			t.Errorf("cell labels = %q/%q", r.Algorithm, r.Adversary)
+		}
+	}
+}
+
+// TestGridRunDeterministic: sweep rows are bit-identical across worker
+// counts.
+func TestGridRunDeterministic(t *testing.T) {
+	g := anondyn.Grid{
+		Ns:   []int{5, 7},
+		Epss: []float64{1e-2, 1e-3},
+		Adversaries: []anondyn.AdversaryFactory{
+			anondyn.CompleteFactory(),
+			{Name: "er(0.5)", New: func(_ int, seed int64) anondyn.Adversary {
+				return anondyn.Probabilistic(0.5, seed)
+			}},
+		},
+		SeedsPerCell: 3,
+		MaxRounds:    5000,
+	}
+	base, err := g.Run(anondyn.BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 8 {
+		t.Fatalf("%d rows, want 8", len(base))
+	}
+	for _, workers := range []int{2, 8} {
+		rows, err := g.Run(anondyn.BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rows, base) {
+			t.Errorf("workers=%d sweep differs from sequential", workers)
+		}
+	}
+}
+
+func TestGridRunEmpty(t *testing.T) {
+	if _, err := (anondyn.Grid{}).Run(anondyn.BatchOptions{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+// TestCellResultJSON pins the report shape the CLIs emit.
+func TestCellResultJSON(t *testing.T) {
+	g := anondyn.Grid{Ns: []int{5}, SeedsPerCell: 2}
+	rows, err := g.Run(anondyn.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"n", "f", "eps", "algorithm", "adversary", "runs", "decided", "violations", "rounds", "output_range"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("report row missing %q: %s", key, data)
+		}
+	}
+}
