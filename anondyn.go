@@ -132,6 +132,18 @@ func ParseAlgo(name string) (Algo, error) {
 type (
 	// Adversary chooses the reliable link set E(t) each round.
 	Adversary = adversary.Adversary
+	// InPlaceAdversary is the optional zero-allocation fast path: the
+	// engine hands adversaries implementing it an engine-owned scratch
+	// EdgeSet to overwrite instead of allocating one per round. Every
+	// per-round-allocating adversary in this package implements it
+	// (fixed-graph ones return prebuilt sets by pointer instead, which
+	// is cheaper still); plain Adversary implementations keep working
+	// via the fallback path.
+	InPlaceAdversary = adversary.InPlace
+	// AdversaryReseeder is implemented by randomized adversaries whose
+	// stream CompiledScenario.Run rewinds per seed, letting one
+	// instance serve a whole Monte-Carlo batch reproducibly.
+	AdversaryReseeder = adversary.Reseeder
 	// Crash schedules one node's crash fault.
 	Crash = fault.Crash
 	// Strategy drives one Byzantine node.

@@ -35,10 +35,57 @@ type BatchOptions struct {
 // return a fresh Scenario per call (adversaries and strategies hold
 // RNG state) and is invoked concurrently for distinct seeds. Results
 // are bit-identical across worker counts.
+//
+// Each worker recycles one simulation engine across every seed it
+// executes (the engine's dense state and scratch are rebuilt-free; only
+// the per-seed processes and adversary are fresh). A Reset engine is
+// indistinguishable from a fresh one, so recycling never changes
+// results — asserted by the recycle tests. Scenarios that only need
+// aggregate numbers and want the processes recycled too should use
+// RunManyCompiled.
 func RunManyStream(seeds []int64, mk func(seed int64) Scenario, sink ResultSink, opts BatchOptions) error {
-	return harness.Run(len(seeds),
-		func(i int) (*Result, error) {
-			res, err := mk(seeds[i]).Run()
+	return harness.RunPooled(len(seeds),
+		func() (*engineBox, error) { return &engineBox{}, nil },
+		func(box *engineBox, i int) (*Result, error) {
+			res, err := mk(seeds[i]).runOn(box)
+			if err != nil {
+				return nil, fmt.Errorf("anondyn: seed %d: %w", seeds[i], err)
+			}
+			return res, nil
+		},
+		func(i int, res *Result) error {
+			return sink.Consume(i, seeds[i], res)
+		},
+		harness.Options{Workers: opts.Workers, Retries: opts.Retries, OnProgress: opts.OnProgress})
+}
+
+// RunManyCompiled executes one scenario family across seeds with fully
+// recycled per-worker state: every worker calls family() once, compiles
+// it, and then reuses the compiled scenario — engine, scratch, and
+// (for DAC/DBAC under fixed ports) the process objects themselves —
+// for every seed it draws. inputs(seed), when non-nil, supplies each
+// run's input vector; nil means the template's Inputs for every run.
+//
+// family must build a fresh template per call (workers must not share
+// adversary RNG state). For per-seed reproducibility regardless of
+// which worker runs a seed, the template's randomized components must
+// implement Reseed(seed) — true of every randomized adversary and
+// strategy in this package — or be deterministic; the compiled run then
+// matches a fresh Scenario built with that seed exactly, and results
+// are bit-identical across worker counts. Results stream to sink in
+// batch order, as with RunManyStream.
+func RunManyCompiled(family func() Scenario, seeds []int64, inputs func(seed int64) []float64, sink ResultSink, opts BatchOptions) error {
+	if _, err := family().Compile(); err != nil {
+		return fmt.Errorf("anondyn: compile: %w", err)
+	}
+	return harness.RunPooled(len(seeds),
+		func() (*CompiledScenario, error) { return family().Compile() },
+		func(cs *CompiledScenario, i int) (*Result, error) {
+			var in []float64
+			if inputs != nil {
+				in = inputs(seeds[i])
+			}
+			res, err := cs.Run(seeds[i], in)
 			if err != nil {
 				return nil, fmt.Errorf("anondyn: seed %d: %w", seeds[i], err)
 			}

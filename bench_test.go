@@ -13,7 +13,9 @@ import (
 	"testing"
 
 	"anondyn"
+	"anondyn/internal/core"
 	"anondyn/internal/experiments"
+	"anondyn/internal/sim"
 )
 
 func benchExperiment(b *testing.B, run func() interface{ Rows() int }) {
@@ -120,7 +122,115 @@ func BenchmarkRunManyParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkRunManyCompiled measures the fully recycled batch path —
+// engine, views and DAC processes built once per worker — on the same
+// 1000-seed workload as BenchmarkRunManyParallel. The allocs/op gap
+// between the two benchmarks is the per-seed construction tax the
+// compile-once API removes.
+func BenchmarkRunManyCompiled(b *testing.B) {
+	const batch = 1000
+	family := func() anondyn.Scenario {
+		return anondyn.Scenario{
+			N: 9, F: 2, Eps: 1e-3,
+			Algorithm: anondyn.AlgoDAC,
+			Inputs:    anondyn.RandomInputs(9, 0),
+			Adversary: anondyn.Probabilistic(0.5, 0),
+			MaxRounds: 5000,
+		}
+	}
+	inputs := func(seed int64) []float64 { return anondyn.RandomInputs(9, seed) }
+	pools := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pools = append(pools, n)
+	}
+	for _, workers := range pools {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats := &anondyn.BatchStats{Eps: 1e-3}
+				err := anondyn.RunManyCompiled(family, anondyn.Seeds(batch, 0), inputs, stats,
+					anondyn.BatchOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Runs() != batch {
+					b.Fatalf("streamed %d runs", stats.Runs())
+				}
+			}
+		})
+	}
+}
+
 // Substrate micro-benchmarks.
+
+// steadyEngine builds a sequential engine that never decides (huge
+// phase budget), so every Step is a steady-state round.
+func steadyEngine(tb testing.TB, n int, adv anondyn.Adversary) *sim.Engine {
+	tb.Helper()
+	procs := make([]core.Process, n)
+	for i := 0; i < n; i++ {
+		d, err := core.NewDACPhases(n, i, 1<<20, float64(i)/float64(n-1))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		procs[i] = d
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		N:         n,
+		Procs:     procs,
+		Adversary: adv,
+		MaxRounds: 1 << 30,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng.RunRounds(32) // warm the delivery scratch
+	return eng
+}
+
+// steadyAdversaries are the two adversaries the zero-allocation budget
+// is asserted on: the benign complete graph and the §VII probabilistic
+// adversary (the Monte-Carlo workhorse).
+func steadyAdversaries() map[string]func() anondyn.Adversary {
+	return map[string]func() anondyn.Adversary{
+		"complete": func() anondyn.Adversary { return anondyn.Complete() },
+		"er":       func() anondyn.Adversary { return anondyn.Probabilistic(0.5, 1) },
+	}
+}
+
+// TestSteadyRoundAllocBudget is the PR's allocation budget, enforced:
+// a steady-state DAC engine round performs ZERO heap allocations, on
+// both the complete-graph and probabilistic adversaries. Any regression
+// in the engine hot loop, the adversary fast paths, or the edge-set
+// scratch shows up here as a hard failure.
+func TestSteadyRoundAllocBudget(t *testing.T) {
+	for name, mk := range steadyAdversaries() {
+		t.Run(name, func(t *testing.T) {
+			eng := steadyEngine(t, 9, mk())
+			if avg := testing.AllocsPerRun(200, eng.Step); avg != 0 {
+				t.Errorf("steady-state round allocated %g times per round, want 0", avg)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSteadyRound measures one steady-state round in
+// isolation (no run setup, no decisions) — the purest view of the
+// round-loop cost. Expect 0 allocs/op.
+func BenchmarkEngineSteadyRound(b *testing.B) {
+	for name, mk := range steadyAdversaries() {
+		for _, n := range []int{9, 25, 51} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				eng := steadyEngine(b, n, mk())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			})
+		}
+	}
+}
 
 // BenchmarkEngineRound measures simulator round throughput: one full DAC
 // run on the complete graph per size, amortized per round.
@@ -136,6 +246,37 @@ func BenchmarkEngineRound(b *testing.B) {
 					Inputs:    anondyn.SpreadInputs(n),
 					Adversary: anondyn.Complete(),
 				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += res.Rounds
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rounds), "ns/round")
+		})
+	}
+}
+
+// BenchmarkEngineRoundCompiled is BenchmarkEngineRound on the
+// compile-once path: the scenario is compiled before the loop, so each
+// iteration recycles the engine and the DAC processes and pays only the
+// run itself — the per-seed cost a Monte-Carlo worker actually sees.
+func BenchmarkEngineRoundCompiled(b *testing.B) {
+	for _, n := range []int{7, 25, 51} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			cs, err := anondyn.Scenario{
+				N: n, F: 0, Eps: 1e-3,
+				Algorithm: anondyn.AlgoDAC,
+				Inputs:    anondyn.SpreadInputs(n),
+				Adversary: anondyn.Complete(),
+			}.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := cs.Run(int64(i), nil)
 				if err != nil {
 					b.Fatal(err)
 				}

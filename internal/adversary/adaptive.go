@@ -21,6 +21,34 @@ import (
 // can have degree as low as ⌊n/2⌋−1.
 type Clustered struct {
 	period int
+
+	// scratch reused across rounds by EdgesInto
+	sorter valueSorter
+	groups [2][]int
+}
+
+// valueSorter stably orders node IDs by their snapshot value. Held by
+// pointer inside an adversary so sort.Stable sees a persistent
+// interface value and the per-round sort allocates nothing.
+type valueSorter struct {
+	order []int
+	vals  []float64
+}
+
+func (s *valueSorter) Len() int      { return len(s.order) }
+func (s *valueSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+func (s *valueSorter) Less(a, b int) bool {
+	return s.vals[s.order[a]] < s.vals[s.order[b]]
+}
+
+// resize readies the scratch for n nodes.
+func (s *valueSorter) resize(n int) {
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+		s.vals = make([]float64, n)
+	}
+	s.order = s.order[:n]
+	s.vals = s.vals[:n]
 }
 
 // NewClustered builds the adversary; period ≥ 1 is the spacing of
@@ -40,23 +68,29 @@ func (c *Clustered) Period() int { return c.period }
 
 // Edges implements Adversary.
 func (c *Clustered) Edges(t int, view View) *network.EdgeSet {
+	e := network.NewEdgeSet(view.N())
+	c.EdgesInto(t, view, e)
+	return e
+}
+
+// EdgesInto implements InPlace.
+func (c *Clustered) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	n := view.N()
 	if (t+1)%c.period == 0 {
-		return network.Complete(n)
+		dst.FillComplete()
+		return
 	}
 	// Sort nodes by current value; crashed nodes sort with their last
 	// value, which is harmless (they send nothing anyway).
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	vals := make([]float64, n)
+	c.sorter.resize(n)
 	for i := 0; i < n; i++ {
-		vals[i] = view.Snapshot(i).Value
+		c.sorter.order[i] = i
+		c.sorter.vals[i] = view.Snapshot(i).Value
 	}
-	sort.SliceStable(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+	sort.Stable(&c.sorter)
 	half := (n + 1) / 2
-	return network.GroupComplete(n, order[:half], order[half:])
+	c.groups[0], c.groups[1] = c.sorter.order[:half], c.sorter.order[half:]
+	network.GroupCompleteInto(dst, c.groups[:]...)
 }
 
 // Starve is an adaptive adversary targeting DAC's convergence: it always
@@ -68,6 +102,26 @@ func (c *Clustered) Edges(t int, view View) *network.EdgeSet {
 // axis).
 type Starve struct {
 	d int
+
+	// scratch reused across rounds by EdgesInto
+	sorter starveSorter
+}
+
+// starveSorter stably orders candidate senders by distance to the
+// receiver's value (ties by node ID). dist is indexed by node ID.
+type starveSorter struct {
+	cand []int
+	dist []float64
+}
+
+func (s *starveSorter) Len() int      { return len(s.cand) }
+func (s *starveSorter) Swap(a, b int) { s.cand[a], s.cand[b] = s.cand[b], s.cand[a] }
+func (s *starveSorter) Less(a, b int) bool {
+	da, db := s.dist[s.cand[a]], s.dist[s.cand[b]]
+	if da != db {
+		return da < db
+	}
+	return s.cand[a] < s.cand[b]
 }
 
 // NewStarve builds the adversary with per-round in-degree d ≥ 1.
@@ -83,35 +137,39 @@ func (s *Starve) Name() string { return fmt.Sprintf("starve(d=%d)", s.d) }
 
 // Edges implements Adversary.
 func (s *Starve) Edges(t int, view View) *network.EdgeSet {
+	e := network.NewEdgeSet(view.N())
+	s.EdgesInto(t, view, e)
+	return e
+}
+
+// EdgesInto implements InPlace.
+func (s *Starve) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	n := view.N()
 	d := s.d
 	if d > n-1 {
 		d = n - 1
 	}
-	e := network.NewEdgeSet(n)
-	cand := make([]int, 0, n-1)
+	dst.Reset()
+	if cap(s.sorter.cand) < n {
+		s.sorter.cand = make([]int, 0, n)
+		s.sorter.dist = make([]float64, n)
+	}
+	s.sorter.dist = s.sorter.dist[:n]
 	for v := 0; v < n; v++ {
 		vv := view.Snapshot(v).Value
-		cand = cand[:0]
+		s.sorter.cand = s.sorter.cand[:0]
 		for u := 0; u < n; u++ {
 			if u != v {
-				cand = append(cand, u)
+				s.sorter.cand = append(s.sorter.cand, u)
+				s.sorter.dist[u] = abs(view.Snapshot(u).Value - vv)
 			}
 		}
-		u := cand // closest-first by |value_u − value_v|, ties by ID
-		sort.SliceStable(u, func(a, b int) bool {
-			da := abs(view.Snapshot(u[a]).Value - vv)
-			db := abs(view.Snapshot(u[b]).Value - vv)
-			if da != db {
-				return da < db
-			}
-			return u[a] < u[b]
-		})
+		// closest-first by |value_u − value_v|, ties by ID
+		sort.Stable(&s.sorter)
 		for i := 0; i < d; i++ {
-			e.Add(u[i], v)
+			dst.Add(s.sorter.cand[i], v)
 		}
 	}
-	return e
 }
 
 func abs(x float64) float64 {
@@ -151,4 +209,25 @@ func (c *Compose) Name() string {
 // Edges implements Adversary.
 func (c *Compose) Edges(t int, view View) *network.EdgeSet {
 	return c.subs[t%len(c.subs)].Edges(t, view)
+}
+
+// EdgesInto implements InPlace, delegating to the round's sub-adversary
+// (copying its Edges result when it lacks the fast path).
+func (c *Compose) EdgesInto(t int, view View, dst *network.EdgeSet) {
+	sub := c.subs[t%len(c.subs)]
+	if ip, ok := sub.(InPlace); ok {
+		ip.EdgesInto(t, view, dst)
+		return
+	}
+	dst.CopyFrom(sub.Edges(t, view))
+}
+
+// Reseed implements Reseeder, forwarding the seed to every randomized
+// sub-adversary.
+func (c *Compose) Reseed(seed int64) {
+	for _, sub := range c.subs {
+		if r, ok := sub.(Reseeder); ok {
+			r.Reseed(seed)
+		}
+	}
 }

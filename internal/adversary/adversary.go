@@ -29,6 +29,30 @@ type Adversary interface {
 	Edges(t int, view View) *network.EdgeSet
 }
 
+// InPlace is the optional zero-allocation extension of Adversary:
+// EdgesInto overwrites dst — an engine-owned scratch set over view.N()
+// nodes — with E(t) instead of allocating a fresh set. The engine
+// probes for it once per execution and falls back to Edges for
+// adversaries that do not implement it, so third-party adversaries keep
+// working unchanged. Every adversary in this package that would
+// otherwise allocate per round implements it; fixed-graph adversaries
+// (Static, Periodic, SplitGroups, the trace replay) intentionally do
+// not — they return prebuilt sets by pointer, which is cheaper than any
+// copy into scratch.
+type InPlace interface {
+	Adversary
+	EdgesInto(t int, view View, dst *network.EdgeSet)
+}
+
+// Reseeder is implemented by randomized adversaries (and Byzantine
+// strategies) whose stream can be rewound to the deterministic state of
+// a freshly constructed instance with the given seed. Compiled
+// scenarios reseed per run so one instance can serve a whole
+// Monte-Carlo batch without losing reproducibility.
+type Reseeder interface {
+	Reseed(seed int64)
+}
+
 // staticView adapts a plain size (no state access) to View for
 // adversaries evaluated outside an engine, e.g. when pre-rendering a
 // trace for the dynaDegree checker.

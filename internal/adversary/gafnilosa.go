@@ -35,14 +35,20 @@ func (a *Isolate) Name() string { return fmt.Sprintf("isolate(%d)", a.victim) }
 
 // Edges implements Adversary.
 func (a *Isolate) Edges(t int, view View) *network.EdgeSet {
+	e := network.NewEdgeSet(view.N())
+	a.EdgesInto(t, view, e)
+	return e
+}
+
+// EdgesInto implements InPlace.
+func (a *Isolate) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	n := view.N()
-	e := network.Complete(n)
+	dst.FillComplete()
 	if a.victim < n {
 		for v := 0; v < n; v++ {
-			e.Remove(a.victim, v)
+			dst.Remove(a.victim, v)
 		}
 	}
-	return e
 }
 
 // Victim returns the suppressed node.
@@ -63,9 +69,16 @@ func NewChaseMin() ChaseMin { return ChaseMin{} }
 func (ChaseMin) Name() string { return "chaseMin" }
 
 // Edges implements Adversary.
-func (ChaseMin) Edges(t int, view View) *network.EdgeSet {
+func (a ChaseMin) Edges(t int, view View) *network.EdgeSet {
+	e := network.NewEdgeSet(view.N())
+	a.EdgesInto(t, view, e)
+	return e
+}
+
+// EdgesInto implements InPlace.
+func (ChaseMin) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	n := view.N()
-	e := network.Complete(n)
+	dst.FillComplete()
 	// Find the minimum holder with the smallest ID.
 	minID, minVal := 0, view.Snapshot(0).Value
 	for i := 1; i < n; i++ {
@@ -74,7 +87,6 @@ func (ChaseMin) Edges(t int, view View) *network.EdgeSet {
 		}
 	}
 	for v := 0; v < n; v++ {
-		e.Remove(minID, v)
+		dst.Remove(minID, v)
 	}
-	return e
 }

@@ -25,6 +25,11 @@ func (Complete) Edges(t int, view View) *network.EdgeSet {
 	return network.Complete(view.N())
 }
 
+// EdgesInto implements InPlace: a word-wise fill of the scratch set.
+func (Complete) EdgesInto(t int, view View, dst *network.EdgeSet) {
+	dst.FillComplete()
+}
+
 // Static replays one fixed graph every round.
 type Static struct {
 	g    *network.EdgeSet
@@ -39,7 +44,10 @@ func NewStatic(name string, g *network.EdgeSet) *Static {
 // Name implements Adversary.
 func (s *Static) Name() string { return "static:" + s.name }
 
-// Edges implements Adversary.
+// Edges implements Adversary. Static deliberately does NOT implement
+// InPlace: it returns its prebuilt set by pointer, which is already
+// allocation-free and cheaper than any per-round copy into an
+// engine-owned scratch set (the engine never mutates returned sets).
 func (s *Static) Edges(t int, view View) *network.EdgeSet { return s.g }
 
 // Periodic cycles through a fixed schedule of edge sets:
@@ -60,7 +68,9 @@ func NewPeriodic(name string, sets ...*network.EdgeSet) (*Periodic, error) {
 // Name implements Adversary.
 func (p *Periodic) Name() string { return "periodic:" + p.name }
 
-// Edges implements Adversary.
+// Edges implements Adversary. Like Static, Periodic returns prebuilt
+// sets by pointer and skips InPlace: the fallback path is already
+// allocation-free and copy-free.
 func (p *Periodic) Edges(t int, view View) *network.EdgeSet {
 	return p.sets[t%len(p.sets)]
 }
@@ -108,12 +118,19 @@ func (r *Rotating) Name() string { return fmt.Sprintf("rotating(d=%d)", r.d) }
 
 // Edges implements Adversary.
 func (r *Rotating) Edges(t int, view View) *network.EdgeSet {
+	e := network.NewEdgeSet(view.N())
+	r.EdgesInto(t, view, e)
+	return e
+}
+
+// EdgesInto implements InPlace.
+func (r *Rotating) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	n := view.N()
 	d := r.d
 	if d > n-1 {
 		d = n - 1
 	}
-	return network.InRegular(n, d, (t*d)%n)
+	network.InRegularInto(dst, d, (t*d)%n)
 }
 
 // RandomDegree spreads, for every node and every aligned block of B
@@ -157,8 +174,17 @@ func (r *RandomDegree) Name() string {
 // Edges implements Adversary. Calls must proceed in strictly increasing
 // round order (the engine guarantees this): the RNG stream advances with
 // every call. Re-running an execution requires a fresh instance with the
-// same seed, or the trace package's replay adversary.
+// same seed, a Reseed, or the trace package's replay adversary.
 func (r *RandomDegree) Edges(t int, view View) *network.EdgeSet {
+	e := network.NewEdgeSet(view.N())
+	r.EdgesInto(t, view, e)
+	return e
+}
+
+// EdgesInto implements InPlace. It consumes the RNG stream exactly as
+// Edges does, so the two paths render identical traces from the same
+// seed.
+func (r *RandomDegree) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	n := view.N()
 	d := r.d
 	if d > n-1 {
@@ -167,22 +193,34 @@ func (r *RandomDegree) Edges(t int, view View) *network.EdgeSet {
 	if b := t / r.block; b != r.blockIdx {
 		r.buildBlock(b, n, d)
 	}
-	e := r.schedule[t%r.block].Clone()
+	dst.CopyFrom(r.schedule[t%r.block])
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u != v && r.extra > 0 && r.rng.Float64() < r.extra {
-				e.Add(u, v)
+				dst.Add(u, v)
 			}
 		}
 	}
-	return e
+}
+
+// Reseed implements Reseeder: the next Edges call behaves exactly like
+// the first call of a fresh instance built with this seed.
+func (r *RandomDegree) Reseed(seed int64) {
+	r.rng = rand.New(rand.NewSource(seed))
+	r.blockIdx = -1
 }
 
 func (r *RandomDegree) buildBlock(b, n, d int) {
 	r.blockIdx = b
-	r.schedule = make([]*network.EdgeSet, r.block)
-	for i := range r.schedule {
-		r.schedule[i] = network.NewEdgeSet(n)
+	if len(r.schedule) != r.block || (r.block > 0 && r.schedule[0].N() != n) {
+		r.schedule = make([]*network.EdgeSet, r.block)
+		for i := range r.schedule {
+			r.schedule[i] = network.NewEdgeSet(n)
+		}
+	} else {
+		for _, s := range r.schedule {
+			s.Reset()
+		}
 	}
 	for v := 0; v < n; v++ {
 		// d distinct in-neighbors for v, each scheduled in a random round

@@ -31,16 +31,29 @@ func NewProbabilistic(p float64, seed int64) (*Probabilistic, error) {
 func (a *Probabilistic) Name() string { return fmt.Sprintf("er(p=%.2f)", a.p) }
 
 // Edges implements Adversary. The RNG stream advances with every call;
-// replaying requires a fresh instance with the same seed.
+// replaying requires a fresh instance with the same seed, or a Reseed.
 func (a *Probabilistic) Edges(t int, view View) *network.EdgeSet {
+	e := network.NewEdgeSet(view.N())
+	a.EdgesInto(t, view, e)
+	return e
+}
+
+// EdgesInto implements InPlace; it consumes the RNG stream exactly as
+// Edges does, so both paths draw identical graphs from the same seed.
+func (a *Probabilistic) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	n := view.N()
-	e := network.NewEdgeSet(n)
+	dst.Reset()
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u != v && a.rng.Float64() < a.p {
-				e.Add(u, v)
+				dst.Add(u, v)
 			}
 		}
 	}
-	return e
+}
+
+// Reseed implements Reseeder: the next Edges call behaves exactly like
+// the first call of a fresh instance built with this seed.
+func (a *Probabilistic) Reseed(seed int64) {
+	a.rng = rand.New(rand.NewSource(seed))
 }

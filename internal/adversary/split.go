@@ -64,7 +64,9 @@ func NewHalves(n int) (*SplitGroups, error) {
 // Name implements Adversary.
 func (s *SplitGroups) Name() string { return s.name }
 
-// Edges implements Adversary.
+// Edges implements Adversary. SplitGroups returns its prebuilt set by
+// pointer and skips InPlace: the fallback path is already
+// allocation-free and copy-free.
 func (s *SplitGroups) Edges(t int, view View) *network.EdgeSet { return s.g }
 
 // ByzSplitLayout is the full Theorem 10 scenario: the node grouping, the

@@ -196,6 +196,26 @@ func NewDACCustom(n, selfPort, pEnd, quorum int, input float64) (*DAC, error) {
 	return d, nil
 }
 
+// Reinit implements Reinitializer: return to the freshly-constructed
+// state with a new input, keeping n, pEnd, quorum, the self port and
+// the ablation flag. Mirrors NewDAC's initialization exactly.
+func (d *DAC) Reinit(input float64) {
+	d.v = input
+	d.p = 0
+	d.vmin = input
+	d.vmax = input
+	for i := range d.r {
+		d.r[i] = false
+	}
+	d.r[d.selfPort] = true
+	d.nr = 1
+	d.decided = false
+	d.decision = 0
+	d.jumps = 0
+	d.quorums = 0
+	d.maybeDecide()
+}
+
 // reset is RESET() of Algorithm 1: clear R except the self entry and
 // collapse the phase-p extremes onto the current value.
 func (d *DAC) reset() {

@@ -169,6 +169,27 @@ func NewDBACCustom(n, f, selfPort, pEnd, quorum int, input float64) (*DBAC, erro
 	return d, nil
 }
 
+// Reinit implements Reinitializer: return to the freshly-constructed
+// state with a new input, keeping n, f, pEnd, quorum and the self port.
+// Mirrors newDBACWithPEnd's initialization exactly.
+func (d *DBAC) Reinit(input float64) {
+	d.v = input
+	d.p = 0
+	for i := range d.r {
+		d.r[i] = false
+	}
+	d.r[d.selfPort] = true
+	d.nr = 1
+	d.low.clear()
+	d.high.clear()
+	d.low.add(input)
+	d.high.add(input)
+	d.decided = false
+	d.decision = 0
+	d.quorums = 0
+	d.maybeDecide()
+}
+
 // reset is RESET() of Algorithm 2, plus the self-delivery store.
 func (d *DBAC) reset() {
 	for i := range d.r {

@@ -43,6 +43,17 @@ type Process interface {
 	Value() float64
 }
 
+// Reinitializer is the optional recycling extension of Process: Reinit
+// returns the node to its freshly-constructed state with a new input,
+// keeping its structural parameters (n, pEnd, quorum, self port). It
+// lets compiled scenarios reuse one set of processes across a whole
+// Monte-Carlo batch instead of reallocating them per seed; a Reinit
+// process must be indistinguishable from a newly constructed one (the
+// recycle tests assert byte-identical executions).
+type Reinitializer interface {
+	Reinit(input float64)
+}
+
 // Snapshot is a read-only view of a process's public state, handed to
 // adaptive adversaries and recorded in traces.
 type Snapshot struct {

@@ -132,6 +132,13 @@ func NewRandomNoise(seed int64) *RandomNoise {
 	return &RandomNoise{rng: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the stream to the state of a fresh instance built with
+// this seed (the Reseeder contract compiled scenarios use to recycle
+// strategies across Monte-Carlo runs).
+func (r *RandomNoise) Reseed(seed int64) {
+	r.rng = rand.New(rand.NewSource(seed))
+}
+
 // Name implements Strategy.
 func (*RandomNoise) Name() string { return "randomNoise" }
 

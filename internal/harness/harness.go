@@ -63,6 +63,26 @@ func (o Options) workers(n int) int {
 // new task dispatch; only already-dispatched tasks drain. Run returns
 // all collected errors joined, or nil.
 func Run[T any](n int, task func(i int) (T, error), sink func(i int, v T) error, opts Options) error {
+	return RunPooled(n,
+		func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) (T, error) { return task(i) },
+		sink, opts)
+}
+
+// RunPooled is Run with per-worker recyclable state: every worker calls
+// newState once when it starts and hands the value to each task it
+// executes. The state is what makes engine recycling possible — a
+// worker's simulation engine, scratch buffers, or compiled scenario
+// live across all the seeds that worker processes instead of being
+// rebuilt per task. State is never shared between workers, so tasks
+// may mutate it freely; determinism of the batch output additionally
+// requires that a task's result not depend on which worker (and hence
+// which state instance) executed it — true for engine recycling, where
+// a Reset engine is indistinguishable from a fresh one.
+//
+// A newState error fails every task that worker would have run (the
+// batch keeps going on the other workers, mirroring task errors).
+func RunPooled[S, T any](n int, newState func() (S, error), task func(state S, i int) (T, error), sink func(i int, v T) error, opts Options) error {
 	if n <= 0 {
 		return nil
 	}
@@ -85,8 +105,14 @@ func Run[T any](n int, task func(i int) (T, error), sink func(i int, v T) error,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			state, stateErr := newState()
 			for i := range indices {
-				v, err := attempt(i, task, opts.Retries)
+				if stateErr != nil {
+					var zero T
+					done <- item{i: i, v: zero, err: fmt.Errorf("worker state: %w", stateErr)}
+					continue
+				}
+				v, err := attempt(state, i, task, opts.Retries)
 				done <- item{i: i, v: v, err: err}
 			}
 		}()
@@ -151,13 +177,13 @@ func Run[T any](n int, task func(i int) (T, error), sink func(i int, v T) error,
 }
 
 // attempt runs one task with its bounded retry budget.
-func attempt[T any](i int, task func(i int) (T, error), retries int) (T, error) {
+func attempt[S, T any](state S, i int, task func(state S, i int) (T, error), retries int) (T, error) {
 	var (
 		v   T
 		err error
 	)
 	for try := 0; try <= retries; try++ {
-		v, err = task(i)
+		v, err = task(state, i)
 		if err == nil {
 			return v, nil
 		}

@@ -212,3 +212,87 @@ func TestRunConcurrentSinks(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestRunPooledStatePerWorker: every worker gets exactly one state
+// instance, and tasks see their own worker's state only.
+func TestRunPooledStatePerWorker(t *testing.T) {
+	const n, workers = 64, 4
+	var mu sync.Mutex
+	states := 0
+	type state struct{ id, tasks int }
+	perState := make(map[*state]int)
+	err := RunPooled(n,
+		func() (*state, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			states++
+			return &state{id: states}, nil
+		},
+		func(s *state, i int) (int, error) {
+			s.tasks++ // would race if a state were shared between workers
+			mu.Lock()
+			perState[s] = s.tasks
+			mu.Unlock()
+			return i, nil
+		},
+		nil,
+		Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states != workers {
+		t.Errorf("newState ran %d times for %d workers", states, workers)
+	}
+	total := 0
+	for _, c := range perState {
+		total += c
+	}
+	if total != n {
+		t.Errorf("states saw %d tasks, want %d", total, n)
+	}
+}
+
+// TestRunPooledStateError: a worker whose state fails to build fails its
+// tasks with the state error; with every worker failing, the batch
+// reports the error rather than hanging or succeeding.
+func TestRunPooledStateError(t *testing.T) {
+	boom := errors.New("no state for you")
+	err := RunPooled(8,
+		func() (int, error) { return 0, boom },
+		func(_ int, i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			t.Errorf("sink saw task %d despite state failure", i)
+			return nil
+		},
+		Options{Workers: 2})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+}
+
+// TestRunPooledOrderMatchesRun: RunPooled preserves the strict
+// index-order sink contract whatever the worker count.
+func TestRunPooledOrderMatchesRun(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var got []int
+		err := RunPooled(40,
+			func() (struct{}, error) { return struct{}{}, nil },
+			func(_ struct{}, i int) (int, error) {
+				time.Sleep(time.Duration((40-i)%5) * time.Microsecond)
+				return i, nil
+			},
+			func(i, v int) error {
+				got = append(got, v)
+				return nil
+			},
+			Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if i != v {
+				t.Fatalf("workers=%d: delivery %d carried %d", workers, i, v)
+			}
+		}
+	}
+}

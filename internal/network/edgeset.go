@@ -77,24 +77,29 @@ func (e *EdgeSet) OutNeighbors(u int) []int {
 	return res
 }
 
-// InNeighbors returns v's incoming neighbors in ascending order.
+// InNeighbors returns v's incoming neighbors in ascending order. The
+// scan is a strided column walk over row bitmaps with the (word, bit) of
+// v precomputed, mirroring InBitsInto — not a per-row Has call.
 func (e *EdgeSet) InNeighbors(v int) []int {
 	e.check(v)
+	word, bit := v/wordBits, uint64(1)<<(uint(v)%wordBits)
 	var res []int
-	for u := 0; u < e.n; u++ {
-		if e.Has(u, v) {
+	for u, idx := 0, word; u < e.n; u, idx = u+1, idx+e.words {
+		if e.out[idx]&bit != 0 {
 			res = append(res, u)
 		}
 	}
 	return res
 }
 
-// InDegree returns the number of incoming links at v.
+// InDegree returns the number of incoming links at v, via the same
+// strided column walk as InNeighbors.
 func (e *EdgeSet) InDegree(v int) int {
 	e.check(v)
+	word, bit := v/wordBits, uint64(1)<<(uint(v)%wordBits)
 	d := 0
-	for u := 0; u < e.n; u++ {
-		if e.Has(u, v) {
+	for idx, end := word, e.n*e.words; idx < end; idx += e.words {
+		if e.out[idx]&bit != 0 {
 			d++
 		}
 	}
@@ -126,6 +131,40 @@ func (e *EdgeSet) Clone() *EdgeSet {
 	c := &EdgeSet{n: e.n, words: e.words, out: make([]uint64, len(e.out))}
 	copy(c.out, e.out)
 	return c
+}
+
+// Reset removes every link, keeping the backing storage. It makes an
+// engine-owned scratch set reusable round after round without
+// allocating.
+func (e *EdgeSet) Reset() {
+	clear(e.out)
+}
+
+// CopyFrom overwrites e with other's links without allocating. Both
+// sets must share n.
+func (e *EdgeSet) CopyFrom(other *EdgeSet) {
+	if other.n != e.n {
+		panic(fmt.Sprintf("network: copy between mismatched sizes %d and %d", e.n, other.n))
+	}
+	copy(e.out, other.out)
+}
+
+// FillComplete overwrites e with the complete directed graph (every
+// link except self-loops), word-wise — the zero-allocation counterpart
+// of Complete(n).
+func (e *EdgeSet) FillComplete() {
+	for i := range e.out {
+		e.out[i] = ^uint64(0)
+	}
+	tail := ^uint64(0)
+	if r := e.n % wordBits; r != 0 {
+		tail = (uint64(1) << uint(r)) - 1
+	}
+	for u := 0; u < e.n; u++ {
+		row := u * e.words
+		e.out[row+e.words-1] &= tail
+		e.out[row+u/wordBits] &^= 1 << (uint(u) % wordBits)
+	}
 }
 
 // UnionWith merges other's links into e in place. Both sets must share n.

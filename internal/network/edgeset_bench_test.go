@@ -1,0 +1,68 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The engine's hot loop calls InDegree/OutDegree per node per round and
+// the dynaDegree checker scans incoming links over thousands of rounds,
+// so the column-scan rewrite of InNeighbors/InDegree is benchmarked
+// here against the workload sizes the experiments use.
+
+func benchSizes() []int { return []int{9, 51, 129} }
+
+func BenchmarkInDegree(b *testing.B) {
+	for _, n := range benchSizes() {
+		e := randomEdgeSet(n, 0.5, rand.New(rand.NewSource(7)))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			sum := 0
+			for i := 0; i < b.N; i++ {
+				for v := 0; v < n; v++ {
+					sum += e.InDegree(v)
+				}
+			}
+			if sum < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
+func BenchmarkInNeighbors(b *testing.B) {
+	for _, n := range benchSizes() {
+		e := randomEdgeSet(n, 0.5, rand.New(rand.NewSource(7)))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for v := 0; v < n; v++ {
+					if e.InNeighbors(v) == nil && n > 1 {
+						b.Fatal("empty neighborhood in a dense graph")
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFillComplete(b *testing.B) {
+	for _, n := range benchSizes() {
+		e := NewEdgeSet(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.FillComplete()
+			}
+		})
+	}
+}
+
+func BenchmarkEdgeSetReset(b *testing.B) {
+	e := Complete(129)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+	}
+}

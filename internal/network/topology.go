@@ -9,13 +9,7 @@ import "fmt"
 // Complete returns the complete directed graph on n nodes (no self-loops).
 func Complete(n int) *EdgeSet {
 	e := NewEdgeSet(n)
-	for u := 0; u < n; u++ {
-		for v := 0; v < n; v++ {
-			if u != v {
-				e.Add(u, v)
-			}
-		}
-	}
+	e.FillComplete()
 	return e
 }
 
@@ -60,10 +54,19 @@ func Star(n, hub int) *EdgeSet {
 // rotate, which is how the rotating adversaries guarantee distinctness
 // across windows.
 func InRegular(n, d, offset int) *EdgeSet {
+	e := NewEdgeSet(n)
+	InRegularInto(e, d, offset)
+	return e
+}
+
+// InRegularInto overwrites e with the InRegular graph of its size
+// without allocating.
+func InRegularInto(e *EdgeSet, d, offset int) {
+	n := e.N()
 	if d < 0 || d > n-1 {
 		panic(fmt.Sprintf("network: in-degree %d out of range [0,%d]", d, n-1))
 	}
-	e := NewEdgeSet(n)
+	e.Reset()
 	for v := 0; v < n; v++ {
 		added := 0
 		for j := 1; added < d && j <= n; j++ {
@@ -75,7 +78,6 @@ func InRegular(n, d, offset int) *EdgeSet {
 			added++
 		}
 	}
-	return e
 }
 
 // GroupComplete returns the graph whose links are exactly the complete
@@ -83,6 +85,15 @@ func InRegular(n, d, offset int) *EdgeSet {
 // impossibility constructions of Theorems 9 and 10.
 func GroupComplete(n int, groups ...[]int) *EdgeSet {
 	e := NewEdgeSet(n)
+	GroupCompleteInto(e, groups...)
+	return e
+}
+
+// GroupCompleteInto overwrites e with the GroupComplete graph of its
+// size. Callers passing a pre-built [][]int slice (`groups...`) incur no
+// allocation.
+func GroupCompleteInto(e *EdgeSet, groups ...[]int) {
+	e.Reset()
 	for _, g := range groups {
 		for _, u := range g {
 			for _, v := range g {
@@ -92,5 +103,4 @@ func GroupComplete(n int, groups ...[]int) *EdgeSet {
 			}
 		}
 	}
-	return e
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"sync"
 
+	"anondyn/internal/adversary"
 	"anondyn/internal/core"
 	"anondyn/internal/network"
 	"anondyn/internal/trace"
@@ -17,21 +18,47 @@ import (
 // equivalence tests assert it. Its purpose is twofold: it demonstrates
 // the algorithms are driven purely through the Process interface with no
 // hidden shared state, and it exercises them under the race detector.
+//
+// Like Engine it keeps per-node state dense and reuses its round
+// scratch — per-receiver delivery buffers, Byzantine message slots,
+// reply slots — across rounds: the round barriers guarantee a worker is
+// done with its buffers before the controller refills them.
 type ConcurrentEngine struct {
 	cfg       Config
 	maxRounds int
 	ports     network.Ports
 
-	round   int
-	view    *execView
-	snaps   []core.Snapshot
-	decided map[int]bool
-	result  Result
+	round int
+	view  *execView
+	snaps []core.Snapshot
+
+	isByz       []bool
+	decided     []bool
+	outputs     []float64
+	decideRound []int
+	inputs      []float64
+	faultFree   []int
+
+	// round scratch reused across rounds
+	broadcasts []core.Message
+	hasBcast   []bool
+	bcastSize  []int
+	byzMsgs    [][]*core.Message
+	delivBufs  [][]core.Delivery // per-receiver, refilled once per round
+	replies    chan nodeReply
+	replyBufs  []nodeReply // per-node landing slot for the delivery barrier
+	hasReply   []bool
+	edges      *network.EdgeSet
+	inPlace    adversary.InPlace
+	needSize   bool
+
+	roundValues map[int]float64
 
 	cmds    []chan nodeCmd
-	replies chan nodeReply
 	wg      sync.WaitGroup
 	started bool
+
+	result Result
 }
 
 type cmdKind int
@@ -72,27 +99,42 @@ func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
 	if ports == nil {
 		ports = network.IdentityPorts(cfg.N)
 	}
+	n := cfg.N
 	e := &ConcurrentEngine{
-		cfg:       cfg,
-		maxRounds: maxRounds,
-		ports:     ports,
-		snaps:     make([]core.Snapshot, cfg.N),
-		decided:   make(map[int]bool, cfg.N),
-		replies:   make(chan nodeReply, cfg.N),
-		cmds:      make([]chan nodeCmd, cfg.N),
+		cfg:         cfg,
+		maxRounds:   maxRounds,
+		ports:       ports,
+		snaps:       make([]core.Snapshot, n),
+		isByz:       make([]bool, n),
+		decided:     make([]bool, n),
+		outputs:     make([]float64, n),
+		decideRound: make([]int, n),
+		inputs:      make([]float64, n),
+		broadcasts:  make([]core.Message, n),
+		hasBcast:    make([]bool, n),
+		bcastSize:   make([]int, n),
+		byzMsgs:     make([][]*core.Message, n),
+		delivBufs:   make([][]core.Delivery, n),
+		replyBufs:   make([]nodeReply, n),
+		hasReply:    make([]bool, n),
+		replies:     make(chan nodeReply, n),
+		cmds:        make([]chan nodeCmd, n),
 	}
-	e.view = newExecView(cfg)
-	e.result = Result{
-		Outputs:     make(map[int]float64, cfg.N),
-		DecideRound: make(map[int]int, cfg.N),
-		Inputs:      make(map[int]float64, cfg.N),
-		FaultFree:   cfg.FaultFree(),
+	for i := range cfg.Byzantine {
+		e.isByz[i] = true
 	}
+	if ip, ok := cfg.Adversary.(adversary.InPlace); ok {
+		e.inPlace = ip
+		e.edges = network.NewEdgeSet(n)
+	}
+	e.needSize = cfg.AccountBandwidth || cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
+	e.view = newExecView(&e.cfg, e.isByz)
+	e.faultFree = cfg.FaultFree()
 	for i, p := range cfg.Procs {
 		if p == nil {
 			continue
 		}
-		e.result.Inputs[i] = p.Value()
+		e.inputs[i] = p.Value()
 		e.snaps[i] = core.Snap(p)
 		if v, ok := p.Output(); ok {
 			e.noteDecision(i, v, 0)
@@ -102,16 +144,37 @@ func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
 }
 
 // Run executes rounds until all fault-free nodes decide or the budget is
-// exhausted, shuts the workers down, and returns the result.
+// exhausted, shuts the workers down, and returns the result. The Result
+// is detached: further engine use never mutates it.
 func (e *ConcurrentEngine) Run() *Result {
 	e.start()
 	for e.round < e.maxRounds && !e.allDecided() {
 		e.step()
 	}
 	e.Close()
-	e.result.Rounds = e.round
-	e.result.Decided = e.allDecided()
-	return &e.result
+	return e.finish()
+}
+
+// finish mirrors Engine.finish: one map materialization per run.
+func (e *ConcurrentEngine) finish() *Result {
+	n := e.cfg.N
+	res := e.result
+	res.Rounds = e.round
+	res.Decided = e.allDecided()
+	res.FaultFree = e.faultFree
+	res.Outputs = make(map[int]float64, n)
+	res.DecideRound = make(map[int]int, n)
+	res.Inputs = make(map[int]float64, n)
+	for i := 0; i < n; i++ {
+		if e.decided[i] {
+			res.Outputs[i] = e.outputs[i]
+			res.DecideRound[i] = e.decideRound[i]
+		}
+		if e.cfg.Procs[i] != nil {
+			res.Inputs[i] = e.inputs[i]
+		}
+	}
+	return &res
 }
 
 // Close terminates the worker goroutines. Idempotent.
@@ -135,7 +198,7 @@ func (e *ConcurrentEngine) start() {
 	}
 	e.started = true
 	for i := 0; i < e.cfg.N; i++ {
-		if _, byz := e.cfg.Byzantine[i]; byz {
+		if e.isByz[i] {
 			continue
 		}
 		ch := make(chan nodeCmd, 1)
@@ -147,15 +210,18 @@ func (e *ConcurrentEngine) start() {
 
 // worker owns one Process: all algorithm calls for the node happen on
 // this goroutine, mirroring a real deployment where each device runs its
-// own protocol stack.
+// own protocol stack. The transitions buffer is worker-owned and reused
+// across rounds; the controller finishes reading it before the next
+// command is issued (delivery barrier), so the reuse is race-free.
 func (e *ConcurrentEngine) worker(node int, proc core.Process, cmds <-chan nodeCmd) {
 	defer e.wg.Done()
+	var trs []transition
 	for cmd := range cmds {
 		switch cmd.kind {
 		case cmdBroadcast:
 			e.replies <- nodeReply{node: node, msg: proc.Broadcast()}
 		case cmdDeliver:
-			var trs []transition
+			trs = trs[:0]
 			for _, d := range cmd.deliveries {
 				before := proc.Phase()
 				proc.Deliver(d)
@@ -179,7 +245,7 @@ func (e *ConcurrentEngine) step() {
 	// (1) Start-of-round view for the adversary and Byzantine nodes,
 	// from the snapshots gathered at the end of the previous round.
 	for i := 0; i < e.cfg.N; i++ {
-		if _, byz := e.cfg.Byzantine[i]; byz {
+		if e.isByz[i] {
 			e.view.snaps[i] = core.Snapshot{Byzantine: true}
 			continue
 		}
@@ -189,7 +255,13 @@ func (e *ConcurrentEngine) step() {
 	}
 	e.view.round = t
 
-	edges := e.cfg.Adversary.Edges(t, e.view)
+	var edges *network.EdgeSet
+	if e.inPlace != nil {
+		e.inPlace.EdgesInto(t, e.view, e.edges)
+		edges = e.edges
+	} else {
+		edges = e.cfg.Adversary.Edges(t, e.view)
+	}
 	if e.cfg.Recorder != nil {
 		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindRound, Round: t, Edges: edges.Edges()})
 	}
@@ -197,16 +269,14 @@ func (e *ConcurrentEngine) step() {
 		e.result.Trace = append(e.result.Trace, edges.Clone())
 	}
 
-	byzMsgs := make(map[int][]*core.Message, len(e.cfg.Byzantine))
 	for i, strat := range e.cfg.Byzantine {
-		byzMsgs[i] = strat.Messages(t, i, e.view)
+		e.byzMsgs[i] = strat.Messages(t, i, e.view)
 	}
 
 	// (2) Broadcast barrier.
-	broadcasts := make([]core.Message, e.cfg.N)
-	hasBcast := make([]bool, e.cfg.N)
 	pending := 0
 	for i := 0; i < e.cfg.N; i++ {
+		e.hasBcast[i] = false
 		if e.cmds[i] == nil || !e.cfg.Crashes.Alive(t, i) {
 			continue
 		}
@@ -215,15 +285,18 @@ func (e *ConcurrentEngine) step() {
 	}
 	for ; pending > 0; pending-- {
 		r := <-e.replies
-		broadcasts[r.node] = r.msg
-		hasBcast[r.node] = true
+		e.broadcasts[r.node] = r.msg
+		e.hasBcast[r.node] = true
+		if e.needSize {
+			e.bcastSize[r.node] = wire.Size(r.msg)
+		}
 	}
 	if e.cfg.Recorder != nil {
 		for i := 0; i < e.cfg.N; i++ {
-			if hasBcast[i] {
+			if e.hasBcast[i] {
 				e.cfg.Recorder.Record(trace.Event{
 					Kind: trace.KindBroadcast, Round: t, Node: i,
-					Value: broadcasts[i].Value, Phase: broadcasts[i].Phase,
+					Value: e.broadcasts[i].Value, Phase: e.broadcasts[i].Phase,
 				})
 			}
 			if c, ok := e.cfg.Crashes[i]; ok && c.Round == t {
@@ -233,12 +306,14 @@ func (e *ConcurrentEngine) step() {
 	}
 
 	// (3) Build per-receiver delivery sequences (identical order to the
-	// sequential engine: ascending port).
+	// sequential engine: ascending port), into buffers reused across
+	// rounds — the delivery barrier below guarantees the worker is done
+	// with its buffer before the next round refills it.
 	for v := 0; v < e.cfg.N; v++ {
 		if e.cmds[v] == nil || !e.cfg.Crashes.FullyAlive(t, v) {
 			continue
 		}
-		var ds []core.Delivery
+		ds := e.delivBufs[v][:0]
 		numbering := e.ports[v]
 		for port := 0; port < e.cfg.N; port++ {
 			u := numbering.Node(port)
@@ -246,35 +321,40 @@ func (e *ConcurrentEngine) step() {
 				continue
 			}
 			var m core.Message
-			if msgs, byz := byzMsgs[u]; byz {
-				if msgs[v] == nil {
+			size := 0
+			if e.isByz[u] {
+				mp := e.byzMsgs[u][v]
+				if mp == nil {
 					continue
 				}
-				m = *msgs[v]
+				m = *mp
+				if e.needSize {
+					size = wire.Size(m)
+				}
 			} else {
-				if !hasBcast[u] {
+				if !e.hasBcast[u] {
 					continue
 				}
 				if c, ok := e.cfg.Crashes[u]; ok && c.Round == t && !c.AllowsFinalDelivery(v) {
 					continue
 				}
-				m = broadcasts[u]
+				m = e.broadcasts[u]
+				size = e.bcastSize[u]
 			}
-			if limit := e.cfg.linkCap(u, v); limit > 0 && wire.Size(m) > limit {
+			if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
 				e.result.MessagesOversized++
 				continue
 			}
 			ds = append(ds, core.Delivery{Port: port, Msg: m})
+			if e.cfg.AccountBandwidth {
+				e.result.BytesDelivered += size
+			}
 		}
 		if e.cfg.ShuffleDelivery {
 			shuffleDeliveries(ds, e.cfg.ShuffleSeed, t, v)
 		}
+		e.delivBufs[v] = ds
 		e.result.MessagesDelivered += len(ds)
-		if e.cfg.AccountBandwidth {
-			for _, d := range ds {
-				e.result.BytesDelivered += wire.Size(d.Msg)
-			}
-		}
 		if e.cfg.Recorder != nil {
 			for _, d := range ds {
 				e.cfg.Recorder.Record(trace.Event{
@@ -289,17 +369,19 @@ func (e *ConcurrentEngine) step() {
 
 	// (4) Delivery barrier: collect replies, then apply callbacks in
 	// ascending node order for deterministic observer streams.
-	replies := make([]*nodeReply, e.cfg.N)
+	for i := range e.hasReply {
+		e.hasReply[i] = false
+	}
 	for ; pending > 0; pending-- {
 		r := <-e.replies
-		rr := r
-		replies[r.node] = &rr
+		e.replyBufs[r.node] = r
+		e.hasReply[r.node] = true
 	}
 	for v := 0; v < e.cfg.N; v++ {
-		r := replies[v]
-		if r == nil {
+		if !e.hasReply[v] {
 			continue
 		}
+		r := &e.replyBufs[v]
 		e.snaps[v] = r.snap
 		for _, tr := range r.transitions {
 			if e.cfg.Observer != nil {
@@ -319,21 +401,24 @@ func (e *ConcurrentEngine) step() {
 
 	// Adversary-suppressed message accounting (alive sender, no link).
 	for u := 0; u < e.cfg.N; u++ {
-		if _, byz := e.cfg.Byzantine[u]; !byz && !e.cfg.Crashes.Alive(t, u) {
+		if !e.isByz[u] && !e.cfg.Crashes.Alive(t, u) {
 			continue
 		}
 		e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
 	}
 
 	if ro, ok := e.cfg.Observer.(RoundObserver); ok {
-		values := make(map[int]float64, e.cfg.N)
+		if e.roundValues == nil {
+			e.roundValues = make(map[int]float64, e.cfg.N)
+		}
+		clear(e.roundValues)
 		for i := 0; i < e.cfg.N; i++ {
 			if e.cmds[i] == nil || !e.cfg.Crashes.Alive(t+1, i) {
 				continue
 			}
-			values[i] = e.snaps[i].Value
+			e.roundValues[i] = e.snaps[i].Value
 		}
-		ro.OnRoundEnd(t, values)
+		ro.OnRoundEnd(t, e.roundValues)
 	}
 
 	e.round++
@@ -344,8 +429,8 @@ func (e *ConcurrentEngine) noteDecision(node int, v float64, round int) {
 		return
 	}
 	e.decided[node] = true
-	e.result.Outputs[node] = v
-	e.result.DecideRound[node] = round
+	e.outputs[node] = v
+	e.decideRound[node] = round
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnDecide(node, v, round)
 	}
@@ -355,7 +440,7 @@ func (e *ConcurrentEngine) noteDecision(node int, v float64, round int) {
 }
 
 func (e *ConcurrentEngine) allDecided() bool {
-	for _, i := range e.result.FaultFree {
+	for _, i := range e.faultFree {
 		if !e.decided[i] {
 			return false
 		}

@@ -9,7 +9,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
@@ -171,7 +170,9 @@ func (c *Config) validate() (int, error) {
 }
 
 // shuffleDeliveries permutes one receiver's round deliveries with a
-// permutation derived deterministically from (seed, round, node).
+// permutation derived deterministically from (seed, round, node): a
+// Fisher–Yates walk over a splitmix64 stream, so the engine's hot loop
+// pays no RNG allocation.
 func shuffleDeliveries(ds []core.Delivery, seed int64, round, node int) {
 	if len(ds) < 2 {
 		return
@@ -179,11 +180,17 @@ func shuffleDeliveries(ds []core.Delivery, seed int64, round, node int) {
 	// splitmix-style stream selector so nearby (round, node) pairs get
 	// unrelated permutations.
 	z := uint64(seed) ^ (uint64(round)+1)*0x9e3779b97f4a7c15 ^ (uint64(node)+1)*0xbf58476d1ce4e5b9
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	rng := rand.New(rand.NewSource(int64(z)))
-	rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+	for i := len(ds) - 1; i > 0; i-- {
+		z += 0x9e3779b97f4a7c15
+		x := z
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		j := int(x % uint64(i+1))
+		ds[i], ds[j] = ds[j], ds[i]
+	}
 }
 
 // linkCap resolves the byte budget of one directed link: per-link

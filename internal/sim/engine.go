@@ -1,61 +1,151 @@
 package sim
 
 import (
+	"anondyn/internal/adversary"
 	"anondyn/internal/core"
+	"anondyn/internal/fault"
 	"anondyn/internal/network"
 	"anondyn/internal/trace"
 	"anondyn/internal/wire"
 )
 
 // Engine is the deterministic sequential executor. One instance runs one
-// execution; it is not safe for concurrent use.
+// execution; it is not safe for concurrent use. Engines are recyclable:
+// Reset reconfigures an instance for a fresh execution while reusing
+// every allocation of the previous one, which is what makes Monte-Carlo
+// batches cheap (see CompiledScenario and the harness worker pool).
+//
+// All per-node bookkeeping is dense (slices indexed by node ID, sized
+// cfg.N) rather than map-based, and the per-round edge set is written
+// into an engine-owned scratch set whenever the adversary implements
+// adversary.InPlace — so a steady-state round allocates nothing at all
+// (asserted by TestSteadyStateRoundAllocs and the bench suite). Maps
+// appear only in the exported Result, materialized once per run.
 type Engine struct {
 	cfg       Config
 	maxRounds int
 	ports     network.Ports
+	ownPorts  bool // ports were engine-built identity numberings (reusable)
 
-	round   int
-	view    *execView
-	decided map[int]bool
-	result  Result
+	round int
+	view  *execView
+
+	// dense per-node execution state, sized cfg.N
+	isByz       []bool
+	byzStrats   []fault.Strategy
+	decided     []bool
+	outputs     []float64
+	decideRound []int
+	inputs      []float64
+	faultFree   []int
 
 	// scratch reused across rounds
-	broadcasts  []core.Message
-	hasBcast    []bool
-	byzMsgs     map[int][]*core.Message
-	deliveries  []core.Delivery
-	roundValues map[int]float64
+	broadcasts []core.Message
+	hasBcast   []bool
+	bcastSize  []int // wire.Size per broadcast, computed once per round
+	byzMsgs    [][]*core.Message
+	deliveries []core.Delivery
+	edges      *network.EdgeSet  // engine-owned E(t) for InPlace adversaries
+	inPlace    adversary.InPlace // non-nil when the adversary has the fast path
+	roundObs   RoundObserver     // cfg.Observer's optional round hook, cached
+	needSize   bool              // any consumer of wire sizes configured
+
+	roundValues map[int]float64 // lazily built, reused across rounds
+
+	result Result // counters accumulate here; finish() materializes maps
 }
 
 // NewEngine validates the configuration and prepares an execution.
 func NewEngine(cfg Config) (*Engine, error) {
-	maxRounds, err := cfg.validate()
-	if err != nil {
+	e := &Engine{}
+	if err := e.Reset(cfg); err != nil {
 		return nil, err
 	}
-	ports := cfg.Ports
-	if ports == nil {
-		ports = network.IdentityPorts(cfg.N)
+	return e, nil
+}
+
+// Reset reconfigures the engine to execute cfg from round zero,
+// recycling the previous execution's allocations whenever the network
+// size matches. A Reset engine is indistinguishable from a fresh
+// NewEngine(cfg) one — the recycle tests assert byte-identical Results —
+// so a batch worker can run thousands of seeds on one instance.
+func (e *Engine) Reset(cfg Config) error {
+	maxRounds, err := cfg.validate()
+	if err != nil {
+		return err
 	}
-	e := &Engine{
-		cfg:        cfg,
-		maxRounds:  maxRounds,
-		ports:      ports,
-		decided:    make(map[int]bool, cfg.N),
-		broadcasts: make([]core.Message, cfg.N),
-		hasBcast:   make([]bool, cfg.N),
-		byzMsgs:    make(map[int][]*core.Message, len(cfg.Byzantine)),
+	n := cfg.N
+	sameN := e.broadcasts != nil && len(e.broadcasts) == n
+	e.cfg = cfg
+	e.maxRounds = maxRounds
+	e.round = 0
+
+	switch {
+	case cfg.Ports != nil:
+		e.ports = cfg.Ports
+		e.ownPorts = false
+	case sameN && e.ownPorts:
+		// keep the identity numberings built for the previous run
+	default:
+		e.ports = network.IdentityPorts(n)
+		e.ownPorts = true
 	}
-	e.view = newExecView(cfg)
-	e.result = Result{
-		Outputs:     make(map[int]float64, cfg.N),
-		DecideRound: make(map[int]int, cfg.N),
-		Inputs:      make(map[int]float64, cfg.N),
-		FaultFree:   cfg.FaultFree(),
+
+	if sameN {
+		for i := 0; i < n; i++ {
+			e.isByz[i] = false
+			e.byzStrats[i] = nil
+			e.decided[i] = false
+			e.outputs[i] = 0
+			e.decideRound[i] = 0
+			e.inputs[i] = 0
+			e.hasBcast[i] = false
+			e.bcastSize[i] = 0
+			e.byzMsgs[i] = nil // drop last run's slices: nothing stale survives
+		}
+		e.deliveries = e.deliveries[:0]
+	} else {
+		e.isByz = make([]bool, n)
+		e.byzStrats = make([]fault.Strategy, n)
+		e.decided = make([]bool, n)
+		e.outputs = make([]float64, n)
+		e.decideRound = make([]int, n)
+		e.inputs = make([]float64, n)
+		e.broadcasts = make([]core.Message, n)
+		e.hasBcast = make([]bool, n)
+		e.bcastSize = make([]int, n)
+		e.byzMsgs = make([][]*core.Message, n)
+		e.deliveries = nil
+		e.edges = nil
+		e.view = nil
 	}
+	for i, strat := range cfg.Byzantine {
+		e.isByz[i] = true
+		e.byzStrats[i] = strat
+	}
+
+	if ip, ok := cfg.Adversary.(adversary.InPlace); ok {
+		e.inPlace = ip
+		if e.edges == nil {
+			e.edges = network.NewEdgeSet(n)
+		}
+	} else {
+		e.inPlace = nil
+	}
+	e.roundObs, _ = cfg.Observer.(RoundObserver)
+	e.needSize = cfg.AccountBandwidth || cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
+
+	if e.view == nil {
+		e.view = newExecView(&e.cfg, e.isByz)
+	} else {
+		e.view.reset(&e.cfg, e.isByz)
+	}
+
+	e.faultFree = cfg.FaultFree()
+	e.result = Result{}
 	for i, p := range cfg.Procs {
 		if p != nil {
-			e.result.Inputs[i] = p.Value()
+			e.inputs[i] = p.Value()
 		}
 	}
 	// A degenerate network (or pEnd = 0) can decide at construction.
@@ -64,30 +154,52 @@ func NewEngine(cfg Config) (*Engine, error) {
 			e.noteDecision(i, p, 0)
 		}
 	}
-	return e, nil
+	return nil
 }
 
 // Run executes rounds until every fault-free node has decided or the
-// round budget is exhausted, and returns the result.
+// round budget is exhausted, and returns the result. The Result is
+// detached from the engine: a later Reset or further rounds never
+// mutate it, so batch sinks may retain it while the engine is recycled.
 func (e *Engine) Run() *Result {
 	for e.round < e.maxRounds && !e.allDecided() {
 		e.Step()
 	}
-	e.result.Rounds = e.round
-	e.result.Decided = e.allDecided()
-	return &e.result
+	return e.finish()
 }
 
 // RunRounds executes exactly k further rounds (regardless of decisions)
 // and returns the running result. Useful for convergence measurements
-// that outlive the first decision.
+// that outlive the first decision. Each call returns a fresh snapshot;
+// earlier snapshots are not updated by later rounds.
 func (e *Engine) RunRounds(k int) *Result {
 	for i := 0; i < k; i++ {
 		e.Step()
 	}
-	e.result.Rounds = e.round
-	e.result.Decided = e.allDecided()
-	return &e.result
+	return e.finish()
+}
+
+// finish materializes the exported Result from the dense execution
+// state: one map build per run, none per round.
+func (e *Engine) finish() *Result {
+	n := e.cfg.N
+	res := e.result // counters and trace by value
+	res.Rounds = e.round
+	res.Decided = e.allDecided()
+	res.FaultFree = e.faultFree
+	res.Outputs = make(map[int]float64, n)
+	res.DecideRound = make(map[int]int, n)
+	res.Inputs = make(map[int]float64, n)
+	for i := 0; i < n; i++ {
+		if e.decided[i] {
+			res.Outputs[i] = e.outputs[i]
+			res.DecideRound[i] = e.decideRound[i]
+		}
+		if e.cfg.Procs[i] != nil {
+			res.Inputs[i] = e.inputs[i]
+		}
+	}
+	return &res
 }
 
 // Round returns the number of rounds executed so far.
@@ -96,13 +208,23 @@ func (e *Engine) Round() int { return e.round }
 // Proc exposes a node's Process for inspection (nil for Byzantine IDs).
 func (e *Engine) Proc(i int) core.Process { return e.cfg.Procs[i] }
 
+// roundEdges resolves E(t): the engine-owned scratch set for InPlace
+// adversaries, the adversary's own allocation otherwise.
+func (e *Engine) roundEdges(t int) *network.EdgeSet {
+	if e.inPlace != nil {
+		e.inPlace.EdgesInto(t, e.view, e.edges)
+		return e.edges
+	}
+	return e.cfg.Adversary.Edges(t, e.view)
+}
+
 // Step executes one synchronous round.
 func (e *Engine) Step() {
 	t := e.round
 	e.view.refresh(t)
 
 	// (1) The adversary chooses E(t) (it may read start-of-round state).
-	edges := e.cfg.Adversary.Edges(t, e.view)
+	edges := e.roundEdges(t)
 	if e.cfg.Recorder != nil {
 		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindRound, Round: t, Edges: edges.Edges()})
 	}
@@ -112,20 +234,25 @@ func (e *Engine) Step() {
 
 	// (2) Broadcasts. Crash-scheduled nodes still broadcast in their
 	// crash round (possibly reaching only a subset); Byzantine nodes
-	// produce per-receiver messages.
+	// produce per-receiver messages, overwriting last round's slices so
+	// nothing stale is ever consulted.
 	for i := 0; i < e.cfg.N; i++ {
 		e.hasBcast[i] = false
-		if strat, byz := e.cfg.Byzantine[i]; byz {
-			e.byzMsgs[i] = strat.Messages(t, i, e.view)
+		if e.isByz[i] {
+			e.byzMsgs[i] = e.byzStrats[i].Messages(t, i, e.view)
 			continue
 		}
 		if !e.cfg.Crashes.Alive(t, i) {
 			continue
 		}
-		e.broadcasts[i] = e.cfg.Procs[i].Broadcast()
+		m := e.cfg.Procs[i].Broadcast()
+		e.broadcasts[i] = m
 		e.hasBcast[i] = true
+		if e.needSize {
+			// One Size per broadcast per round; deliveries reuse it.
+			e.bcastSize[i] = wire.Size(m)
+		}
 		if e.cfg.Recorder != nil {
-			m := e.broadcasts[i]
 			e.cfg.Recorder.Record(trace.Event{
 				Kind: trace.KindBroadcast, Round: t, Node: i, Value: m.Value, Phase: m.Phase,
 			})
@@ -138,7 +265,7 @@ func (e *Engine) Step() {
 	// (3) Deliveries, per receiver in node order, per sender in the
 	// receiver's port order — fully deterministic.
 	for v := 0; v < e.cfg.N; v++ {
-		if _, byz := e.cfg.Byzantine[v]; byz {
+		if e.isByz[v] {
 			continue
 		}
 		// A node receives in round t only if it survives the whole
@@ -153,15 +280,18 @@ func (e *Engine) Step() {
 			if u == v || !edges.Has(u, v) {
 				continue
 			}
-			m, ok := e.outgoing(t, u, v)
+			m, size, ok := e.outgoing(t, u, v)
 			if !ok {
 				continue // sender silent towards v (crashed, partial, or Byzantine nil)
 			}
-			if limit := e.cfg.linkCap(u, v); limit > 0 && wire.Size(m) > limit {
+			if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
 				e.result.MessagesOversized++
 				continue // the link cannot carry a message this large
 			}
 			e.deliveries = append(e.deliveries, core.Delivery{Port: port, Msg: m})
+			if e.cfg.AccountBandwidth {
+				e.result.BytesDelivered += size
+			}
 		}
 		if e.cfg.ShuffleDelivery {
 			shuffleDeliveries(e.deliveries, e.cfg.ShuffleSeed, t, v)
@@ -169,9 +299,6 @@ func (e *Engine) Step() {
 		e.result.MessagesDelivered += len(e.deliveries)
 		proc := e.cfg.Procs[v]
 		for _, d := range e.deliveries {
-			if e.cfg.AccountBandwidth {
-				e.result.BytesDelivered += wire.Size(d.Msg)
-			}
 			if e.cfg.Recorder != nil {
 				e.cfg.Recorder.Record(trace.Event{
 					Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
@@ -202,50 +329,50 @@ func (e *Engine) Step() {
 
 // notifyRoundEnd feeds the optional RoundObserver extension.
 func (e *Engine) notifyRoundEnd(t int) {
-	ro, ok := e.cfg.Observer.(RoundObserver)
-	if !ok {
+	if e.roundObs == nil {
 		return
 	}
 	if e.roundValues == nil {
 		e.roundValues = make(map[int]float64, e.cfg.N)
 	}
-	for k := range e.roundValues {
-		delete(e.roundValues, k)
-	}
+	clear(e.roundValues)
 	for i, p := range e.cfg.Procs {
 		if p == nil || !e.cfg.Crashes.Alive(t+1, i) {
 			continue
 		}
 		e.roundValues[i] = p.Value()
 	}
-	ro.OnRoundEnd(t, e.roundValues)
+	e.roundObs.OnRoundEnd(t, e.roundValues)
 }
 
 // outgoing resolves the message sender u directs at receiver v in round
 // t, honoring Byzantine per-receiver choice and crash partial delivery.
-func (e *Engine) outgoing(t, u, v int) (core.Message, bool) {
-	if msgs, byz := e.byzMsgs[u]; byz {
-		if _, isByz := e.cfg.Byzantine[u]; isByz {
-			if m := msgs[v]; m != nil {
-				return *m, true
-			}
-			return core.Message{}, false
+// size is the wire-format length, valid only when the configuration
+// needs sizes (bandwidth accounting or link caps); broadcast sizes come
+// from the once-per-round pass, Byzantine per-receiver messages are
+// sized here (each is delivered at most once per round).
+func (e *Engine) outgoing(t, u, v int) (m core.Message, size int, ok bool) {
+	if e.isByz[u] {
+		mp := e.byzMsgs[u][v]
+		if mp == nil {
+			return core.Message{}, 0, false
 		}
+		if e.needSize {
+			size = wire.Size(*mp)
+		}
+		return *mp, size, true
 	}
 	if !e.hasBcast[u] {
-		return core.Message{}, false
+		return core.Message{}, 0, false
 	}
-	if c, ok := e.cfg.Crashes[u]; ok && c.Round == t && !c.AllowsFinalDelivery(v) {
-		return core.Message{}, false
+	if c, crashed := e.cfg.Crashes[u]; crashed && c.Round == t && !c.AllowsFinalDelivery(v) {
+		return core.Message{}, 0, false
 	}
-	return e.broadcasts[u], true
+	return e.broadcasts[u], e.bcastSize[u], true
 }
 
 func (e *Engine) aliveSender(t, u int) bool {
-	if _, byz := e.cfg.Byzantine[u]; byz {
-		return true
-	}
-	return e.cfg.Crashes.Alive(t, u)
+	return e.isByz[u] || e.cfg.Crashes.Alive(t, u)
 }
 
 func (e *Engine) notePhase(node, from, to int, value float64, round int) {
@@ -269,8 +396,8 @@ func (e *Engine) noteDecision(node int, proc core.Process, round int) {
 		return
 	}
 	e.decided[node] = true
-	e.result.Outputs[node] = v
-	e.result.DecideRound[node] = round
+	e.outputs[node] = v
+	e.decideRound[node] = round
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnDecide(node, v, round)
 	}
@@ -280,7 +407,7 @@ func (e *Engine) noteDecision(node int, proc core.Process, round int) {
 }
 
 func (e *Engine) allDecided() bool {
-	for _, i := range e.result.FaultFree {
+	for _, i := range e.faultFree {
 		if !e.decided[i] {
 			return false
 		}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"anondyn/internal/adversary"
+	"anondyn/internal/core"
+	"anondyn/internal/fault"
+	"anondyn/internal/network"
+)
+
+// resetCase builds one fresh Config per call; adversaries and processes
+// carry state and must never be shared between runs.
+type resetCase struct {
+	name string
+	mk   func(t *testing.T) Config
+}
+
+func resetCases() []resetCase {
+	return []resetCase{
+		{"dac-rotating-crash", func(t *testing.T) Config {
+			rot, err := adversary.NewRotating(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{
+				N:         9,
+				Procs:     dacProcs(t, 9, 8, spread(9)),
+				Adversary: rot,
+				Crashes:   fault.Schedule{2: fault.CrashPartial(3, 0, 1)},
+			}
+		}},
+		{"dac-er-shuffle", func(t *testing.T) Config {
+			er, err := adversary.NewProbabilistic(0.5, 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{
+				N:               9,
+				Procs:           dacProcs(t, 9, 8, spread(9)),
+				Adversary:       er,
+				ShuffleDelivery: true,
+				ShuffleSeed:     5,
+				MaxRounds:       4000,
+			}
+		}},
+		{"dbac-byzantine-ports", func(t *testing.T) Config {
+			byz := map[int]fault.Strategy{3: fault.Extremist{Value: 1}}
+			return Config{
+				N:         11,
+				F:         2,
+				Procs:     dbacProcs(t, 11, 2, 6, spread(11), byz),
+				Byzantine: byz,
+				Adversary: adversary.NewComplete(),
+				Ports:     network.RandomPorts(11, newRand(9)),
+			}
+		}},
+		{"dac-bandwidth-capped", func(t *testing.T) Config {
+			return Config{
+				N:                7,
+				Procs:            dacProcs(t, 7, 6, spread(7)),
+				Adversary:        adversary.NewComplete(),
+				AccountBandwidth: true,
+				MaxMessageBytes:  16,
+			}
+		}},
+	}
+}
+
+func sameResult(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: results differ:\nwant %+v\ngot  %+v", label, want, got)
+	}
+}
+
+// TestEngineResetMatchesFresh: an engine Reset onto a configuration must
+// reproduce a fresh engine's Result bit for bit — including when the
+// Reset follows an unrelated run that dirtied every piece of scratch.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	for _, tc := range resetCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh, err := NewEngine(tc.mk(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fresh.Run()
+
+			// Dirty an engine with a different-shaped run first.
+			eng, err := NewEngine(Config{
+				N:         5,
+				Procs:     dacProcs(t, 5, 4, spread(5)),
+				Adversary: adversary.NewComplete(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Run()
+			if err := eng.Reset(tc.mk(t)); err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, want, eng.Run(), "reset after different-n run")
+
+			// Same-shape recycle (the batch worker's steady state).
+			if err := eng.Reset(tc.mk(t)); err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, want, eng.Run(), "reset after same-n run")
+		})
+	}
+}
+
+// TestEngineResetRejectsInvalid: a failed Reset must surface the
+// configuration error a fresh construction would.
+func TestEngineResetRejectsInvalid(t *testing.T) {
+	eng, err := NewEngine(Config{
+		N:         5,
+		Procs:     dacProcs(t, 5, 4, spread(5)),
+		Adversary: adversary.NewComplete(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Reset(Config{N: 3}); err == nil {
+		t.Fatal("Reset accepted a config with no adversary and no procs")
+	}
+}
+
+// TestResultDetachedFromEngine: a Result returned by Run must not change
+// when the engine is recycled — batch sinks retain Results while the
+// worker's engine moves on to the next seed.
+func TestResultDetachedFromEngine(t *testing.T) {
+	mk := func(input float64) Config {
+		in := spread(7)
+		in[0] = input
+		return Config{
+			N:         7,
+			Procs:     dacProcs(t, 7, 6, in),
+			Adversary: adversary.NewComplete(),
+		}
+	}
+	eng, err := NewEngine(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := eng.Run()
+	snapshot := *first
+	outputs := make(map[int]float64, len(first.Outputs))
+	for k, v := range first.Outputs {
+		outputs[k] = v
+	}
+
+	if err := eng.Reset(mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	if first.Rounds != snapshot.Rounds || first.Decided != snapshot.Decided {
+		t.Error("recycling mutated a retained Result's counters")
+	}
+	if !reflect.DeepEqual(first.Outputs, outputs) {
+		t.Error("recycling mutated a retained Result's outputs")
+	}
+}
+
+// TestSteadyStateRoundAllocs is the allocation budget of the tentpole:
+// a steady-state DAC round allocates nothing, on both the benign
+// complete graph and the §VII probabilistic adversary.
+func TestSteadyStateRoundAllocs(t *testing.T) {
+	const n = 9
+	// A huge pEnd keeps every node busy forever: rounds stay steady-state.
+	bigProcs := func() []core.Process {
+		procs := make([]core.Process, n)
+		for i := 0; i < n; i++ {
+			d, err := core.NewDACPhases(n, i, 1<<20, spread(n)[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs[i] = d
+		}
+		return procs
+	}
+	cases := map[string]func() adversary.Adversary{
+		"complete": func() adversary.Adversary { return adversary.NewComplete() },
+		"er": func() adversary.Adversary {
+			a, err := adversary.NewProbabilistic(0.5, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+	}
+	for name, mkAdv := range cases {
+		t.Run(name, func(t *testing.T) {
+			eng, err := NewEngine(Config{
+				N:         n,
+				Procs:     bigProcs(),
+				Adversary: mkAdv(),
+				MaxRounds: 1 << 30,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.RunRounds(32) // warm the delivery scratch
+			avg := testing.AllocsPerRun(100, eng.Step)
+			if avg != 0 {
+				t.Errorf("steady-state round allocated %g times, want 0", avg)
+			}
+		})
+	}
+}

@@ -6,17 +6,33 @@ import (
 
 // execView is the start-of-round state window handed to adversaries and
 // Byzantine strategies. It satisfies both adversary.View and fault.View
-// (structurally identical interfaces).
+// (structurally identical interfaces). It points at the engine's own
+// Config and Byzantine flags so engine recycling re-targets it without
+// reallocating the snapshot buffer.
 type execView struct {
 	cfg   *Config
+	isByz []bool
 	round int
 	snaps []core.Snapshot
 }
 
-func newExecView(cfg Config) *execView {
+func newExecView(cfg *Config, isByz []bool) *execView {
 	v := &execView{snaps: make([]core.Snapshot, cfg.N)}
-	v.cfg = &cfg
+	v.reset(cfg, isByz)
 	return v
+}
+
+// reset re-targets the view for a fresh execution, reusing the snapshot
+// buffer when the network size is unchanged.
+func (v *execView) reset(cfg *Config, isByz []bool) {
+	v.cfg = cfg
+	v.isByz = isByz
+	v.round = 0
+	if len(v.snaps) != cfg.N {
+		v.snaps = make([]core.Snapshot, cfg.N)
+	} else {
+		clear(v.snaps)
+	}
 }
 
 // refresh captures every node's public state at the start of round t.
@@ -26,7 +42,7 @@ func newExecView(cfg Config) *execView {
 func (v *execView) refresh(t int) {
 	v.round = t
 	for i := 0; i < v.cfg.N; i++ {
-		if _, byz := v.cfg.Byzantine[i]; byz {
+		if v.isByz[i] {
 			v.snaps[i] = core.Snapshot{Byzantine: true}
 			continue
 		}

@@ -53,6 +53,9 @@ func (r *Replay) Edges(t int, _ adversary.View) *network.EdgeSet {
 	return r.sets[len(r.sets)-1]
 }
 
+// Replay deliberately does not implement adversary.InPlace: it returns
+// recorded sets by pointer, which the engine's fallback path consumes
+// without allocating or copying.
 var _ adversary.Adversary = (*Replay)(nil)
 
 // Rounds reports how many rounds were recorded.

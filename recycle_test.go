@@ -1,0 +1,233 @@
+package anondyn_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"anondyn"
+)
+
+// recycleFamily is a Monte-Carlo scenario family whose every randomized
+// component is constructed from the run seed — the shape RunMany
+// callers use — so a compiled run reseeded to `seed` must match a
+// fresh Scenario built with `seed` bit for bit.
+func recycleFamily(seed int64) anondyn.Scenario {
+	return anondyn.Scenario{
+		N: 9, F: 2, Eps: 1e-3,
+		Algorithm: anondyn.AlgoDAC,
+		Inputs:    anondyn.RandomInputs(9, seed),
+		Adversary: anondyn.Probabilistic(0.5, seed),
+		Crashes:   map[int]anondyn.Crash{1: anondyn.CrashAt(3)},
+		Seed:      seed,
+		MaxRounds: 5000,
+	}
+}
+
+// byzFamily exercises the Byzantine path: a reseedable RandomNoise
+// strategy plus DBAC processes (recycled in place under fixed ports).
+func byzFamily(seed int64) anondyn.Scenario {
+	return anondyn.Scenario{
+		N: 11, F: 2, Eps: 1e-2,
+		Algorithm: anondyn.AlgoDBAC,
+		Inputs:    anondyn.RandomInputs(11, seed),
+		Adversary: anondyn.Complete(),
+		Byzantine: map[int]anondyn.Strategy{4: anondyn.RandomNoise(seed)},
+		Seed:      seed,
+		MaxRounds: 5000,
+	}
+}
+
+func mustRun(t *testing.T, s anondyn.Scenario) *anondyn.Result {
+	t.Helper()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertEqualResults(t *testing.T, want, got *anondyn.Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: results differ:\nwant %+v\ngot  %+v", label, want, got)
+	}
+}
+
+// TestCompiledRunMatchesFreshScenario: one CompiledScenario, reseeded
+// and re-input per run, must reproduce fresh per-seed Scenario runs —
+// the contract that makes engine and process recycling safe.
+func TestCompiledRunMatchesFreshScenario(t *testing.T) {
+	for name, family := range map[string]func(int64) anondyn.Scenario{
+		"dac-er-crash":   recycleFamily,
+		"dbac-byzantine": byzFamily,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cs, err := family(0).Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cs.Recycled() {
+				t.Error("fixed-port DAC/DBAC scenario should recycle processes")
+			}
+			for seed := int64(0); seed < 20; seed++ {
+				want := mustRun(t, family(seed))
+				got, err := cs.Run(seed, family(seed).Inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertEqualResults(t, want, got, fmt.Sprintf("seed %d", seed))
+			}
+			// Re-running an already-run seed must reproduce it: recycling
+			// leaves no residue.
+			want := mustRun(t, family(3))
+			got, err := cs.Run(3, family(3).Inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualResults(t, want, got, "seed 3 revisited")
+		})
+	}
+}
+
+// TestCompiledRandomPortsMatchesFresh: RandomPorts forces per-run
+// process construction; the compiled path must still match fresh runs.
+func TestCompiledRandomPortsMatchesFresh(t *testing.T) {
+	family := func(seed int64) anondyn.Scenario {
+		s := recycleFamily(seed)
+		s.RandomPorts = true
+		return s
+	}
+	cs, err := family(0).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Recycled() {
+		t.Error("RandomPorts scenarios cannot recycle processes")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		want := mustRun(t, family(seed))
+		got, err := cs.Run(seed, family(seed).Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualResults(t, want, got, fmt.Sprintf("seed %d", seed))
+	}
+}
+
+// TestRunManyStreamRecycledMatchesSequential: the worker-pool batch —
+// whose workers now recycle engines across seeds — must deliver exactly
+// the results of a fresh sequential loop, for every worker count.
+func TestRunManyStreamRecycledMatchesSequential(t *testing.T) {
+	seeds := anondyn.Seeds(24, 100)
+	var want []*anondyn.Result
+	for _, seed := range seeds {
+		want = append(want, mustRun(t, recycleFamily(seed)))
+	}
+	for _, workers := range []int{1, 3, 8} {
+		sink := anondyn.NewRetainSink(len(seeds))
+		err := anondyn.RunManyStream(seeds, recycleFamily, sink,
+			anondyn.BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sink.MultiResult().Results
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			assertEqualResults(t, want[i], got[i], fmt.Sprintf("workers=%d seed %d", workers, seeds[i]))
+		}
+	}
+}
+
+// TestRunManyCompiledMatchesStream: the fully recycled batch (engine +
+// processes once per worker) equals the per-seed-scenario batch across
+// worker counts.
+func TestRunManyCompiledMatchesStream(t *testing.T) {
+	seeds := anondyn.Seeds(24, 7)
+	inputs := func(seed int64) []float64 { return anondyn.RandomInputs(9, seed) }
+	family := func() anondyn.Scenario { return recycleFamily(0) }
+
+	want := anondyn.NewRetainSink(len(seeds))
+	if err := anondyn.RunManyStream(seeds, recycleFamily, want,
+		anondyn.BatchOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got := anondyn.NewRetainSink(len(seeds))
+		err := anondyn.RunManyCompiled(family, seeds, inputs, got,
+			anondyn.BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range got.MultiResult().Results {
+			assertEqualResults(t, want.MultiResult().Results[i], res,
+				fmt.Sprintf("workers=%d seed %d", workers, seeds[i]))
+		}
+	}
+}
+
+// TestCompiledRunValidatesInputs: the process-recycling path must
+// reject exactly the inputs a fresh construction rejects — out-of-range
+// values must not slip through Reinit.
+func TestCompiledRunValidatesInputs(t *testing.T) {
+	cs, err := recycleFamily(0).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Recycled() {
+		t.Fatal("expected the recycling path")
+	}
+	bad := anondyn.SpreadInputs(9)
+	bad[4] = 5 // outside [0, 1]
+	if _, err := cs.Run(1, bad); err == nil {
+		t.Error("compiled run accepted an out-of-range input a fresh run rejects")
+	}
+	// Wrong input count must also fail, not index out of range.
+	if _, err := cs.Run(1, anondyn.SpreadInputs(4)); err == nil {
+		t.Error("compiled run accepted a mis-sized input vector")
+	}
+	// And the scenario must remain usable after a rejected run.
+	if _, err := cs.Run(1, anondyn.SpreadInputs(9)); err != nil {
+		t.Errorf("compiled scenario unusable after rejected inputs: %v", err)
+	}
+}
+
+// TestRunManyCompiledConfigError: template errors surface before any
+// worker spins up.
+func TestRunManyCompiledConfigError(t *testing.T) {
+	bad := func() anondyn.Scenario { return anondyn.Scenario{N: 3} }
+	err := anondyn.RunManyCompiled(bad, anondyn.Seeds(4, 0), nil, &anondyn.BatchStats{}, anondyn.BatchOptions{})
+	if err == nil {
+		t.Fatal("invalid template accepted")
+	}
+}
+
+// TestRecycledWorkersRace drives the recycled batch paths with many
+// workers so `go test -race ./...` (the CI configuration) patrols the
+// per-worker engine and compiled-scenario state for sharing bugs.
+func TestRecycledWorkersRace(t *testing.T) {
+	seeds := anondyn.Seeds(32, 0)
+	stats := &anondyn.BatchStats{Eps: 1e-3}
+	if err := anondyn.RunManyStream(seeds, recycleFamily, stats,
+		anondyn.BatchOptions{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs() != len(seeds) {
+		t.Fatalf("streamed %d runs", stats.Runs())
+	}
+	compiled := &anondyn.BatchStats{Eps: 1e-3}
+	err := anondyn.RunManyCompiled(
+		func() anondyn.Scenario { return recycleFamily(0) },
+		seeds,
+		func(seed int64) []float64 { return anondyn.RandomInputs(9, seed) },
+		compiled,
+		anondyn.BatchOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Runs() != len(seeds) {
+		t.Fatalf("compiled batch streamed %d runs", compiled.Runs())
+	}
+}

@@ -100,6 +100,22 @@ type Scenario struct {
 
 // Run executes the scenario and returns its result.
 func (s Scenario) Run() (*Result, error) {
+	return s.runOn(&engineBox{})
+}
+
+// engineBox carries a recyclable sequential engine between runs. The
+// batch harness gives every worker one box, so a thousand-seed batch
+// builds the engine's views and scratch once per worker instead of once
+// per seed.
+type engineBox struct {
+	eng *sim.Engine
+}
+
+// runOn executes the scenario, recycling the box's engine when one is
+// already there (a Reset engine is indistinguishable from a fresh one —
+// asserted by the recycle tests). Concurrent scenarios always build a
+// fresh engine: goroutine pools are torn down at the end of each run.
+func (s Scenario) runOn(box *engineBox) (*Result, error) {
 	cfg, err := s.build()
 	if err != nil {
 		return nil, err
@@ -111,55 +127,60 @@ func (s Scenario) Run() (*Result, error) {
 		}
 		return eng.Run(), nil
 	}
-	eng, err := sim.NewEngine(*cfg)
-	if err != nil {
+	if box.eng == nil {
+		box.eng, err = sim.NewEngine(*cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := box.eng.Reset(*cfg); err != nil {
 		return nil, err
 	}
-	return eng.Run(), nil
+	return box.eng.Run(), nil
 }
 
-// build assembles the engine configuration.
-func (s Scenario) build() (*sim.Config, error) {
+// validate checks the scenario's static structure.
+func (s Scenario) validate() error {
 	if s.N < 1 {
-		return nil, fmt.Errorf("%w: n=%d", ErrScenario, s.N)
+		return fmt.Errorf("%w: n=%d", ErrScenario, s.N)
 	}
 	if len(s.Inputs) != s.N {
-		return nil, fmt.Errorf("%w: %d inputs for n=%d", ErrScenario, len(s.Inputs), s.N)
+		return fmt.Errorf("%w: %d inputs for n=%d", ErrScenario, len(s.Inputs), s.N)
 	}
 	if s.Adversary == nil {
-		return nil, fmt.Errorf("%w: nil adversary", ErrScenario)
+		return fmt.Errorf("%w: nil adversary", ErrScenario)
 	}
 	if s.Algorithm == 0 {
-		return nil, fmt.Errorf("%w: no algorithm selected", ErrScenario)
+		return fmt.Errorf("%w: no algorithm selected", ErrScenario)
 	}
 	if s.Eps == 0 && s.PEndOverride <= 0 && s.Algorithm != AlgoFloodMin {
-		return nil, fmt.Errorf("%w: neither Eps nor PEndOverride set", ErrScenario)
+		return fmt.Errorf("%w: neither Eps nor PEndOverride set", ErrScenario)
 	}
 	if !s.Unchecked && s.QuorumOverride == 0 {
 		switch s.Algorithm {
 		case AlgoDAC, AlgoDACNoJump, AlgoMegaRound, AlgoFullInfo, AlgoReliableIterated:
 			if err := core.ValidateCrash(s.N, s.F); err != nil {
-				return nil, err
+				return err
 			}
 		case AlgoDBAC, AlgoDBACPiggyback:
 			if err := core.ValidateByz(s.N, s.F); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
+	return nil
+}
 
-	var ports network.Ports
+// portsFor resolves the port numberings for one run seed.
+func (s Scenario) portsFor(seed int64) network.Ports {
 	if s.RandomPorts {
-		ports = network.RandomPorts(s.N, rand.New(rand.NewSource(s.Seed)))
-	} else {
-		ports = network.IdentityPorts(s.N)
+		return network.RandomPorts(s.N, rand.New(rand.NewSource(seed)))
 	}
+	return network.IdentityPorts(s.N)
+}
 
-	byz := make(map[int]fault.Strategy, len(s.Byzantine))
-	for i, strat := range s.Byzantine {
-		byz[i] = strat
-	}
-
+// buildProcs constructs the per-node processes for the given ports and
+// the scenario's current Inputs, seeding the optional tracker.
+func (s Scenario) buildProcs(ports network.Ports, byz map[int]fault.Strategy) ([]core.Process, error) {
 	procs := make([]core.Process, s.N)
 	for i := 0; i < s.N; i++ {
 		if _, isByz := byz[i]; isByz {
@@ -174,16 +195,11 @@ func (s Scenario) build() (*sim.Config, error) {
 			s.Tracker.SetInput(i, s.Inputs[i])
 		}
 	}
+	return procs, nil
+}
 
-	crashes := fault.Schedule{}
-	for node, c := range s.Crashes {
-		crashes[node] = c
-	}
-
-	f := s.F
-	if f == 0 {
-		f = len(byz) + len(crashes) // pass validation for f-unset scenarios
-	}
+// observer folds the optional collectors into one engine Observer.
+func (s Scenario) observer() sim.Observer {
 	var observers []sim.Observer
 	if s.Tracker != nil {
 		observers = append(observers, s.Tracker)
@@ -191,14 +207,21 @@ func (s Scenario) build() (*sim.Config, error) {
 	if s.Series != nil {
 		observers = append(observers, s.Series)
 	}
-	var obs sim.Observer
 	switch len(observers) {
 	case 0:
-		// leave nil (avoid a typed-nil Observer interface)
+		return nil // leave nil (avoid a typed-nil Observer interface)
 	case 1:
-		obs = observers[0]
+		return observers[0]
 	default:
-		obs = multiObserver(observers)
+		return multiObserver(observers)
+	}
+}
+
+// config assembles the engine configuration from prepared parts.
+func (s Scenario) config(procs []core.Process, ports network.Ports, byz map[int]fault.Strategy, crashes fault.Schedule, seed int64) *sim.Config {
+	f := s.F
+	if f == 0 {
+		f = len(byz) + len(crashes) // pass validation for f-unset scenarios
 	}
 	return &sim.Config{
 		N:                s.N,
@@ -210,14 +233,46 @@ func (s Scenario) build() (*sim.Config, error) {
 		Ports:            ports,
 		MaxRounds:        s.MaxRounds,
 		Recorder:         s.Recorder,
-		Observer:         obs,
+		Observer:         s.observer(),
 		KeepTrace:        s.KeepTrace,
 		AccountBandwidth: s.AccountBandwidth,
 		MaxMessageBytes:  s.MaxMessageBytes,
 		LinkBandwidth:    s.LinkBandwidth,
 		ShuffleDelivery:  s.ShuffleDelivery,
-		ShuffleSeed:      s.Seed,
-	}, nil
+		ShuffleSeed:      seed,
+	}
+}
+
+// byzStrategies copies the Byzantine assignment into the fault-layer map.
+func (s Scenario) byzStrategies() map[int]fault.Strategy {
+	byz := make(map[int]fault.Strategy, len(s.Byzantine))
+	for i, strat := range s.Byzantine {
+		byz[i] = strat
+	}
+	return byz
+}
+
+// crashSchedule copies the crash assignment into the fault-layer schedule.
+func (s Scenario) crashSchedule() fault.Schedule {
+	crashes := fault.Schedule{}
+	for node, c := range s.Crashes {
+		crashes[node] = c
+	}
+	return crashes
+}
+
+// build assembles the engine configuration.
+func (s Scenario) build() (*sim.Config, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	ports := s.portsFor(s.Seed)
+	byz := s.byzStrategies()
+	procs, err := s.buildProcs(ports, byz)
+	if err != nil {
+		return nil, err
+	}
+	return s.config(procs, ports, byz, s.crashSchedule(), s.Seed), nil
 }
 
 // newProc instantiates the selected algorithm for one node.
