@@ -1,6 +1,11 @@
 package anondyn
 
 import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
 	"anondyn/internal/adversary"
 	"anondyn/internal/fault"
 	"anondyn/internal/network"
@@ -119,6 +124,231 @@ func Periodic(name string, sets ...*EdgeSet) Adversary {
 		panic(err)
 	}
 	return a
+}
+
+// Adversary factory registry. Every sweep surface — the -advs /
+// -adversary CLI flags and the declarative spec files — resolves
+// adversaries through one grammar:
+//
+//	complete | halves | chasemin | fig1
+//	isolate:<victim>
+//	rotating:<d> | clustered:<T> | starve:<d>
+//	er:<p>[,<seed>]
+//	random:<B>,<D>[,<extra>[,<seed>]]
+//	starveperiod:<T>
+//
+// Degree arguments (<d>, <D>) accept the symbolic values "crashdeg"
+// (⌊n/2⌋, the DAC threshold) and "byzdeg" (⌊(n+3f)/2⌋, the DBAC
+// threshold), resolved per cell so one axis entry tracks the threshold
+// across network sizes. Randomized adversaries draw from the run seed
+// unless the spec pins an explicit seed.
+
+// factoryParser builds a factory from the argument part of a
+// "name:arg" spec.
+type factoryParser func(arg string) (AdversaryFactory, error)
+
+var factoryRegistry = map[string]factoryParser{}
+
+func init() {
+	registerBuiltinFactories()
+}
+
+// RegisterAdversaryFactory installs a parser for a sweep adversary
+// name, making it resolvable by every CLI flag and spec file. It
+// panics on a duplicate name (registration is configuration).
+func RegisterAdversaryFactory(name string, parse func(arg string) (AdversaryFactory, error)) {
+	if _, dup := factoryRegistry[name]; dup {
+		panic(fmt.Sprintf("anondyn: adversary factory %q already registered", name))
+	}
+	factoryRegistry[name] = parse
+}
+
+// AdversaryFactoryNames returns the registered sweep adversary names,
+// sorted — the vocabulary of the -advs flag and spec files.
+func AdversaryFactoryNames() []string {
+	names := make([]string, 0, len(factoryRegistry))
+	for name := range factoryRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseAdversaryFactory resolves a sweep adversary spec string into a
+// seedable factory via the registry.
+func ParseAdversaryFactory(spec string) (AdversaryFactory, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	parse, ok := factoryRegistry[name]
+	if !ok {
+		return AdversaryFactory{}, fmt.Errorf("anondyn: unknown adversary %q (known: %s)",
+			spec, strings.Join(AdversaryFactoryNames(), ", "))
+	}
+	f, err := parse(arg)
+	if err != nil {
+		return AdversaryFactory{}, fmt.Errorf("anondyn: adversary %q: %w", spec, err)
+	}
+	f.Name = spec
+	return f, nil
+}
+
+// degreeArg parses an adversary degree argument: an integer literal or
+// one of the symbolic per-cell thresholds.
+func degreeArg(tok string) (func(c Cell) int, error) {
+	switch tok {
+	case "crashdeg":
+		return func(c Cell) int { return CrashDegree(c.N) }, nil
+	case "byzdeg":
+		return func(c Cell) int { return ByzDegree(c.N, c.F) }, nil
+	}
+	d, err := strconv.Atoi(tok)
+	if err != nil {
+		return nil, fmt.Errorf("degree %q is neither an integer nor crashdeg/byzdeg", tok)
+	}
+	return func(Cell) int { return d }, nil
+}
+
+// noArg wraps a parameterless constructor as a factory parser.
+func noArg(mk func(c Cell) Adversary) factoryParser {
+	return func(arg string) (AdversaryFactory, error) {
+		if arg != "" {
+			return AdversaryFactory{}, fmt.Errorf("takes no argument (got %q)", arg)
+		}
+		return AdversaryFactory{New: func(c Cell, _ int64) Adversary { return mk(c) }}, nil
+	}
+}
+
+func registerBuiltinFactories() {
+	RegisterAdversaryFactory("complete", noArg(func(Cell) Adversary { return Complete() }))
+	RegisterAdversaryFactory("halves", noArg(func(c Cell) Adversary { return Halves(c.N) }))
+	RegisterAdversaryFactory("chasemin", noArg(func(Cell) Adversary { return ChaseMin() }))
+	RegisterAdversaryFactory("fig1", func(arg string) (AdversaryFactory, error) {
+		if arg != "" {
+			return AdversaryFactory{}, fmt.Errorf("takes no argument (got %q)", arg)
+		}
+		return AdversaryFactory{
+			New: func(Cell, int64) Adversary { return Fig1() },
+			Check: func(c Cell) error {
+				if c.N != 3 {
+					return fmt.Errorf("fig1 is defined on exactly 3 nodes (got n=%d)", c.N)
+				}
+				return nil
+			},
+		}, nil
+	})
+	RegisterAdversaryFactory("isolate", func(arg string) (AdversaryFactory, error) {
+		victim, err := strconv.Atoi(arg)
+		if err != nil {
+			return AdversaryFactory{}, fmt.Errorf("isolate needs a victim node: %v", err)
+		}
+		return AdversaryFactory{
+			New: func(Cell, int64) Adversary { return Isolate(victim) },
+			Check: func(c Cell) error {
+				if victim < 0 || victim >= c.N {
+					return fmt.Errorf("victim %d out of range for n=%d", victim, c.N)
+				}
+				return nil
+			},
+		}, nil
+	})
+	RegisterAdversaryFactory("rotating", degreeFactory(func(d int) Adversary { return Rotating(d) }))
+	RegisterAdversaryFactory("starve", degreeFactory(func(d int) Adversary { return Starve(d) }))
+	RegisterAdversaryFactory("clustered", func(arg string) (AdversaryFactory, error) {
+		period, err := strconv.Atoi(arg)
+		if err != nil {
+			return AdversaryFactory{}, fmt.Errorf("clustered needs an integer period: %v", err)
+		}
+		return AdversaryFactory{New: func(Cell, int64) Adversary { return Clustered(period) }}, nil
+	})
+	RegisterAdversaryFactory("er", func(arg string) (AdversaryFactory, error) {
+		parts := strings.Split(arg, ",")
+		if len(parts) < 1 || len(parts) > 2 {
+			return AdversaryFactory{}, fmt.Errorf("er wants er:<p>[,<seed>]")
+		}
+		p, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return AdversaryFactory{}, fmt.Errorf("er needs a probability: %v", err)
+		}
+		fixed, hasFixed, err := optionalSeed(parts, 1)
+		if err != nil {
+			return AdversaryFactory{}, err
+		}
+		return AdversaryFactory{New: func(_ Cell, seed int64) Adversary {
+			if hasFixed {
+				seed = fixed
+			}
+			return Probabilistic(p, seed)
+		}}, nil
+	})
+	RegisterAdversaryFactory("random", func(arg string) (AdversaryFactory, error) {
+		parts := strings.Split(arg, ",")
+		if len(parts) < 2 || len(parts) > 4 {
+			return AdversaryFactory{}, fmt.Errorf("random wants random:<B>,<D>[,<extra>[,<seed>]]")
+		}
+		block, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return AdversaryFactory{}, fmt.Errorf("block %q: %v", parts[0], err)
+		}
+		degree, err := degreeArg(parts[1])
+		if err != nil {
+			return AdversaryFactory{}, err
+		}
+		extra := 0.05
+		if len(parts) >= 3 {
+			if extra, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return AdversaryFactory{}, fmt.Errorf("extra-link probability %q: %v", parts[2], err)
+			}
+		}
+		fixed, hasFixed, err := optionalSeed(parts, 3)
+		if err != nil {
+			return AdversaryFactory{}, err
+		}
+		return AdversaryFactory{New: func(c Cell, seed int64) Adversary {
+			if hasFixed {
+				seed = fixed
+			}
+			return RandomDegree(block, degree(c), extra, seed)
+		}}, nil
+	})
+	RegisterAdversaryFactory("starveperiod", func(arg string) (AdversaryFactory, error) {
+		period, err := strconv.Atoi(arg)
+		if err != nil || period < 1 {
+			return AdversaryFactory{}, fmt.Errorf("starveperiod needs a period ≥ 1 (got %q)", arg)
+		}
+		return AdversaryFactory{New: func(c Cell, _ int64) Adversary {
+			// T−1 empty rounds, then one complete round: every phase
+			// needs a full period (experiment E4, §VII worst case).
+			sets := make([]*EdgeSet, period)
+			for i := 0; i < period-1; i++ {
+				sets[i] = NewEdgeSet(c.N)
+			}
+			sets[period-1] = CompleteGraph(c.N)
+			return Periodic(fmt.Sprintf("starve%d", period), sets...)
+		}}, nil
+	})
+}
+
+// degreeFactory builds the parser for single-degree-argument
+// constructors (rotating, starve).
+func degreeFactory(mk func(d int) Adversary) factoryParser {
+	return func(arg string) (AdversaryFactory, error) {
+		degree, err := degreeArg(arg)
+		if err != nil {
+			return AdversaryFactory{}, err
+		}
+		return AdversaryFactory{New: func(c Cell, _ int64) Adversary { return mk(degree(c)) }}, nil
+	}
+}
+
+// optionalSeed reads parts[i] as a pinned adversary seed when present.
+func optionalSeed(parts []string, i int) (seed int64, ok bool, err error) {
+	if len(parts) <= i {
+		return 0, false, nil
+	}
+	seed, err = strconv.ParseInt(parts[i], 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("seed %q: %v", parts[i], err)
+	}
+	return seed, true, nil
 }
 
 // Graph construction helpers (re-exports from the network layer).

@@ -177,3 +177,109 @@ func TestScenarioLinkBandwidth(t *testing.T) {
 		t.Error("no oversized drops")
 	}
 }
+
+// TestParseAdversaryFactory pins the registry grammar every sweep
+// surface (CLI flags, spec files) resolves through.
+func TestParseAdversaryFactory(t *testing.T) {
+	cell := anondyn.Cell{N: 9, F: 2}
+	cases := []struct {
+		spec string
+		want string // adversary Name() substring
+	}{
+		{"complete", "complete"},
+		{"halves", "split"},
+		{"chasemin", "chaseMin"},
+		{"rotating:3", "rotating(d=3)"},
+		{"rotating:crashdeg", "rotating(d=4)"}, // ⌊9/2⌋
+		{"starve:byzdeg", "starve(d=7)"},       // ⌊(9+6)/2⌋
+		{"clustered:4", "clustered(T=4)"},
+		{"er:0.25", "er(p=0.25)"},
+		{"random:4,crashdeg,0.05", "randomDegree(B=4,D=4"},
+		{"random:2,3", "randomDegree(B=2,D=3,extra=0.05)"},
+		{"isolate:2", "isolate(2)"},
+		{"starveperiod:4", "periodic"},
+	}
+	for _, tc := range cases {
+		f, err := anondyn.ParseAdversaryFactory(tc.spec)
+		if err != nil {
+			t.Errorf("ParseAdversaryFactory(%q): %v", tc.spec, err)
+			continue
+		}
+		if f.Name != tc.spec {
+			t.Errorf("factory name = %q, want the spec %q", f.Name, tc.spec)
+		}
+		if got := f.New(cell, 1).Name(); !strings.Contains(got, tc.want) {
+			t.Errorf("%q built %q, want *%q*", tc.spec, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "warp", "rotating:x", "random:1", "er:zz",
+		"complete:3", "starveperiod:0", "random:1,2,3,4,5"} {
+		if _, err := anondyn.ParseAdversaryFactory(bad); err == nil {
+			t.Errorf("ParseAdversaryFactory(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFactoryPinnedSeeds: an explicit seed argument decouples the
+// adversary stream from the run seed.
+func TestFactoryPinnedSeeds(t *testing.T) {
+	trace := func(spec string, seed int64) []*anondyn.EdgeSet {
+		t.Helper()
+		f, err := anondyn.ParseAdversaryFactory(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := anondyn.Scenario{
+			N: 5, Eps: 1e-3,
+			Algorithm: anondyn.AlgoDAC,
+			Inputs:    anondyn.SpreadInputs(5),
+			Adversary: f.New(anondyn.Cell{N: 5}, seed),
+			KeepTrace: true,
+			MaxRounds: 10000,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace
+	}
+	equalTraces := func(a, b []*anondyn.EdgeSet) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if !equalTraces(trace("er:0.5,77", 1), trace("er:0.5,77", 2)) {
+		t.Error("pinned-seed factory drew different streams for different run seeds")
+	}
+	if equalTraces(trace("er:0.5", 1), trace("er:0.5", 2)) {
+		t.Error("run-seeded factory drew identical streams for different run seeds")
+	}
+}
+
+// TestRegisterAdversaryFactory: third-party registrations resolve and
+// duplicates are rejected loudly.
+func TestRegisterAdversaryFactory(t *testing.T) {
+	anondyn.RegisterAdversaryFactory("testring", func(arg string) (anondyn.AdversaryFactory, error) {
+		return anondyn.AdversaryFactory{New: func(c anondyn.Cell, _ int64) anondyn.Adversary {
+			return anondyn.Static("testring", anondyn.RingGraph(c.N))
+		}}, nil
+	})
+	f, err := anondyn.ParseAdversaryFactory("testring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.New(anondyn.Cell{N: 4}, 0).Name(); !strings.Contains(got, "testring") {
+		t.Errorf("custom factory built %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	anondyn.RegisterAdversaryFactory("complete", nil)
+}

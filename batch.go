@@ -26,6 +26,22 @@ type BatchOptions struct {
 	// OnProgress, when non-nil, is called after each delivery with the
 	// number of completed runs and the batch size, from one goroutine.
 	OnProgress func(done, total int)
+	// MaxPending caps the reorder window: at most this many runs may be
+	// dispatched ahead of the next result the sink is waiting for, so
+	// skewed per-run costs cannot grow collector memory with the batch
+	// size. 0 = unbounded; values below the worker count are raised to
+	// it.
+	MaxPending int
+}
+
+// harness converts the options to the harness layer's form.
+func (o BatchOptions) harness() harness.Options {
+	return harness.Options{
+		Workers:    o.Workers,
+		Retries:    o.Retries,
+		OnProgress: o.OnProgress,
+		MaxPending: o.MaxPending,
+	}
 }
 
 // RunManyStream executes the scenario produced by mk(seed) for each
@@ -56,7 +72,7 @@ func RunManyStream(seeds []int64, mk func(seed int64) Scenario, sink ResultSink,
 		func(i int, res *Result) error {
 			return sink.Consume(i, seeds[i], res)
 		},
-		harness.Options{Workers: opts.Workers, Retries: opts.Retries, OnProgress: opts.OnProgress})
+		opts.harness())
 }
 
 // RunManyCompiled executes one scenario family across seeds with fully
@@ -94,7 +110,7 @@ func RunManyCompiled(family func() Scenario, seeds []int64, inputs func(seed int
 		func(i int, res *Result) error {
 			return sink.Consume(i, seeds[i], res)
 		},
-		harness.Options{Workers: opts.Workers, Retries: opts.Retries, OnProgress: opts.OnProgress})
+		opts.harness())
 }
 
 // RetainSink is the opt-in retention policy: it keeps every Result and

@@ -1,0 +1,237 @@
+// Command benchgate is the CI bench-regression gate: it compares two
+// Go benchmark output files (the checked-in bench/baseline.txt against
+// a fresh run) and fails when a benchmark regressed beyond the
+// configured thresholds.
+//
+// allocs/op is the load-bearing signal — allocation counts are
+// deterministic and machine-independent, so the default threshold is
+// tight (2%). ns/op depends on the hardware the baseline was recorded
+// on, so its default threshold is deliberately loose (fail only beyond
+// 5× the baseline median): it catches order-of-magnitude slowdowns,
+// not machine differences or microarchitecture noise. A
+// regression must also be statistically separated (every new sample
+// worse than every baseline sample) before the gate fires, so a single
+// noisy run cannot fail the job.
+//
+// Usage:
+//
+//	go test -run '^$' -bench EngineRound -benchmem -count=5 . > new.txt
+//	benchgate -baseline bench/baseline.txt -new new.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "bench/baseline.txt", "checked-in baseline benchmark output")
+		newPath      = fs.String("new", "", "freshly recorded benchmark output to gate")
+		nsThreshold  = fs.Float64("ns-threshold", 4.0, "maximum tolerated ns/op regression (fraction; 4.0 = fail beyond 5× — cross-machine baselines need order-of-magnitude slack)")
+		allocsLimit  = fs.Float64("alloc-threshold", 0.02, "maximum tolerated allocs/op regression (fraction; allocation counts are machine-independent)")
+		filter       = fs.String("bench", "", "regexp limiting which benchmarks are gated (default: all common ones)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *newPath == "" {
+		return fmt.Errorf("-new is required")
+	}
+	baseline, err := parseBenchFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := parseBenchFile(*newPath)
+	if err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		if re, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("-bench: %w", err)
+		}
+	}
+	regressions, err := gate(baseline, fresh, re, thresholds{ns: *nsThreshold, allocs: *allocsLimit}, out)
+	if err != nil {
+		return err
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond the threshold", regressions)
+	}
+	return nil
+}
+
+// thresholds are the tolerated regression fractions per metric.
+type thresholds struct {
+	ns     float64
+	allocs float64
+}
+
+// samples maps benchmark name → metric unit → recorded values.
+type samples map[string]map[string][]float64
+
+// gatedUnits are the metrics the gate enforces.
+func (t thresholds) forUnit(unit string) (float64, bool) {
+	switch unit {
+	case "ns/op":
+		return t.ns, true
+	case "allocs/op":
+		return t.allocs, true
+	}
+	return 0, false
+}
+
+// gate compares the common benchmarks and prints one verdict line per
+// gated metric, returning the number of regressions. A comparison with
+// no common benchmarks is a configuration error, not a regression.
+func gate(baseline, fresh samples, filter *regexp.Regexp, t thresholds, out *os.File) (int, error) {
+	var names []string
+	for name := range baseline {
+		if _, ok := fresh[name]; ok && (filter == nil || filter.MatchString(name)) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		// A vacuous gate is a misconfigured gate: renamed benchmarks or
+		// a filter matching nothing, never a performance problem.
+		return 0, fmt.Errorf("no common benchmarks between baseline and new output (renamed benchmark or over-narrow -bench filter?)")
+	}
+	regressions := 0
+	for _, name := range names {
+		for _, unit := range []string{"ns/op", "allocs/op"} {
+			threshold, gated := t.forUnit(unit)
+			if !gated {
+				continue
+			}
+			base, fresh := baseline[name][unit], fresh[name][unit]
+			if len(base) == 0 || len(fresh) == 0 {
+				continue
+			}
+			verdict := compare(base, fresh, threshold)
+			fmt.Fprintf(out, "%-60s %-10s %12.1f → %12.1f   %s\n",
+				name, unit, median(base), median(fresh), verdict)
+			if verdict == "REGRESSED" {
+				regressions++
+			}
+		}
+	}
+	return regressions, nil
+}
+
+// compare applies the gate rule to one metric: the new median must
+// exceed the baseline median by more than the threshold AND the sample
+// ranges must be separated (min(new) > max(base)) for a regression
+// call — overlap means noise, not signal.
+func compare(base, fresh []float64, threshold float64) string {
+	mb, mf := median(base), median(fresh)
+	if mf <= mb*(1+threshold) {
+		return "ok"
+	}
+	if minOf(fresh) <= maxOf(base) {
+		return "ok (within noise)"
+	}
+	return "REGRESSED"
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// parseBenchFile reads Go benchmark output.
+func parseBenchFile(path string) (samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s := samples{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, metrics, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		byUnit := s[name]
+		if byUnit == nil {
+			byUnit = map[string][]float64{}
+			s[name] = byUnit
+		}
+		for unit, value := range metrics {
+			byUnit[unit] = append(byUnit[unit], value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines", path)
+	}
+	return s, nil
+}
+
+// procSuffix strips the trailing -<GOMAXPROCS> so baselines recorded
+// on machines with different core counts still line up.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLine parses one "BenchmarkX-8  N  v unit  v unit …" line.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := procSuffix.ReplaceAllString(fields[0], "")
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		metrics[fields[i+1]] = value
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineText = `
+goos: linux
+BenchmarkEngineRound/n=25-4   	   50000	     25880 ns/op	     512 B/op	      98 allocs/op
+BenchmarkEngineRound/n=25-4   	   50000	     26011 ns/op	     512 B/op	      98 allocs/op
+BenchmarkEngineRound/n=25-4   	   50000	     25790 ns/op	     512 B/op	      98 allocs/op
+BenchmarkEngineRoundCompiled-4	  100000	     20110 ns/op	     128 B/op	      20 allocs/op
+BenchmarkEngineRoundCompiled-4	  100000	     20350 ns/op	     128 B/op	      20 allocs/op
+PASS
+`
+
+func write(t *testing.T, dir, name, text string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesOnEqualRuns(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	// Same numbers, different GOMAXPROCS suffix: must still line up.
+	fresh := write(t, dir, "new.txt", strings.ReplaceAll(baselineText, "-4", "-16"))
+	if err := run([]string{"-baseline", base, "-new", fresh}, os.Stdout); err != nil {
+		t.Fatalf("identical runs gated: %v", err)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	fresh := write(t, dir, "new.txt", strings.ReplaceAll(baselineText, "98 allocs/op", "140 allocs/op"))
+	if err := run([]string{"-baseline", base, "-new", fresh}, os.Stdout); err == nil {
+		t.Fatal("alloc regression passed the gate")
+	}
+}
+
+func TestGateFailsOnSeparatedNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	fresh := write(t, dir, "new.txt", strings.NewReplacer(
+		"25880 ns/op", "298880 ns/op",
+		"26011 ns/op", "299011 ns/op",
+		"25790 ns/op", "297790 ns/op",
+	).Replace(baselineText))
+	if err := run([]string{"-baseline", base, "-new", fresh}, os.Stdout); err == nil {
+		t.Fatal("11x ns/op regression passed the gate")
+	}
+}
+
+// TestGateToleratesMachineDelta: a uniformly 3x-slower machine must
+// not trip the default cross-machine ns/op threshold.
+func TestGateToleratesMachineDelta(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	fresh := write(t, dir, "new.txt", strings.NewReplacer(
+		"25880 ns/op", "77640 ns/op",
+		"26011 ns/op", "78033 ns/op",
+		"25790 ns/op", "77370 ns/op",
+		"20110 ns/op", "60330 ns/op",
+		"20350 ns/op", "61050 ns/op",
+	).Replace(baselineText))
+	if err := run([]string{"-baseline", base, "-new", fresh}, os.Stdout); err != nil {
+		t.Fatalf("3x machine delta gated: %v", err)
+	}
+}
+
+func TestGateToleratesOverlappingNoise(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	// Median nominally over threshold but one new sample dips into the
+	// baseline range: treated as noise, not regression.
+	fresh := write(t, dir, "new.txt", strings.NewReplacer(
+		"25880 ns/op", "955880 ns/op",
+		"26011 ns/op", "956011 ns/op",
+		"25790 ns/op", "25800 ns/op",
+	).Replace(baselineText))
+	if err := run([]string{"-baseline", base, "-new", fresh}, os.Stdout); err != nil {
+		t.Fatalf("overlapping samples gated: %v", err)
+	}
+}
+
+func TestGateRejectsVacuousComparison(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	fresh := write(t, dir, "new.txt", "BenchmarkSomethingElse-4 10 5 ns/op 0 allocs/op\n")
+	if err := run([]string{"-baseline", base, "-new", fresh}, os.Stdout); err == nil {
+		t.Fatal("gate with no common benchmarks passed")
+	}
+}
+
+func TestGateBenchFilter(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	// Regress only the compiled benchmark, then gate only EngineRound/:
+	// the filter must keep the job green.
+	fresh := write(t, dir, "new.txt", strings.ReplaceAll(baselineText, "20 allocs/op", "80 allocs/op"))
+	if err := run([]string{"-baseline", base, "-new", fresh, "-bench", "EngineRound/"}, os.Stdout); err != nil {
+		t.Fatalf("filtered gate failed: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-new", fresh}, os.Stdout); err == nil {
+		t.Fatal("unfiltered gate missed the compiled regression")
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	name, metrics, ok := parseBenchLine("BenchmarkEngineRound/n=25-8   	   50000	     25880 ns/op	     512 B/op	      98 allocs/op")
+	if !ok || name != "BenchmarkEngineRound/n=25" {
+		t.Fatalf("parsed %q, %v", name, ok)
+	}
+	if metrics["ns/op"] != 25880 || metrics["allocs/op"] != 98 {
+		t.Errorf("metrics = %v", metrics)
+	}
+	for _, junk := range []string{"", "PASS", "goos: linux", "ok  anondyn  1.2s"} {
+		if _, _, ok := parseBenchLine(junk); ok {
+			t.Errorf("parsed junk line %q", junk)
+		}
+	}
+}
+
+// TestGateVacuousErrorIsNotARegression: a name mismatch must read as
+// a configuration error, not a phantom regression.
+func TestGateVacuousErrorMessage(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	fresh := write(t, dir, "new.txt", "BenchmarkSomethingElse-4 10 5 ns/op 0 allocs/op\n")
+	err := run([]string{"-baseline", base, "-new", fresh}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "no common benchmarks") {
+		t.Fatalf("vacuous gate error = %v, want a configuration error", err)
+	}
+}

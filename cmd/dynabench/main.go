@@ -8,6 +8,11 @@
 // over -seeds Monte-Carlo runs and reported as one aggregate row per
 // cell, optionally as JSON.
 //
+// Declarative sweeps: -spec runs a committed YAML/JSON scenario file,
+// -spec-dir runs a whole directory of them (the CI smoke job), and
+// -save-spec writes the -sweep flags back out as a spec file, so every
+// flag-driven sweep can become a reviewable artifact.
+//
 // Usage:
 //
 //	dynabench                      # run every experiment
@@ -16,6 +21,9 @@
 //	dynabench -csv dir/            # additionally write one CSV per table
 //	dynabench -sweep -ns 5,7,9,11 -algos dac,fullinfo -advs complete,rotating:3 \
 //	          -seeds 50 -workers 8 -report sweep.json
+//	dynabench -sweep -ns 5,7 -advs er:0.3 -save-spec er.yaml
+//	dynabench -spec examples/specs/e1-dac-convergence.yaml
+//	dynabench -spec-dir examples/specs -seeds 1   # smoke every artifact
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -31,6 +40,7 @@ import (
 	"anondyn/internal/analysis"
 	"anondyn/internal/experiments"
 	"anondyn/internal/harness"
+	"anondyn/internal/spec"
 )
 
 func main() {
@@ -52,22 +62,53 @@ func run(args []string) error {
 		fsSpec    = fs.String("fs", "0", "sweep axis: fault bounds")
 		epsSpec   = fs.String("epss", "1e-3", "sweep axis: ε values")
 		algoSpec  = fs.String("algos", "dac", "sweep axis: algorithms (dac,dbac,…)")
-		advSpec   = fs.String("advs", "complete", "sweep axis: adversaries (complete | halves | er:<p> | rotating:<d> | clustered:<T> | starve:<d> | random:<B>,<D>)")
-		seedsN    = fs.Int("seeds", 20, "sweep: Monte-Carlo runs per cell")
+		advSpec   = fs.String("advs", "complete", "sweep axis: adversaries (complete | halves | chasemin | fig1 | isolate:<v> | rotating:<d> | clustered:<T> | starve:<d> | er:<p>[,<seed>] | random:<B>,<D>[,<extra>[,<seed>]] | starveperiod:<T>; degrees accept crashdeg/byzdeg)")
+		seedsN    = fs.Int("seeds", 20, "sweep: Monte-Carlo runs per cell (with -spec/-spec-dir: override the file's seeds_per_cell)")
 		baseSeed  = fs.Int64("seed", 0, "sweep: base seed")
 		maxRounds = fs.Int("rounds", 20000, "sweep: round budget per run")
 		reportOut = fs.String("report", "", "sweep: write the aggregate rows as JSON to this file")
+		specFile  = fs.String("spec", "", "run the sweep defined in this YAML/JSON scenario file")
+		specDir   = fs.String("spec-dir", "", "run every scenario file (*.yaml, *.yml, *.json) in this directory")
+		saveSpec  = fs.String("save-spec", "", "with -sweep: additionally write the sweep as a spec file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *specFile != "" || *specDir != "" {
+		if *sweep {
+			return fmt.Errorf("-sweep and -spec/-spec-dir are mutually exclusive (the file already is the sweep)")
+		}
+		if *saveSpec != "" {
+			return fmt.Errorf("-save-spec captures -sweep flags; it does not combine with -spec/-spec-dir")
+		}
+		seedsOverride := 0
+		if explicit["seeds"] {
+			seedsOverride = *seedsN
+		}
+		if *specDir != "" {
+			if *specFile != "" {
+				return fmt.Errorf("-spec and -spec-dir are mutually exclusive")
+			}
+			if *reportOut != "" {
+				return fmt.Errorf("-report wants a single -spec sweep")
+			}
+			return runSpecDir(*specDir, seedsOverride, *workers)
+		}
+		return runSpecFile(*specFile, seedsOverride, *workers, *reportOut, true)
 	}
 
 	if *sweep {
 		return runSweep(sweepFlags{
 			ns: *nsSpec, fs: *fsSpec, epss: *epsSpec, algos: *algoSpec, advs: *advSpec,
 			seeds: *seedsN, baseSeed: *baseSeed, maxRounds: *maxRounds,
-			workers: *workers, reportOut: *reportOut,
+			workers: *workers, reportOut: *reportOut, saveSpec: *saveSpec,
 		})
+	}
+	if *saveSpec != "" {
+		return fmt.Errorf("-save-spec wants -sweep (it captures the sweep flags)")
 	}
 
 	// One flag governs every pool: the outer experiment pool below and
@@ -145,156 +186,190 @@ type sweepFlags struct {
 	maxRounds                 int
 	workers                   int
 	reportOut                 string
+	saveSpec                  string
 }
 
 // sweepReport is the JSON envelope of one sweep.
 type sweepReport struct {
+	Spec         string               `json:"spec,omitempty"`
 	SeedsPerCell int                  `json:"seeds_per_cell"`
 	BaseSeed     int64                `json:"base_seed"`
 	Workers      int                  `json:"workers"`
 	Cells        []anondyn.CellResult `json:"cells"`
 }
 
-// runSweep builds the Grid from the axis flags, runs it on the worker
-// pool, prints one aggregate row per cell, and optionally writes JSON.
+// runSweep builds the Grid from the axis flags, optionally saves it as
+// a spec file, runs it on the worker pool, prints one aggregate row
+// per cell, and optionally writes JSON.
 func runSweep(sf sweepFlags) error {
+	grid, err := sf.grid()
+	if err != nil {
+		return err
+	}
+	if sf.saveSpec != "" {
+		if err := writeGridSpec(grid, sf.saveSpec); err != nil {
+			return err
+		}
+		fmt.Printf("(spec written to %s)\n", sf.saveSpec)
+	}
+	title := fmt.Sprintf("sweep: %d cells × %d seeds", len(grid.Cells()), max(sf.seeds, 1))
+	return printSweep(grid, title, "", sf.workers, sf.reportOut)
+}
+
+// grid assembles the sweep Grid from the axis flags.
+func (sf sweepFlags) grid() (anondyn.Grid, error) {
+	var grid anondyn.Grid
 	ns, err := parseInts(sf.ns)
 	if err != nil {
-		return fmt.Errorf("-ns: %w", err)
+		return grid, fmt.Errorf("-ns: %w", err)
 	}
 	fbounds, err := parseInts(sf.fs)
 	if err != nil {
-		return fmt.Errorf("-fs: %w", err)
+		return grid, fmt.Errorf("-fs: %w", err)
 	}
 	epss, err := parseFloats(sf.epss)
 	if err != nil {
-		return fmt.Errorf("-epss: %w", err)
+		return grid, fmt.Errorf("-epss: %w", err)
 	}
 	var algos []anondyn.Algo
 	for _, name := range strings.Split(sf.algos, ",") {
 		a, err := anondyn.ParseAlgo(strings.TrimSpace(name))
 		if err != nil {
-			return err
+			return grid, err
 		}
 		algos = append(algos, a)
 	}
-	var specs []string
-	for _, tok := range strings.Split(sf.advs, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		// random:<B>,<D> spans a list comma: a bare-number token
-		// belongs to the previous spec.
-		if _, err := strconv.Atoi(tok); err == nil && len(specs) > 0 {
-			specs[len(specs)-1] += "," + tok
-			continue
-		}
-		specs = append(specs, tok)
-	}
 	var advs []anondyn.AdversaryFactory
-	for _, spec := range specs {
-		f, err := parseAdvFactory(spec)
+	for _, tok := range splitAdvSpecs(sf.advs) {
+		f, err := anondyn.ParseAdversaryFactory(tok)
 		if err != nil {
-			return err
+			return grid, err
 		}
 		advs = append(advs, f)
 	}
-
-	grid := anondyn.Grid{
+	return anondyn.Grid{
 		Ns: ns, Fs: fbounds, Epss: epss,
 		Algorithms:   algos,
 		Adversaries:  advs,
 		SeedsPerCell: sf.seeds,
 		BaseSeed:     sf.baseSeed,
 		MaxRounds:    sf.maxRounds,
+	}, nil
+}
+
+// splitAdvSpecs splits the -advs list, letting the commas inside
+// multi-argument adversary specs (random:<B>,<D>,… / er:<p>,<seed>)
+// span list commas: a token that is not a spec of its own — a number,
+// or a symbolic degree like crashdeg — joins the previous spec when
+// the merge parses. Tokens that resolve neither way stay standalone so
+// the registry reports them by name.
+func splitAdvSpecs(list string) []string {
+	var specs []string
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if len(specs) > 0 {
+			if _, err := anondyn.ParseAdversaryFactory(tok); err != nil {
+				merged := specs[len(specs)-1] + "," + tok
+				if _, err := anondyn.ParseAdversaryFactory(merged); err == nil {
+					specs[len(specs)-1] = merged
+					continue
+				}
+			}
+		}
+		specs = append(specs, tok)
 	}
-	rows, err := grid.Run(anondyn.BatchOptions{Workers: sf.workers})
+	return specs
+}
+
+// writeGridSpec captures a flag-built grid as a spec file.
+func writeGridSpec(grid anondyn.Grid, path string) error {
+	sw, err := spec.FromGrid(grid)
 	if err != nil {
 		return err
 	}
+	sw.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	sw.Description = "saved from dynabench -sweep flags"
+	return os.WriteFile(path, sw.Encode(), 0o644)
+}
 
-	tb := analysis.NewTable(
-		fmt.Sprintf("sweep: %d cells × %d seeds", len(rows), max(sf.seeds, 1)),
-		"n", "f", "eps", "algorithm", "adversary", "decided", "violations",
-		"rounds mean", "rounds p95", "range max")
-	for _, r := range rows {
-		tb.AddRowf(r.N, r.F, r.Eps, r.Algorithm, r.Adversary,
-			fmt.Sprintf("%d/%d", r.Decided, r.Runs), r.Violations,
-			r.Rounds.Mean, r.Rounds.P95, r.OutputRange.Max)
-	}
-	if err := tb.Fprint(os.Stdout); err != nil {
+// printSweep runs one grid, prints the aggregate table, and optionally
+// writes the JSON report.
+func printSweep(grid anondyn.Grid, title, specName string, workers int, reportOut string) error {
+	rows, err := grid.Run(anondyn.BatchOptions{Workers: workers})
+	if err != nil {
 		return err
 	}
-
-	if sf.reportOut != "" {
+	if err := spec.Table(title, rows).Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if reportOut != "" {
+		per := grid.SeedsPerCell
+		if per < 1 {
+			per = 1
+		}
 		data, err := json.MarshalIndent(sweepReport{
-			SeedsPerCell: max(sf.seeds, 1),
-			BaseSeed:     sf.baseSeed,
-			Workers:      sf.workers,
+			Spec:         specName,
+			SeedsPerCell: per,
+			BaseSeed:     grid.BaseSeed,
+			Workers:      workers,
 			Cells:        rows,
 		}, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(sf.reportOut, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(reportOut, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("(report written to %s)\n", sf.reportOut)
+		fmt.Printf("(report written to %s)\n", reportOut)
 	}
 	return nil
 }
 
-// parseAdvFactory resolves a sweep adversary spec into a seedable
-// factory. Specs mirror dynasim's -adversary grammar minus the
-// n-specific entries (fig1, isolate).
-func parseAdvFactory(spec string) (anondyn.AdversaryFactory, error) {
-	name, arg, _ := strings.Cut(spec, ":")
-	mk := anondyn.AdversaryFactory{Name: spec}
-	switch name {
-	case "complete":
-		mk.New = func(int, int64) anondyn.Adversary { return anondyn.Complete() }
-	case "halves":
-		mk.New = func(n int, _ int64) anondyn.Adversary { return anondyn.Halves(n) }
-	case "chasemin":
-		mk.New = func(int, int64) anondyn.Adversary { return anondyn.ChaseMin() }
-	case "er":
-		p, err := strconv.ParseFloat(arg, 64)
-		if err != nil {
-			return mk, fmt.Errorf("er needs a probability: %v", err)
-		}
-		mk.New = func(_ int, seed int64) anondyn.Adversary { return anondyn.Probabilistic(p, seed) }
-	case "rotating", "clustered", "starve":
-		d, err := strconv.Atoi(arg)
-		if err != nil {
-			return mk, fmt.Errorf("%s needs an integer argument: %v", name, err)
-		}
-		switch name {
-		case "rotating":
-			mk.New = func(int, int64) anondyn.Adversary { return anondyn.Rotating(d) }
-		case "clustered":
-			mk.New = func(int, int64) anondyn.Adversary { return anondyn.Clustered(d) }
-		default:
-			mk.New = func(int, int64) anondyn.Adversary { return anondyn.Starve(d) }
-		}
-	case "random":
-		parts := strings.Split(arg, ",")
-		if len(parts) != 2 {
-			return mk, fmt.Errorf("random adversary wants random:<B>,<D>")
-		}
-		b, err := strconv.Atoi(parts[0])
-		if err != nil {
-			return mk, err
-		}
-		d, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return mk, err
-		}
-		mk.New = func(_ int, seed int64) anondyn.Adversary { return anondyn.RandomDegree(b, d, 0.05, seed) }
-	default:
-		return mk, fmt.Errorf("unknown sweep adversary %q", spec)
+// runSpecFile runs one declarative sweep file. seedsOverride > 0
+// replaces the file's seeds_per_cell (the CI one-seed smoke).
+func runSpecFile(path string, seedsOverride, workers int, reportOut string, banner bool) error {
+	sw, grid, err := spec.Load(path, seedsOverride)
+	if err != nil {
+		return err
 	}
-	return mk, nil
+	if banner && sw.Description != "" {
+		fmt.Printf("# %s\n", sw.Description)
+	}
+	return printSweep(grid, sw.RunTitle(path, len(grid.Cells())), sw.Name, workers, reportOut)
+}
+
+// runSpecDir runs every scenario file in a directory, sorted by name.
+func runSpecDir(dir string, seedsOverride, workers int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".yaml", ".yml", ".json":
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("%s: no scenario files (*.yaml, *.yml, *.json)", dir)
+	}
+	sort.Strings(files)
+	for i, path := range files {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := runSpecFile(path, seedsOverride, workers, "", true); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func parseInts(spec string) ([]int, error) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -72,5 +73,132 @@ func TestRunSweepBadAxes(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("%v accepted", args)
 		}
+	}
+}
+
+// TestSpecMatchesFlagSweep is the parity contract: a spec file
+// reproduces the corresponding flag-driven sweep row-for-row at equal
+// seeds.
+func TestSpecMatchesFlagSweep(t *testing.T) {
+	dir := t.TempDir()
+	flagOut := filepath.Join(dir, "flags.json")
+	if err := run([]string{"-sweep", "-ns", "5,7", "-algos", "dac,fullinfo",
+		"-advs", "complete,rotating:3", "-seeds", "3", "-seed", "42",
+		"-report", flagOut}); err != nil {
+		t.Fatalf("flag sweep: %v", err)
+	}
+
+	specPath := filepath.Join(dir, "parity.yaml")
+	specText := `name: parity
+description: flag-parity fixture
+ns: [5, 7]
+epss: [1e-3]
+algorithms: [dac, fullinfo]
+adversaries: ["complete", "rotating:3"]
+seeds_per_cell: 3
+base_seed: 42
+max_rounds: 20000
+`
+	if err := os.WriteFile(specPath, []byte(specText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specOut := filepath.Join(dir, "spec.json")
+	if err := run([]string{"-spec", specPath, "-report", specOut}); err != nil {
+		t.Fatalf("spec sweep: %v", err)
+	}
+
+	var flagReport, specReport sweepReport
+	for path, dst := range map[string]*sweepReport{flagOut: &flagReport, specOut: &specReport} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(flagReport.Cells) != 8 {
+		t.Fatalf("flag sweep produced %d cells, want 8", len(flagReport.Cells))
+	}
+	if !reflect.DeepEqual(flagReport.Cells, specReport.Cells) {
+		t.Errorf("spec rows differ from flag rows:\n%+v\n%+v", flagReport.Cells, specReport.Cells)
+	}
+}
+
+// TestSaveSpecRoundTrip: -save-spec emits a file whose -spec run
+// reproduces the sweep that saved it.
+func TestSaveSpecRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "saved.yaml")
+	flagOut := filepath.Join(dir, "flags.json")
+	if err := run([]string{"-sweep", "-ns", "5,7", "-advs", "er:0.6,random:2,3",
+		"-seeds", "2", "-report", flagOut, "-save-spec", saved}); err != nil {
+		t.Fatalf("sweep with -save-spec: %v", err)
+	}
+	specOut := filepath.Join(dir, "spec.json")
+	if err := run([]string{"-spec", saved, "-report", specOut}); err != nil {
+		t.Fatalf("saved spec failed to run: %v", err)
+	}
+	var flagReport, specReport sweepReport
+	for path, dst := range map[string]*sweepReport{flagOut: &flagReport, specOut: &specReport} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(flagReport.Cells, specReport.Cells) {
+		t.Errorf("saved-spec rows differ from the sweep that saved them:\n%+v\n%+v",
+			flagReport.Cells, specReport.Cells)
+	}
+}
+
+// TestSpecDirSmoke mirrors the CI specs job on the committed files:
+// every examples/specs artifact must run at one seed.
+func TestSpecDirSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every committed spec")
+	}
+	if err := run([]string{"-spec-dir", "../../examples/specs", "-seeds", "1"}); err != nil {
+		t.Fatalf("spec-dir smoke: %v", err)
+	}
+}
+
+func TestSpecModeBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-spec", "does-not-exist.yaml"},
+		{"-spec-dir", "does-not-exist"},
+		{"-spec", "x.yaml", "-spec-dir", "y"},
+		{"-save-spec", "out.yaml"}, // wants -sweep
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+// TestAdvsSymbolicDegrees: the registry grammar's symbolic degree
+// tokens span -advs list commas like numeric arguments do.
+func TestAdvsSymbolicDegrees(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sym.json")
+	if err := run([]string{"-sweep", "-ns", "9", "-advs",
+		"random:4,crashdeg,0.05,rotating:crashdeg", "-seeds", "2", "-report", out}); err != nil {
+		t.Fatalf("symbolic -advs: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report sweepReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cells) != 2 {
+		t.Fatalf("%d cells, want 2 (random spec spans its commas)", len(report.Cells))
+	}
+	if report.Cells[0].Adversary != "random:4,crashdeg,0.05" || report.Cells[1].Adversary != "rotating:crashdeg" {
+		t.Errorf("adversary labels = %q, %q", report.Cells[0].Adversary, report.Cells[1].Adversary)
 	}
 }

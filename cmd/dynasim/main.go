@@ -5,6 +5,10 @@
 // same scenario on a worker pool and reports streaming aggregates
 // instead; -report writes the batch as JSON.
 //
+// -save-spec writes the flag configuration out as a declarative sweep
+// file (a 1-cell matrix), and -spec runs such a file — the same format
+// dynabench sweeps and the committed examples/specs artifacts use.
+//
 // Examples:
 //
 //	dynasim -algo dac  -n 7  -f 2 -adversary rotating:3 -crash 1@3,4@6
@@ -12,6 +16,8 @@
 //	dynasim -algo dac  -n 3  -adversary fig1 -eps 0.01 -trace run.jsonl
 //	dynasim -algo dac  -n 6  -adversary halves -rounds 100   # stalls: below threshold
 //	dynasim -algo dac  -n 9  -adversary er:0.3 -inputs random -seeds 200 -workers 8 -report batch.json
+//	dynasim -algo dac  -n 9  -adversary er:0.3 -save-spec er.yaml   # flags → artifact
+//	dynasim -spec er.yaml -seeds 50                                 # artifact → sweep
 package main
 
 import (
@@ -19,11 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"anondyn"
+	"anondyn/internal/spec"
 	"anondyn/internal/trace"
 )
 
@@ -56,15 +64,33 @@ func run(args []string) error {
 		showSeries = fs.Bool("series", false, "print the per-round convergence curve (log-scale sparkline)")
 		maxBytes   = fs.Int("maxbytes", 0, "per-link bandwidth budget in bytes (0 = unlimited)")
 		shuffle    = fs.Bool("shuffle", false, "randomize intra-round delivery order (seeded)")
-		seedsN     = fs.Int("seeds", 1, "number of seeded runs; > 1 switches to Monte-Carlo batch mode")
+		seedsN     = fs.Int("seeds", 1, "number of seeded runs; > 1 switches to Monte-Carlo batch mode (with -spec: override the file's seeds_per_cell)")
 		workers    = fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 		reportOut  = fs.String("report", "", "write the batch aggregate as JSON to this file (implies batch mode)")
+		specFile   = fs.String("spec", "", "run the sweep defined in this YAML/JSON scenario file instead of the flag scenario")
+		saveSpec   = fs.String("save-spec", "", "write the flag scenario as a declarative spec file before running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	adv, err := parseAdversary(*advSpec, *n, *seed)
+	if *specFile != "" {
+		if *traceOut != "" || *showSeries || *reportOut != "" {
+			return fmt.Errorf("-spec runs a sweep; -trace, -series and -report do not apply")
+		}
+		if *saveSpec != "" {
+			return fmt.Errorf("-save-spec captures the scenario flags; it does not combine with -spec")
+		}
+		seedsOverride := 0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "seeds" {
+				seedsOverride = *seedsN
+			}
+		})
+		return runSpec(*specFile, seedsOverride, *workers)
+	}
+
+	adv, err := parseAdversary(*advSpec, *n, *f, *seed)
 	if err != nil {
 		return err
 	}
@@ -83,6 +109,27 @@ func run(args []string) error {
 	algo, err := parseAlgo(*algoName)
 	if err != nil {
 		return err
+	}
+
+	if *saveSpec != "" {
+		if *randPorts || *shuffle || *concurrent {
+			return fmt.Errorf("-save-spec cannot capture -randports, -shuffle or -concurrent (not spec-expressible)")
+		}
+		sw, err := flagSweep(flagScenario{
+			algo: strings.ToLower(*algoName), n: *n, f: *f, eps: *eps,
+			adv: *advSpec, inputs: *inputSpec, crashes: crashes, byz: *byzSpec,
+			window: *window, megaT: *megaT, pEnd: *pEnd,
+			maxRounds: *maxRounds, maxBytes: *maxBytes,
+			seeds: *seedsN, baseSeed: *seed,
+			name: strings.TrimSuffix(filepath.Base(*saveSpec), filepath.Ext(*saveSpec)),
+		})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*saveSpec, sw.Encode(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(spec written to %s)\n", *saveSpec)
 	}
 
 	if *seedsN < 1 {
@@ -232,7 +279,7 @@ type batchConfig struct {
 // validated before the batch started, so per-seed re-parsing cannot
 // fail.
 func (c batchConfig) scenario(seed int64) anondyn.Scenario {
-	adv, _ := parseAdversary(c.advSpec, c.n, seed)
+	adv, _ := parseAdversary(c.advSpec, c.n, c.f, seed)
 	byz, _ := parseByz(c.byzSpec, seed)
 	inputs, _ := parseInputs(c.inputSpec, c.n, seed)
 	return anondyn.Scenario{
@@ -338,62 +385,135 @@ func parseAlgo(s string) (anondyn.Algo, error) {
 	return anondyn.ParseAlgo(s)
 }
 
-func parseAdversary(spec string, n int, seed int64) (anondyn.Adversary, error) {
-	name, arg, _ := strings.Cut(spec, ":")
-	switch name {
-	case "complete":
-		return anondyn.Complete(), nil
-	case "fig1":
-		if n != 3 {
-			return nil, fmt.Errorf("fig1 is defined on exactly 3 nodes (got n=%d)", n)
-		}
-		return anondyn.Fig1(), nil
-	case "halves":
-		return anondyn.Halves(n), nil
-	case "chasemin":
-		return anondyn.ChaseMin(), nil
-	case "isolate":
-		victim, err := strconv.Atoi(arg)
-		if err != nil {
-			return nil, fmt.Errorf("isolate needs a victim node: %v", err)
-		}
-		return anondyn.Isolate(victim), nil
-	case "er":
-		p, err := strconv.ParseFloat(arg, 64)
-		if err != nil {
-			return nil, fmt.Errorf("er needs a probability: %v", err)
-		}
-		return anondyn.Probabilistic(p, seed), nil
-	case "rotating", "clustered", "starve":
-		d, err := strconv.Atoi(arg)
-		if err != nil {
-			return nil, fmt.Errorf("%s needs an integer argument: %v", name, err)
-		}
-		switch name {
-		case "rotating":
-			return anondyn.Rotating(d), nil
-		case "clustered":
-			return anondyn.Clustered(d), nil
-		default:
-			return anondyn.Starve(d), nil
-		}
-	case "random":
-		parts := strings.Split(arg, ",")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("random adversary wants random:<B>,<D>")
-		}
-		b, err := strconv.Atoi(parts[0])
-		if err != nil {
-			return nil, err
-		}
-		d, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, err
-		}
-		return anondyn.RandomDegree(b, d, 0.05, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown adversary %q", spec)
+// parseAdversary resolves the -adversary spec through the shared
+// factory registry (one grammar across dynasim, dynabench -advs and
+// spec files), checking it against the scenario's n and f.
+func parseAdversary(advSpec string, n, f int, seed int64) (anondyn.Adversary, error) {
+	factory, err := anondyn.ParseAdversaryFactory(advSpec)
+	if err != nil {
+		return nil, err
 	}
+	cell := anondyn.Cell{N: n, F: f}
+	if factory.Check != nil {
+		if err := factory.Check(cell); err != nil {
+			return nil, err
+		}
+	}
+	return factory.New(cell, seed), nil
+}
+
+// runSpec runs a declarative sweep file, printing one aggregate row
+// per cell — dynasim's window onto the same artifacts dynabench runs.
+func runSpec(path string, seedsOverride, workers int) error {
+	sw, grid, err := spec.Load(path, seedsOverride)
+	if err != nil {
+		return err
+	}
+	rows, err := grid.Run(anondyn.BatchOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	return spec.Table(sw.RunTitle(path, len(rows)), rows).Fprint(os.Stdout)
+}
+
+// flagScenario carries the flag values -save-spec captures.
+type flagScenario struct {
+	algo      string
+	n, f      int
+	eps       float64
+	adv       string
+	inputs    string
+	crashes   map[int]anondyn.Crash
+	byz       string
+	window    int
+	megaT     int
+	pEnd      int
+	maxRounds int
+	maxBytes  int
+	seeds     int
+	baseSeed  int64
+	name      string
+}
+
+// flagSweep converts the flag scenario into a 1-cell declarative
+// sweep.
+func flagSweep(fc flagScenario) (*spec.Sweep, error) {
+	sw := &spec.Sweep{
+		Name:         fc.name,
+		Description:  "saved from dynasim flags",
+		Ns:           []int{fc.n},
+		Fs:           []spec.Bound{{Lit: fc.f}},
+		Epss:         []float64{fc.eps},
+		Algorithms:   []string{fc.algo},
+		Adversaries:  []string{fc.adv},
+		SeedsPerCell: fc.seeds,
+		BaseSeed:     fc.baseSeed,
+		MaxRounds:    fc.maxRounds,
+		Inputs:       fc.inputs,
+	}
+	sw.PEnd = fc.pEnd
+	sw.PiggybackWindow = fc.window
+	sw.MaxMessageBytes = fc.maxBytes
+	if fc.algo == "megaround" {
+		sw.MegaT = fc.megaT
+	}
+	if len(fc.crashes) > 0 {
+		nodes := make([]int, 0, len(fc.crashes))
+		for node := range fc.crashes {
+			nodes = append(nodes, node)
+		}
+		sort.Ints(nodes)
+		rounds := make([]int, len(nodes))
+		for i, node := range nodes {
+			rounds[i] = fc.crashes[node].Round
+		}
+		sw.Crashes = &spec.Crashes{NodeList: nodes, Rounds: rounds}
+	}
+	casts, err := specCasts(fc.byz)
+	if err != nil {
+		return nil, err
+	}
+	sw.Byzantine = casts
+	// Validate eagerly (via a re-parse of the encoding) so a bad
+	// capture fails before the file lands.
+	if _, err := spec.Parse(sw.Encode()); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// specCasts converts the -byz grammar into declarative casts.
+func specCasts(byzSpec string) ([]spec.Cast, error) {
+	if byzSpec == "" {
+		return nil, nil
+	}
+	var casts []spec.Cast
+	for _, part := range strings.Split(byzSpec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("byz entry %q wants node:strategy[:arg]", part)
+		}
+		node, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		arg := 0.0
+		if len(fields) >= 3 {
+			if arg, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, err
+			}
+		}
+		cast := spec.Cast{NodeList: []int{node}, Strategy: fields[1]}
+		switch fields[1] {
+		case "extremist", "laggard", "mimic":
+			cast.Args = []float64{arg}
+		case "silent", "equivocate", "noise":
+		default:
+			return nil, fmt.Errorf("unknown strategy %q", fields[1])
+		}
+		casts = append(casts, cast)
+	}
+	return casts, nil
 }
 
 func parseCrashes(spec string) (map[int]anondyn.Crash, error) {

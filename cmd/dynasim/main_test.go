@@ -43,7 +43,7 @@ func TestParseAdversary(t *testing.T) {
 		{"er:0.30", "er(p=0.30)"},
 	}
 	for _, tc := range cases {
-		a, err := parseAdversary(tc.spec, 7, 1)
+		a, err := parseAdversary(tc.spec, 7, 1, 1)
 		if err != nil {
 			t.Errorf("parseAdversary(%q): %v", tc.spec, err)
 			continue
@@ -52,12 +52,17 @@ func TestParseAdversary(t *testing.T) {
 			t.Errorf("parseAdversary(%q).Name() = %q, want %q", tc.spec, a.Name(), tc.want)
 		}
 	}
-	if a, err := parseAdversary("fig1", 3, 1); err != nil || !strings.Contains(a.Name(), "fig1") {
+	if a, err := parseAdversary("fig1", 3, 0, 1); err != nil || !strings.Contains(a.Name(), "fig1") {
 		t.Errorf("fig1: %v", err)
 	}
-	for _, bad := range []string{"fig1", "rotating:x", "random:3", "er:zz", "isolate:", "warp"} {
-		n := 7 // fig1 invalid at n=7
-		if _, err := parseAdversary(bad, n, 1); err == nil {
+	// Registry extensions reach dynasim too: symbolic degrees resolve
+	// against the scenario's n and f.
+	if a, err := parseAdversary("rotating:crashdeg", 9, 0, 1); err != nil || !strings.Contains(a.Name(), "d=4") {
+		t.Errorf("rotating:crashdeg at n=9: %v, %v", a, err)
+	}
+	for _, bad := range []string{"fig1", "rotating:x", "random:3", "er:zz", "isolate:", "warp", "isolate:9"} {
+		n := 7 // fig1 invalid at n=7, as is victim 9
+		if _, err := parseAdversary(bad, n, 1, 1); err == nil {
 			t.Errorf("parseAdversary(%q) accepted", bad)
 		}
 	}
@@ -169,5 +174,61 @@ func TestRunBatchMode(t *testing.T) {
 
 	if err := run([]string{"-seeds", "0", "-report", out}); err == nil {
 		t.Error("-seeds 0 accepted")
+	}
+}
+
+// TestSaveSpecThenRunSpec: the flags → artifact → sweep round trip.
+func TestSaveSpecThenRunSpec(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "er.yaml")
+	if err := run([]string{"-algo", "dac", "-n", "7", "-f", "1",
+		"-adversary", "er:0.5", "-inputs", "random",
+		"-crash", "1@3", "-byz", "", "-seeds", "1",
+		"-save-spec", saved}); err != nil {
+		t.Fatalf("save-spec run: %v", err)
+	}
+	data, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatalf("spec not written: %v", err)
+	}
+	for _, want := range []string{"ns: [7]", "er:0.5", "nodes: [1]", "rounds: [3]"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("saved spec missing %q:\n%s", want, data)
+		}
+	}
+	if err := run([]string{"-spec", saved, "-seeds", "5"}); err != nil {
+		t.Fatalf("running saved spec: %v", err)
+	}
+}
+
+// TestSaveSpecCapturesByzantine: strategies and their arguments
+// survive the capture.
+func TestSaveSpecCapturesByzantine(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "byz.yaml")
+	if err := run([]string{"-algo", "dbac", "-n", "11", "-f", "2",
+		"-byz", "4:equivocate,9:extremist:1", "-save-spec", saved}); err != nil {
+		t.Fatalf("save-spec run: %v", err)
+	}
+	data, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"strategy: equivocate", "strategy: extremist", "args: [1.0]"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("saved spec missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestSpecModeRejectsPerRunViews(t *testing.T) {
+	if err := run([]string{"-spec", "x.yaml", "-series"}); err == nil {
+		t.Error("-spec with -series accepted")
+	}
+	if err := run([]string{"-spec", "does-not-exist.yaml"}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	if err := run([]string{"-adversary", "complete", "-randports", "-save-spec", "x.yaml"}); err == nil {
+		t.Error("-save-spec with -randports accepted")
 	}
 }

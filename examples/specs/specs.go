@@ -1,0 +1,34 @@
+// Package specs embeds the repository's committed sweep definitions.
+// Every experiment matrix in internal/experiments is backed by one of
+// these files — the YAML is the source of truth for the cells an
+// experiment runs — and the CI specs job smoke-runs each file on every
+// commit (dynabench -spec-dir examples/specs -seeds 1), so a committed
+// scenario can never rot.
+package specs
+
+import (
+	"embed"
+	"sort"
+)
+
+//go:embed *.yaml
+var files embed.FS
+
+// Names returns the committed spec filenames, sorted.
+func Names() []string {
+	entries, err := files.ReadDir(".")
+	if err != nil {
+		panic(err) // embed.FS root always reads
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Read returns one committed spec by filename.
+func Read(name string) ([]byte, error) {
+	return files.ReadFile(name)
+}

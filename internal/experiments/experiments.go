@@ -6,12 +6,17 @@
 // The paper is a theory paper — each experiment operationalizes one of
 // its quantitative claims (convergence rates, resilience and dynaDegree
 // thresholds, worst-case round counts, the §VII bandwidth trade-off) on
-// the simulated anonymous dynamic network.
+// the simulated anonymous dynamic network. Every experiment's cell
+// matrix is a committed spec file under examples/specs, compiled to an
+// anondyn.Grid and executed on the batch worker pool; the Go side only
+// attaches per-run collectors and renders the tables.
 package experiments
 
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"anondyn"
 	"anondyn/internal/analysis"
@@ -49,44 +54,19 @@ const rateFloor = 1e-6
 // E1DACConvergence measures, for several network sizes and adversaries,
 // the number of rounds to termination and the empirical per-phase
 // contraction of range(V(p)). Theorem 3 predicts contraction ≤ 1/2 per
-// phase; the complete graph should hit p_end rounds exactly.
+// phase; the complete graph should hit p_end rounds exactly. Matrix:
+// examples/specs/e1-dac-convergence.yaml.
 func E1DACConvergence() *analysis.Table {
-	const eps = 1e-3
+	g := sweepGrid("e1-dac-convergence.yaml")
+	trackers := trackPhases(&g)
 	tb := analysis.NewTable(
 		"E1: DAC convergence (ε=1e-3, p_end=10, f=⌊(n−1)/2⌋ crashes staggered)",
 		"n", "f", "adversary", "rounds", "decided", "range", "worst ρ", "geo-mean ρ")
-	for _, n := range []int{5, 7, 9, 15, 25} {
-		f := (n - 1) / 2
-		for _, mk := range []struct {
-			name string
-			adv  anondyn.Adversary
-		}{
-			{"complete", anondyn.Complete()},
-			{fmt.Sprintf("rotating(%d)", anondyn.CrashDegree(n)), anondyn.Rotating(anondyn.CrashDegree(n))},
-			{"clustered(T=4)", anondyn.Clustered(4)},
-			{fmt.Sprintf("randDeg(B=4,D=%d)", anondyn.CrashDegree(n)), anondyn.RandomDegree(4, anondyn.CrashDegree(n), 0.05, 1000+int64(n))},
-		} {
-			crashes := make(map[int]anondyn.Crash, f)
-			for i := 0; i < f; i++ {
-				crashes[i*2+1] = anondyn.CrashAt(3 + 2*i) // odd IDs, staggered
-			}
-			tracker := anondyn.NewPhaseTracker()
-			res, err := anondyn.Scenario{
-				N: n, F: f, Eps: eps,
-				Algorithm: anondyn.AlgoDAC,
-				Inputs:    anondyn.SpreadInputs(n),
-				Adversary: mk.adv,
-				Crashes:   crashes,
-				Tracker:   tracker,
-				MaxRounds: 20000,
-			}.Run()
-			if err != nil {
-				panic(fmt.Sprintf("E1 %s n=%d: %v", mk.name, n, err))
-			}
-			tb.AddRowf(n, f, mk.name, res.Rounds, res.Decided, res.OutputRange(),
-				tracker.WorstRatio(rateFloor), analysis.GeoMean(tracker.Ratios(rateFloor)))
-		}
-	}
+	runSweep(g, func(c anondyn.Cell, run int, res *anondyn.Result) {
+		tr := trackers[run]
+		tb.AddRowf(c.N, c.F, c.Adversary.Name, res.Rounds, res.Decided, res.OutputRange(),
+			tr.WorstRatio(rateFloor), analysis.GeoMean(tr.Ratios(rateFloor)))
+	})
 	tb.AddNote("Theorem 3: ρ ≤ 1/2 per phase; complete graph terminates in exactly p_end rounds")
 	return tb
 }
@@ -96,41 +76,27 @@ func E1DACConvergence() *analysis.Table {
 // DAC (quorum ⌊n/2⌋+1) can never terminate, and the hypothetical
 // algorithm that settles for one less (quorum ⌊n/2⌋, i.e. "communicate
 // with ⌊n/2⌋ nodes including yourself") terminates with outputs 0 and 1:
-// ε-agreement is violated, exactly as the proof predicts.
+// ε-agreement is violated, exactly as the proof predicts. Matrix:
+// examples/specs/e2-crash-degree-necessity.yaml (a two-variant sweep).
 func E2CrashDegreeNecessity() *analysis.Table {
-	const eps = 1e-3
+	g := sweepGrid("e2-crash-degree-necessity.yaml")
 	tb := analysis.NewTable(
 		"E2: Theorem 9 part 1 — split adversary at (1, ⌊n/2⌋−1)-dynaDegree, inputs 0|1",
 		"n", "quorum", "variant", "decided", "rounds", "range", "ε-agreement")
-	for _, n := range []int{6, 7, 11} {
-		half := (n + 1) / 2
-		for _, v := range []struct {
-			name   string
-			quorum int
-		}{
-			{"DAC (paper quorum)", 0},
-			{"hypothetical (quorum−1)", n / 2},
-		} {
-			res, err := anondyn.Scenario{
-				N: n, F: 0, Eps: eps,
-				Algorithm:      anondyn.AlgoDAC,
-				QuorumOverride: v.quorum,
-				Unchecked:      true,
-				Inputs:         anondyn.SplitInputs(n, half),
-				Adversary:      anondyn.Halves(n),
-				MaxRounds:      500,
-			}.Run()
-			if err != nil {
-				panic(fmt.Sprintf("E2 n=%d: %v", n, err))
-			}
-			quorum := v.quorum
-			if quorum == 0 {
-				quorum = n/2 + 1
-			}
-			tb.AddRowf(n, quorum, v.name, res.Decided, res.Rounds,
-				res.OutputRange(), res.EpsAgreement(eps))
+	runSweep(g, func(c anondyn.Cell, _ int, res *anondyn.Result) {
+		// Read the effective quorum off the variant itself rather than
+		// its display name.
+		probe := anondyn.Scenario{N: c.N, F: c.F}
+		if c.Variant.Apply != nil {
+			c.Variant.Apply(&probe)
 		}
-	}
+		quorum := probe.QuorumOverride
+		if quorum == 0 {
+			quorum = c.N/2 + 1 // the paper quorum
+		}
+		tb.AddRowf(c.N, quorum, c.Variant.Name, res.Decided, res.Rounds,
+			res.OutputRange(), res.EpsAgreement(c.Eps))
+	})
 	tb.AddNote("paper quorum stalls (termination impossible); quorum−1 terminates but groups decide 0 vs 1")
 	return tb
 }
@@ -138,54 +104,43 @@ func E2CrashDegreeNecessity() *analysis.Table {
 // E3CrashResilienceBoundary probes Theorem 9 (part 2): with n = 2f the
 // f crashes leave only f survivors — one short of the ⌊n/2⌋+1 quorum —
 // so DAC stalls; and any algorithm that terminates anyway (quorum f)
-// splits. n = 2f+1 is the control: it must decide correctly.
+// splits. n = 2f+1 is the control: it must decide correctly. Matrix:
+// the three examples/specs/e3-resilience-*.yaml sweeps, interleaved per
+// fault bound.
 func E3CrashResilienceBoundary() *analysis.Table {
-	const eps = 1e-3
 	tb := analysis.NewTable(
 		"E3: Theorem 9 part 2 — resilience boundary under f early crashes",
 		"n", "f", "variant", "decided", "rounds", "range", "valid", "ε-agreement")
-	for _, f := range []int{2, 3} {
-		type variant struct {
-			name      string
-			n         int
-			quorum    int // 0 = paper
-			adversary anondyn.Adversary
-			splitIn   bool
+	type row struct {
+		c   anondyn.Cell
+		res *anondyn.Result
+	}
+	variants := []struct {
+		label string
+		file  string
+	}{
+		{"n=2f+1 control", "e3-resilience-control.yaml"},
+		{"n=2f DAC", "e3-resilience-boundary.yaml"},
+		{"n=2f eager(quorum=f)", "e3-resilience-eager.yaml"},
+	}
+	rows := make([][]row, len(variants))
+	for i, v := range variants {
+		g := sweepGrid(v.file)
+		runSweep(g, func(c anondyn.Cell, _ int, res *anondyn.Result) {
+			rows[i] = append(rows[i], row{c: c, res: res})
+		})
+		// The three files are interleaved positionally below; a drifted
+		// matrix must fail loudly, not pair wrong rows.
+		if len(rows[i]) != len(rows[0]) {
+			panic(fmt.Sprintf("E3: %s delivered %d runs, %s delivered %d — matrices out of step",
+				variants[0].file, len(rows[0]), v.file, len(rows[i])))
 		}
-		variants := []variant{
-			{"n=2f+1 control", 2*f + 1, 0, anondyn.Complete(), false},
-			{"n=2f DAC", 2 * f, 0, anondyn.Complete(), false},
-			{"n=2f eager(quorum=f)", 2 * f, f, anondyn.Halves(2 * f), true},
-		}
-		for _, v := range variants {
-			crashes := make(map[int]anondyn.Crash, f)
-			for i := 0; i < f; i++ {
-				// Crash the top-ID nodes before they send anything.
-				crashes[v.n-1-i] = anondyn.CrashSilent(0)
-			}
-			inputs := anondyn.SpreadInputs(v.n)
-			if v.splitIn {
-				inputs = anondyn.SplitInputs(v.n, v.n/2)
-				// The eager variant isolates the two halves and crashes
-				// nobody: the indistinguishability argument of the proof
-				// (each half looks like "the other f crashed").
-				crashes = nil
-			}
-			res, err := anondyn.Scenario{
-				N: v.n, F: f, Eps: eps,
-				Algorithm:      anondyn.AlgoDAC,
-				QuorumOverride: v.quorum,
-				Unchecked:      true,
-				Inputs:         inputs,
-				Adversary:      v.adversary,
-				Crashes:        crashes,
-				MaxRounds:      400,
-			}.Run()
-			if err != nil {
-				panic(fmt.Sprintf("E3 %s: %v", v.name, err))
-			}
-			tb.AddRowf(v.n, f, v.name, res.Decided, res.Rounds, res.OutputRange(),
-				res.Valid(), res.EpsAgreement(eps))
+	}
+	for j := range rows[0] { // one block per fault bound (f=2, f=3)
+		for i, v := range variants {
+			r := rows[i][j]
+			tb.AddRowf(r.c.N, r.c.F, v.label, r.res.Decided, r.res.Rounds,
+				r.res.OutputRange(), r.res.Valid(), r.res.EpsAgreement(r.c.Eps))
 		}
 	}
 	tb.AddNote("n=2f: survivors < quorum ⇒ stall; eager quorum=f terminates but halves decide 0 vs 1")
@@ -195,32 +150,22 @@ func E3CrashResilienceBoundary() *analysis.Table {
 // E4RoundsVsT runs DAC against the T-periodic starving adversary (T−1
 // empty rounds, then one complete round): every phase needs a full
 // period, so rounds ≈ T·p_end — the worst-case round complexity the
-// paper states in §VII.
+// paper states in §VII. Matrix: examples/specs/e4-rounds-vs-t.yaml.
 func E4RoundsVsT() *analysis.Table {
-	const eps = 1e-3
-	n := 9
-	pEnd := anondyn.PEndDAC(eps)
+	g := sweepGrid("e4-rounds-vs-t.yaml")
+	pEnd := anondyn.PEndDAC(1e-3)
 	tb := analysis.NewTable(
-		fmt.Sprintf("E4: DAC rounds vs T (n=%d, ε=1e-3, p_end=%d, T-periodic starve adversary)", n, pEnd),
+		fmt.Sprintf("E4: DAC rounds vs T (n=9, ε=1e-3, p_end=%d, T-periodic starve adversary)", pEnd),
 		"T", "rounds", "T·p_end", "rounds/(T·p_end)", "decided")
-	for _, T := range []int{1, 2, 4, 8, 16} {
-		sets := make([]*anondyn.EdgeSet, T)
-		for i := 0; i < T-1; i++ {
-			sets[i] = anondyn.NewEdgeSet(n)
-		}
-		sets[T-1] = anondyn.CompleteGraph(n)
-		res, err := anondyn.Scenario{
-			N: n, F: 0, Eps: eps,
-			Algorithm: anondyn.AlgoDAC,
-			Inputs:    anondyn.SpreadInputs(n),
-			Adversary: anondyn.Periodic(fmt.Sprintf("starve%d", T), sets...),
-			MaxRounds: 20 * T * pEnd,
-		}.Run()
+	runSweep(g, func(c anondyn.Cell, _ int, res *anondyn.Result) {
+		_, arg, _ := strings.Cut(c.Adversary.Name, ":")
+		period, err := strconv.Atoi(arg)
 		if err != nil {
-			panic(fmt.Sprintf("E4 T=%d: %v", T, err))
+			panic(fmt.Sprintf("E4: adversary %q: %v", c.Adversary.Name, err))
 		}
-		tb.AddRowf(T, res.Rounds, T*pEnd, float64(res.Rounds)/float64(T*pEnd), res.Decided)
-	}
+		tb.AddRowf(period, res.Rounds, period*pEnd,
+			float64(res.Rounds)/float64(period*pEnd), res.Decided)
+	})
 	tb.AddNote("both algorithms complete in T·p_end rounds in the worst case (§VII)")
 	return tb
 }
@@ -228,37 +173,20 @@ func E4RoundsVsT() *analysis.Table {
 // E5DBACConvergence measures DBAC under equivocating Byzantine nodes:
 // phases needed to reach range ≤ ε versus the paper's per-phase bound
 // 1−2⁻ⁿ (Theorem 7), whose p_end (Equation 6) is astronomically loose
-// compared to observed behavior.
+// compared to observed behavior. Matrix:
+// examples/specs/e5-dbac-convergence.yaml.
 func E5DBACConvergence() *analysis.Table {
-	const eps = 1e-3
+	g := sweepGrid("e5-dbac-convergence.yaml")
+	trackers := trackPhases(&g)
 	tb := analysis.NewTable(
 		"E5: DBAC convergence (equivocating Byzantine, complete graph, ε=1e-3)",
 		"n", "f", "rounds", "phases→ε", "worst ρ", "geo-mean ρ", "bound 1−2⁻ⁿ", "Eq.6 p_end", "valid")
-	for _, nf := range []struct{ n, f int }{{6, 1}, {11, 2}, {16, 3}, {21, 4}} {
-		n, f := nf.n, nf.f
-		byz := make(map[int]anondyn.Strategy, f)
-		for i := 0; i < f; i++ {
-			byz[n/2+i] = anondyn.Equivocator(0, 1)
-		}
-		tracker := anondyn.NewPhaseTracker()
-		const phaseBudget = 40
-		res, err := anondyn.Scenario{
-			N: n, F: f, Eps: eps,
-			Algorithm:    anondyn.AlgoDBAC,
-			PEndOverride: phaseBudget,
-			Inputs:       anondyn.SpreadInputs(n),
-			Adversary:    anondyn.Complete(),
-			Byzantine:    byz,
-			Tracker:      tracker,
-			MaxRounds:    5000,
-		}.Run()
-		if err != nil {
-			panic(fmt.Sprintf("E5 n=%d: %v", n, err))
-		}
-		tb.AddRowf(n, f, res.Rounds, tracker.PhasesToRange(eps),
-			tracker.WorstRatio(rateFloor), analysis.GeoMean(tracker.Ratios(rateFloor)),
-			1-math.Pow(2, -float64(n)), anondyn.PEndDBAC(eps, n), res.Valid())
-	}
+	runSweep(g, func(c anondyn.Cell, run int, res *anondyn.Result) {
+		tr := trackers[run]
+		tb.AddRowf(c.N, c.F, res.Rounds, tr.PhasesToRange(c.Eps),
+			tr.WorstRatio(rateFloor), analysis.GeoMean(tr.Ratios(rateFloor)),
+			1-math.Pow(2, -float64(c.N)), anondyn.PEndDBAC(c.Eps, c.N), res.Valid())
+	})
 	tb.AddNote("observed contraction ≈ 1/2 per phase; the 1−2⁻ⁿ proof bound (and its Equation-6 p_end) is extremely conservative")
 	return tb
 }
@@ -266,43 +194,21 @@ func E5DBACConvergence() *analysis.Table {
 // E6ByzantineNecessity realizes the full Theorem 10 construction: two
 // 3f-overlapping groups at degree ⌊(n+3f)/2⌋−1, SplitBrain equivocators
 // in the middle. Real DBAC stalls; the hypothetical quorum−1 algorithm
-// terminates with group A on 0 and group B on 1.
+// terminates with group A on 0 and group B on 1. Matrix:
+// examples/specs/e6-byzantine-split.yaml (construction: byzsplit).
 func E6ByzantineNecessity() *analysis.Table {
-	const eps = 1e-3
+	g := sweepGrid("e6-byzantine-split.yaml")
 	tb := analysis.NewTable(
 		"E6: Theorem 10 — Byzantine split at (1, ⌊(n+3f)/2⌋−1)-dynaDegree",
 		"n", "f", "degree", "variant", "decided", "rounds", "range", "ε-agreement")
-	for _, nf := range []struct{ n, f int }{{16, 3}, {11, 2}, {15, 3}} {
-		n, f := nf.n, nf.f
-		split, err := anondyn.NewByzSplit(n, f)
+	runSweep(g, func(c anondyn.Cell, _ int, res *anondyn.Result) {
+		split, err := anondyn.NewByzSplit(c.N, c.F)
 		if err != nil {
-			panic(fmt.Sprintf("E6 n=%d f=%d: %v", n, f, err))
+			panic(fmt.Sprintf("E6 n=%d f=%d: %v", c.N, c.F, err))
 		}
-		for _, v := range []struct {
-			name   string
-			quorum int
-		}{
-			{"DBAC (paper quorum)", 0},
-			{"hypothetical (quorum−1)", anondyn.ByzDegree(n, f)},
-		} {
-			res, err := anondyn.Scenario{
-				N: n, F: f, Eps: eps,
-				Algorithm:      anondyn.AlgoDBAC,
-				QuorumOverride: v.quorum,
-				PEndOverride:   12,
-				Unchecked:      true,
-				Inputs:         split.Inputs(),
-				Adversary:      split.Adversary(),
-				Byzantine:      split.Byzantine(),
-				MaxRounds:      300,
-			}.Run()
-			if err != nil {
-				panic(fmt.Sprintf("E6 %s: %v", v.name, err))
-			}
-			tb.AddRowf(n, f, split.Degree(), v.name, res.Decided, res.Rounds,
-				res.OutputRange(), res.EpsAgreement(eps))
-		}
-	}
+		tb.AddRowf(c.N, c.F, split.Degree(), c.Variant.Name, res.Decided, res.Rounds,
+			res.OutputRange(), res.EpsAgreement(c.Eps))
+	})
 	tb.AddNote("SplitBrain Byzantine nodes show input 0 to group A and 1 to group B; anonymity makes the equivocation undetectable")
 	return tb
 }
@@ -311,56 +217,53 @@ func E6ByzantineNecessity() *analysis.Table {
 // adversaries: the reliable-channel algorithm breaks under splits, the
 // mega-round strawman needs T as input and pays for it in rounds, and
 // full information matches DAC's rate at unbounded message size.
+// Matrix: examples/specs/e7-baselines.yaml (the variants axis swaps
+// the algorithm per cell).
 func E7Baselines() *analysis.Table {
-	const eps = 1e-3
-	n := 7
+	g := sweepGrid("e7-baselines.yaml")
 	tb := analysis.NewTable(
 		"E7: algorithm comparison (n=7, ε=1e-3, f=0 faults, identical adversaries)",
 		"algorithm", "adversary", "decided", "rounds", "range", "ε-agreement", "avg bytes/msg")
-	type algo struct {
-		name  string
-		a     anondyn.Algo
-		megaT int
+	advLabels := map[string]string{
+		"complete":       "complete",
+		"rotating:3":     "rotating(3)",
+		"starveperiod:2": "periodic starve(2)",
+		"halves":         "split halves",
 	}
-	type advCase struct {
-		name string
-		mk   func() anondyn.Adversary
+	type row struct {
+		c   anondyn.Cell
+		res *anondyn.Result
 	}
-	algos := []algo{
-		{"DAC", anondyn.AlgoDAC, 0},
-		{"MegaRound(T=2)", anondyn.AlgoMegaRound, 2},
-		{"MegaRound(T=4)", anondyn.AlgoMegaRound, 4},
-		{"FullInfo", anondyn.AlgoFullInfo, 0},
-		{"RelIter", anondyn.AlgoReliableIterated, 0},
+	per := g.SeedsPerCell
+	if per < 1 {
+		per = 1
 	}
-	advs := []advCase{
-		{"complete", func() anondyn.Adversary { return anondyn.Complete() }},
-		{"rotating(3)", func() anondyn.Adversary { return anondyn.Rotating(3) }},
-		{"periodic starve(2)", func() anondyn.Adversary {
-			return anondyn.Periodic("starve2", anondyn.NewEdgeSet(n), anondyn.CompleteGraph(n))
-		}},
-		{"split halves", func() anondyn.Adversary { return anondyn.Halves(n) }},
+	nVars := len(g.Variants)
+	if nVars == 0 {
+		panic("E7: the committed spec lost its variants axis (the algorithm comparison)")
 	}
-	for _, al := range algos {
-		for _, ac := range advs {
-			res, err := anondyn.Scenario{
-				N: n, F: 0, Eps: eps,
-				Algorithm:        al.a,
-				MegaT:            al.megaT,
-				Inputs:           anondyn.SpreadInputs(n),
-				Adversary:        ac.mk(),
-				MaxRounds:        800,
-				AccountBandwidth: true,
-			}.Run()
-			if err != nil {
-				panic(fmt.Sprintf("E7 %s/%s: %v", al.name, ac.name, err))
+	nAdvs := len(g.Cells()) / nVars
+	rows := make([]row, len(g.Cells())*per)
+	runSweep(g, func(c anondyn.Cell, run int, res *anondyn.Result) {
+		rows[run] = row{c: c, res: res}
+	})
+	// The grid enumerates adversary-outer, variant-inner; the table
+	// reads algorithm-outer like the paper's comparison.
+	for v := 0; v < nVars; v++ {
+		for a := 0; a < nAdvs; a++ {
+			for s := 0; s < per; s++ {
+				r := rows[(a*nVars+v)*per+s]
+				avgBytes := 0.0
+				if r.res.MessagesDelivered > 0 {
+					avgBytes = float64(r.res.BytesDelivered) / float64(r.res.MessagesDelivered)
+				}
+				label, ok := advLabels[r.c.Adversary.Name]
+				if !ok {
+					label = r.c.Adversary.Name // spec gained an adversary the label map predates
+				}
+				tb.AddRowf(r.c.Variant.Name, label, r.res.Decided,
+					r.res.Rounds, r.res.OutputRange(), r.res.EpsAgreement(r.c.Eps), avgBytes)
 			}
-			avgBytes := 0.0
-			if res.MessagesDelivered > 0 {
-				avgBytes = float64(res.BytesDelivered) / float64(res.MessagesDelivered)
-			}
-			tb.AddRowf(al.name, ac.name, res.Decided, res.Rounds, res.OutputRange(),
-				res.EpsAgreement(eps), avgBytes)
 		}
 	}
 	tb.AddNote("split halves: DAC/MegaRound/FullInfo stall (correct refusal); RelIter 'decides' 0 and 1 — the motivating failure")
@@ -371,40 +274,27 @@ func E7Baselines() *analysis.Table {
 // E8BandwidthTradeoff sweeps the §VII piggyback window K on a skew-
 // inducing adversary and reports rounds, message size, and how often a
 // same-phase value could be used instead of an ahead-phase fallback.
+// Matrix: examples/specs/e8-piggyback-window.yaml (the variants axis
+// sweeps K on a seed-pinned adversary).
 func E8BandwidthTradeoff() *analysis.Table {
-	const eps = 1e-3
-	n, f := 11, 2
+	g := sweepGrid("e8-piggyback-window.yaml")
+	trackers := trackPhases(&g)
 	tb := analysis.NewTable(
 		"E8: DBAC piggyback window sweep (n=11, f=2, random-degree adversary, ε=1e-3)",
 		"K", "rounds", "decided", "range", "avg bytes/msg", "worst ρ", "geo-mean ρ")
-	for _, k := range []int{0, 1, 2, 4, 8} {
-		byz := map[int]anondyn.Strategy{
-			5: anondyn.Equivocator(0, 1),
-			6: anondyn.RandomNoise(99),
-		}
-		tracker := anondyn.NewPhaseTracker()
-		res, err := anondyn.Scenario{
-			N: n, F: f, Eps: eps,
-			Algorithm:        anondyn.AlgoDBACPiggyback,
-			PiggybackWindow:  k,
-			PEndOverride:     24,
-			Inputs:           anondyn.SpreadInputs(n),
-			Adversary:        anondyn.RandomDegree(3, anondyn.ByzDegree(n, f), 0.1, 2024),
-			Byzantine:        byz,
-			Tracker:          tracker,
-			MaxRounds:        5000,
-			AccountBandwidth: true,
-		}.Run()
+	runSweep(g, func(c anondyn.Cell, run int, res *anondyn.Result) {
+		k, err := strconv.Atoi(strings.TrimPrefix(c.Variant.Name, "K="))
 		if err != nil {
-			panic(fmt.Sprintf("E8 K=%d: %v", k, err))
+			panic(fmt.Sprintf("E8: variant %q: %v", c.Variant.Name, err))
 		}
+		tr := trackers[run]
 		avgBytes := 0.0
 		if res.MessagesDelivered > 0 {
 			avgBytes = float64(res.BytesDelivered) / float64(res.MessagesDelivered)
 		}
 		tb.AddRowf(k, res.Rounds, res.Decided, res.OutputRange(), avgBytes,
-			tracker.WorstRatio(rateFloor), analysis.GeoMean(tracker.Ratios(rateFloor)))
-	}
+			tr.WorstRatio(rateFloor), analysis.GeoMean(tr.Ratios(rateFloor)))
+	})
 	tb.AddNote("K trades message bytes for same-phase updates (§VII); with unlimited K this becomes the FullInfo simulation")
 	return tb
 }

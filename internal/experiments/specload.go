@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"anondyn"
+	"anondyn/examples/specs"
+	"anondyn/internal/spec"
+)
+
+// The experiment matrices live in committed spec files under
+// examples/specs — the YAML is the source of truth for the cells an
+// experiment runs; the Go side only attaches collectors and renders
+// tables. Load failures panic: the files are embedded, parsed by the
+// spec tests, and smoke-run by CI, so an error here is a programming
+// error exactly like a failing scenario.
+
+// sweepGrid loads one committed sweep definition.
+func sweepGrid(file string) anondyn.Grid {
+	data, err := specs.Read(file)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: committed spec %s: %v", file, err))
+	}
+	sw, err := spec.Parse(data)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: committed spec %s: %v", file, err))
+	}
+	g, err := sw.Grid()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: committed spec %s: %v", file, err))
+	}
+	return g
+}
+
+// runSweep executes the grid on the experiment worker pool, handing
+// every run to emit in deterministic order (cells in Cells() order,
+// seeds ascending; run is the global batch index).
+func runSweep(g anondyn.Grid, emit func(c anondyn.Cell, run int, res *anondyn.Result)) {
+	err := g.RunEach(batchOptions(), func(c anondyn.Cell, _, run int, _ int64, res *anondyn.Result) error {
+		emit(c, run, res)
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+}
+
+// trackPhases hooks a fresh PhaseTracker onto every run of the grid
+// and returns them indexed by global run index — the bridge between
+// the declarative matrix and the per-run V(p) reconstruction the
+// convergence tables report.
+func trackPhases(g *anondyn.Grid) []*anondyn.PhaseTracker {
+	per := g.SeedsPerCell
+	if per < 1 {
+		per = 1
+	}
+	trackers := make([]*anondyn.PhaseTracker, len(g.Cells())*per)
+	prev := g.Mutate
+	base := g.BaseSeed
+	g.Mutate = func(s *anondyn.Scenario, c anondyn.Cell, seed int64) {
+		if prev != nil {
+			prev(s, c, seed)
+		}
+		t := anondyn.NewPhaseTracker()
+		trackers[seed-base] = t
+		s.Tracker = t
+	}
+	return trackers
+}

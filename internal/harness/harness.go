@@ -11,8 +11,9 @@
 // Aggregation is streaming: the sink consumes each result as soon as
 // its turn comes and the harness retains nothing afterwards, so memory
 // stays bounded by the in-flight window (worker count plus completion
-// skew) rather than the batch size. Retaining every result is an
-// opt-in sink policy, not a harness property.
+// skew, or the hard Options.MaxPending cap) rather than the batch
+// size. Retaining every result is an opt-in sink policy, not a harness
+// property.
 package harness
 
 import (
@@ -39,6 +40,14 @@ type Options struct {
 	// and the batch size. Calls happen from one goroutine, in index
 	// order — a progress bar needs no locking.
 	OnProgress func(done, total int)
+	// MaxPending bounds the collector's reorder window: at most this
+	// many tasks may be dispatched beyond the next index the sink is
+	// waiting for, so one slow task can hold back at most MaxPending−1
+	// finished results instead of letting highly skewed per-task costs
+	// grow the window with the batch size. 0 means unbounded. Values
+	// below the worker count are raised to it, so bounding the window
+	// never idles the pool.
+	MaxPending int
 }
 
 // workers resolves the effective pool size for n tasks.
@@ -100,6 +109,18 @@ func RunPooled[S, T any](n int, newState func() (S, error), task func(state S, i
 	done := make(chan item, workers)
 	stop := make(chan struct{}) // closed on sink error: halt dispatch
 
+	// The reorder window: dispatch acquires a slot per task, the
+	// collector frees it when the task's result is consumed in order,
+	// so dispatched-but-unconsumed tasks never exceed the window.
+	var window chan struct{}
+	if opts.MaxPending > 0 {
+		size := opts.MaxPending
+		if size < workers {
+			size = workers
+		}
+		window = make(chan struct{}, size)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -124,6 +145,13 @@ func RunPooled[S, T any](n int, newState func() (S, error), task func(state S, i
 			close(done)
 		}()
 		for i := 0; i < n; i++ {
+			if window != nil {
+				select {
+				case window <- struct{}{}:
+				case <-stop:
+					return
+				}
+			}
 			select {
 			case indices <- i:
 			case <-stop:
@@ -162,6 +190,9 @@ func RunPooled[S, T any](n int, newState func() (S, error), task func(state S, i
 				}
 			}
 			next++
+			if window != nil {
+				<-window
+			}
 			if opts.OnProgress != nil {
 				opts.OnProgress(next, n)
 			}

@@ -296,3 +296,97 @@ func TestRunPooledOrderMatchesRun(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMaxPendingBoundsWindow pins the bounded-reorder contract:
+// with task 0 stalled, dispatch may run at most MaxPending tasks ahead
+// of the sink, however large the batch.
+func TestRunMaxPendingBoundsWindow(t *testing.T) {
+	const (
+		n          = 128
+		workers    = 4
+		maxPending = 8
+	)
+	release := make(chan struct{})
+	started := make(chan int, n)
+	var got []int
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Run(n,
+			func(i int) (int, error) {
+				started <- i
+				if i == 0 {
+					<-release // stall the run everyone reorders behind
+				}
+				return i, nil
+			},
+			func(i, v int) error { got = append(got, v); return nil },
+			Options{Workers: workers, MaxPending: maxPending})
+	}()
+
+	// Drain task starts until dispatch stalls on the full window. With
+	// index 0 never consumed, no slot frees, so at most maxPending
+	// tasks can ever start.
+	seen := 0
+	for timeout := time.After(5 * time.Second); ; {
+		select {
+		case <-started:
+			seen++
+			if seen > maxPending {
+				close(release)
+				t.Fatalf("%d tasks started with MaxPending=%d", seen, maxPending)
+			}
+		case <-timeout:
+			t.Fatalf("pool stalled before filling the window (%d started)", seen)
+		case <-time.After(50 * time.Millisecond):
+			if seen == maxPending {
+				close(release)
+				if err := <-errc; err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range got {
+					if v != i {
+						t.Fatalf("delivery %d was index %d", i, v)
+					}
+				}
+				if len(got) != n {
+					t.Fatalf("delivered %d results, want %d", len(got), n)
+				}
+				return
+			}
+		}
+	}
+}
+
+// TestRunMaxPendingBelowWorkers: a window smaller than the pool is
+// raised to the pool size rather than starving it.
+func TestRunMaxPendingBelowWorkers(t *testing.T) {
+	got := 0
+	err := Run(64,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error { got++; return nil },
+		Options{Workers: 8, MaxPending: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 64 {
+		t.Fatalf("delivered %d results, want 64", got)
+	}
+}
+
+// TestRunMaxPendingSinkError: a bounded window must not deadlock the
+// abort path when the sink fails mid-batch.
+func TestRunMaxPendingSinkError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Run(256,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		},
+		Options{Workers: 4, MaxPending: 4})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink error", err)
+	}
+}

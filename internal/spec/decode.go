@@ -1,0 +1,494 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// The decoder walks the generic tree (map[string]any / []any /
+// scalars) produced by either syntax and fills a Sweep, rejecting
+// unknown keys and wrong-typed values with errors that cite the
+// offending key path ("byzantine[1].strategy: …").
+
+// field reads and consumes one key of a mapping; the bool reports
+// presence.
+type object struct {
+	m    map[string]any
+	path string // "" at the top level, "crashes." etc. below
+}
+
+func asObject(v any, path string) (object, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return object{}, fmt.Errorf("%s: expected a mapping, got %s", pathLabel(path), typeName(v))
+	}
+	return object{m: m, path: path}, nil
+}
+
+func (o object) take(key string) (any, bool) {
+	v, ok := o.m[key]
+	if ok {
+		delete(o.m, key)
+	}
+	return v, ok
+}
+
+// finish rejects any keys the decoder did not consume.
+func (o object) finish() error {
+	for key := range o.m {
+		return fmt.Errorf("%s%s: unknown key", o.path, key)
+	}
+	return nil
+}
+
+func pathLabel(path string) string {
+	if path == "" {
+		return "document"
+	}
+	return path[:len(path)-1] // drop the trailing "."
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "a bool"
+	case int64:
+		return "an integer"
+	case float64:
+		return "a float"
+	case string:
+		return "a string"
+	case []any:
+		return "a sequence"
+	case map[string]any:
+		return "a mapping"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+// Typed scalar readers. Each consumes o.m[key] when present and
+// reports a cited error on a type mismatch.
+
+func (o object) str(key string, dst *string) error {
+	v, ok := o.take(key)
+	if !ok {
+		return nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return fmt.Errorf("%s%s: expected a string, got %s", o.path, key, typeName(v))
+	}
+	*dst = s
+	return nil
+}
+
+func (o object) boolean(key string, dst *bool) (present bool, err error) {
+	v, ok := o.take(key)
+	if !ok {
+		return false, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("%s%s: expected true/false, got %s", o.path, key, typeName(v))
+	}
+	*dst = b
+	return true, nil
+}
+
+func (o object) integer(key string, dst *int) error {
+	v, ok := o.take(key)
+	if !ok {
+		return nil
+	}
+	i, err := toInt(v)
+	if err != nil {
+		return fmt.Errorf("%s%s: %w", o.path, key, err)
+	}
+	*dst = i
+	return nil
+}
+
+func (o object) int64(key string, dst *int64) error {
+	v, ok := o.take(key)
+	if !ok {
+		return nil
+	}
+	i, ok := v.(int64)
+	if !ok {
+		return fmt.Errorf("%s%s: expected an integer, got %s", o.path, key, typeName(v))
+	}
+	*dst = i
+	return nil
+}
+
+// intOrString reads a key that accepts both forms (count, quorum, fs
+// entries), normalizing integers to their decimal spelling.
+func (o object) intOrString(key string, dst *string) error {
+	v, ok := o.take(key)
+	if !ok {
+		return nil
+	}
+	switch v := v.(type) {
+	case int64:
+		*dst = strconv.FormatInt(v, 10)
+	case string:
+		*dst = v
+	default:
+		return fmt.Errorf("%s%s: expected an integer or a string, got %s", o.path, key, typeName(v))
+	}
+	return nil
+}
+
+func toInt(v any) (int, error) {
+	i, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("expected an integer, got %s", typeName(v))
+	}
+	return int(i), nil
+}
+
+func toFloat(v any) (float64, error) {
+	switch v := v.(type) {
+	case int64:
+		return float64(v), nil
+	case float64:
+		return v, nil
+	}
+	return 0, fmt.Errorf("expected a number, got %s", typeName(v))
+}
+
+func (o object) seq(key string) ([]any, bool, error) {
+	v, ok := o.take(key)
+	if !ok {
+		return nil, false, nil
+	}
+	seq, ok := v.([]any)
+	if !ok {
+		return nil, false, fmt.Errorf("%s%s: expected a sequence, got %s", o.path, key, typeName(v))
+	}
+	return seq, true, nil
+}
+
+func (o object) ints(key string, dst *[]int) error {
+	seq, ok, err := o.seq(key)
+	if err != nil || !ok {
+		return err
+	}
+	out := make([]int, len(seq))
+	for i, v := range seq {
+		if out[i], err = toInt(v); err != nil {
+			return fmt.Errorf("%s%s[%d]: %w", o.path, key, i, err)
+		}
+	}
+	*dst = out
+	return nil
+}
+
+func (o object) floats(key string, dst *[]float64) error {
+	seq, ok, err := o.seq(key)
+	if err != nil || !ok {
+		return err
+	}
+	out := make([]float64, len(seq))
+	for i, v := range seq {
+		if out[i], err = toFloat(v); err != nil {
+			return fmt.Errorf("%s%s[%d]: %w", o.path, key, i, err)
+		}
+	}
+	*dst = out
+	return nil
+}
+
+func (o object) strings(key string, dst *[]string) error {
+	seq, ok, err := o.seq(key)
+	if err != nil || !ok {
+		return err
+	}
+	out := make([]string, len(seq))
+	for i, v := range seq {
+		s, isStr := v.(string)
+		if !isStr {
+			return fmt.Errorf("%s%s[%d]: expected a string, got %s", o.path, key, i, typeName(v))
+		}
+		out[i] = s
+	}
+	*dst = out
+	return nil
+}
+
+// decodeSweep fills a Sweep from the parsed document.
+func decodeSweep(doc any) (*Sweep, error) {
+	o, err := asObject(doc, "")
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{}
+	if err := o.str("name", &s.Name); err != nil {
+		return nil, err
+	}
+	if err := o.str("description", &s.Description); err != nil {
+		return nil, err
+	}
+	if err := o.ints("ns", &s.Ns); err != nil {
+		return nil, err
+	}
+	if err := decodeBounds(o, &s.Fs); err != nil {
+		return nil, err
+	}
+	if err := decodePairs(o, &s.Pairs); err != nil {
+		return nil, err
+	}
+	if err := o.floats("epss", &s.Epss); err != nil {
+		return nil, err
+	}
+	if err := o.strings("algorithms", &s.Algorithms); err != nil {
+		return nil, err
+	}
+	if err := o.strings("adversaries", &s.Adversaries); err != nil {
+		return nil, err
+	}
+	if err := decodeVariants(o, &s.Variants); err != nil {
+		return nil, err
+	}
+	if err := o.integer("seeds_per_cell", &s.SeedsPerCell); err != nil {
+		return nil, err
+	}
+	if err := o.int64("base_seed", &s.BaseSeed); err != nil {
+		return nil, err
+	}
+	if err := o.integer("max_rounds", &s.MaxRounds); err != nil {
+		return nil, err
+	}
+	if _, err := o.boolean("account_bandwidth", &s.AccountBandwidth); err != nil {
+		return nil, err
+	}
+	if err := o.str("inputs", &s.Inputs); err != nil {
+		return nil, err
+	}
+	if err := o.str("construction", &s.Construction); err != nil {
+		return nil, err
+	}
+	if err := decodeOverrides(o, &s.Overrides); err != nil {
+		return nil, err
+	}
+	if err := decodeCrashes(o, &s.Crashes); err != nil {
+		return nil, err
+	}
+	if err := decodeCasts(o, &s.Byzantine); err != nil {
+		return nil, err
+	}
+	return s, o.finish()
+}
+
+// decodeBounds reads the fs axis: integers or symbolic strings.
+func decodeBounds(o object, dst *[]Bound) error {
+	seq, ok, err := o.seq("fs")
+	if err != nil || !ok {
+		return err
+	}
+	out := make([]Bound, len(seq))
+	for i, v := range seq {
+		switch v := v.(type) {
+		case int64:
+			out[i] = Bound{Lit: int(v)}
+		case string:
+			switch v {
+			case "(n-1)/2", "n/2", "(n-1)/5":
+				out[i] = Bound{Expr: v}
+			default:
+				return fmt.Errorf("fs[%d]: unknown symbolic bound %q (want an integer, %s)", i, v, boundExprs)
+			}
+		default:
+			return fmt.Errorf("fs[%d]: expected an integer or %s, got %s", i, boundExprs, typeName(v))
+		}
+	}
+	*dst = out
+	return nil
+}
+
+// decodePairs reads the explicit cells list.
+func decodePairs(o object, dst *[]Pair) error {
+	seq, ok, err := o.seq("cells")
+	if err != nil || !ok {
+		return err
+	}
+	out := make([]Pair, len(seq))
+	for i, v := range seq {
+		cell, err := asObject(v, fmt.Sprintf("cells[%d].", i))
+		if err != nil {
+			return err
+		}
+		nv, ok := cell.take("n")
+		if !ok {
+			return fmt.Errorf("cells[%d].n: required", i)
+		}
+		if out[i].N, err = toInt(nv); err != nil {
+			return fmt.Errorf("cells[%d].n: %w", i, err)
+		}
+		if err := cell.integer("f", &out[i].F); err != nil {
+			return err
+		}
+		if err := cell.finish(); err != nil {
+			return err
+		}
+	}
+	*dst = out
+	return nil
+}
+
+// decodeVariants reads the variants axis.
+func decodeVariants(o object, dst *[]Variant) error {
+	seq, ok, err := o.seq("variants")
+	if err != nil || !ok {
+		return err
+	}
+	out := make([]Variant, len(seq))
+	for i, v := range seq {
+		vo, err := asObject(v, fmt.Sprintf("variants[%d].", i))
+		if err != nil {
+			return err
+		}
+		if err := vo.str("name", &out[i].Name); err != nil {
+			return err
+		}
+		if err := decodeOverrides(vo, &out[i].Overrides); err != nil {
+			return err
+		}
+		if err := vo.finish(); err != nil {
+			return err
+		}
+	}
+	*dst = out
+	return nil
+}
+
+// decodeOverrides reads the scenario-override keys shared by the top
+// level and each variant.
+func decodeOverrides(o object, dst *Overrides) error {
+	if present, err := o.boolean("unchecked", &dst.Unchecked); err != nil {
+		return err
+	} else if present {
+		dst.hasUnchecked = true
+	}
+	if err := o.intOrString("quorum", &dst.Quorum); err != nil {
+		return err
+	}
+	if err := o.integer("p_end", &dst.PEnd); err != nil {
+		return err
+	}
+	if err := o.integer("piggyback_window", &dst.PiggybackWindow); err != nil {
+		return err
+	}
+	if err := o.integer("mega_t", &dst.MegaT); err != nil {
+		return err
+	}
+	if err := o.integer("max_message_bytes", &dst.MaxMessageBytes); err != nil {
+		return err
+	}
+	return o.str("algorithm", &dst.Algorithm)
+}
+
+// decodeCrashes reads the crash schedule block.
+func decodeCrashes(o object, dst **Crashes) error {
+	v, ok := o.take("crashes")
+	if !ok {
+		return nil
+	}
+	co, err := asObject(v, "crashes.")
+	if err != nil {
+		return err
+	}
+	c := &Crashes{}
+	if err := co.intOrString("count", &c.Count); err != nil {
+		return err
+	}
+	if err := decodeNodes(co, &c.Nodes, &c.NodeList); err != nil {
+		return err
+	}
+	if err := co.str("mode", &c.Mode); err != nil {
+		return err
+	}
+	if err := co.integer("round", &c.Round); err != nil {
+		return err
+	}
+	if err := co.integer("stagger", &c.Stagger); err != nil {
+		return err
+	}
+	if err := co.ints("rounds", &c.Rounds); err != nil {
+		return err
+	}
+	if err := co.finish(); err != nil {
+		return err
+	}
+	*dst = c
+	return nil
+}
+
+// decodeCasts reads the byzantine cast list.
+func decodeCasts(o object, dst *[]Cast) error {
+	seq, ok, err := o.seq("byzantine")
+	if err != nil || !ok {
+		return err
+	}
+	out := make([]Cast, len(seq))
+	for i := range seq {
+		co, err := asObject(seq[i], fmt.Sprintf("byzantine[%d].", i))
+		if err != nil {
+			return err
+		}
+		c := &out[i]
+		if err := co.intOrString("count", &c.Count); err != nil {
+			return err
+		}
+		if err := decodeNodes(co, &c.Nodes, &c.NodeList); err != nil {
+			return err
+		}
+		if err := co.str("strategy", &c.Strategy); err != nil {
+			return err
+		}
+		if err := co.floats("args", &c.Args); err != nil {
+			return err
+		}
+		if v, ok := co.take("seed"); ok {
+			seed, isInt := v.(int64)
+			if !isInt {
+				return fmt.Errorf("%sseed: expected an integer, got %s", co.path, typeName(v))
+			}
+			c.Seed = &seed
+		}
+		if err := co.finish(); err != nil {
+			return err
+		}
+	}
+	*dst = out
+	return nil
+}
+
+// decodeNodes reads a "nodes" key that is either a named selector
+// string or an explicit ID list.
+func decodeNodes(o object, sel *string, list *[]int) error {
+	v, ok := o.take("nodes")
+	if !ok {
+		return nil
+	}
+	switch v := v.(type) {
+	case string:
+		*sel = v
+		return nil
+	case []any:
+		out := make([]int, len(v))
+		for i, item := range v {
+			n, err := toInt(item)
+			if err != nil {
+				return fmt.Errorf("%snodes[%d]: %w", o.path, i, err)
+			}
+			out[i] = n
+		}
+		*list = out
+		return nil
+	default:
+		return fmt.Errorf("%snodes: expected a selector name or a node list, got %s", o.path, typeName(v))
+	}
+}

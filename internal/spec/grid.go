@@ -1,0 +1,420 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"anondyn"
+)
+
+// Grid compiles the sweep into a runnable anondyn.Grid: axes resolve
+// through the algorithm and adversary registries, explicit cells and
+// symbolic fault bounds become an n/f pair filter, the variants axis
+// becomes Grid.Variants, and the fault pattern (crashes, casts, the
+// byzsplit construction) compiles onto Grid.Mutate. Errors cite the
+// offending key.
+func (s *Sweep) Grid() (anondyn.Grid, error) {
+	g := anondyn.Grid{
+		SeedsPerCell:     s.SeedsPerCell,
+		BaseSeed:         s.BaseSeed,
+		MaxRounds:        s.MaxRounds,
+		AccountBandwidth: s.AccountBandwidth,
+	}
+	if err := s.compileAxes(&g); err != nil {
+		return anondyn.Grid{}, err
+	}
+	if err := s.compileVariants(&g); err != nil {
+		return anondyn.Grid{}, err
+	}
+	inputs, err := compileInputs(s.Inputs)
+	if err != nil {
+		return anondyn.Grid{}, err
+	}
+	g.Inputs = inputs
+	g.Mutate = s.compileMutate()
+	if s.Construction == "byzsplit" {
+		// Surface an infeasible layout as a spec error, not a run-time
+		// panic: every cell must admit the Theorem 10 construction.
+		for _, c := range g.Cells() {
+			if _, err := anondyn.NewByzSplit(c.N, c.F); err != nil {
+				return anondyn.Grid{}, fmt.Errorf("construction: cell n=%d f=%d: %w", c.N, c.F, err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// compileAxes fills the n/f/ε/algorithm/adversary axes, expanding
+// explicit cells and symbolic bounds into a pair filter.
+func (s *Sweep) compileAxes(g *anondyn.Grid) error {
+	pairs := s.Pairs
+	if len(pairs) == 0 && len(s.Fs) == 1 && s.Fs[0].Expr != "" {
+		// A symbolic bound pairs each n with its derived f.
+		for _, n := range s.Ns {
+			pairs = append(pairs, Pair{N: n, F: s.Fs[0].value(n)})
+		}
+	}
+	if len(pairs) > 0 {
+		// Distinct axis values in first-seen order plus a membership
+		// filter reproduce the pair list under Cells() enumeration
+		// (n outer, f inner). That reconstruction can only reorder a
+		// list that repeats an n non-contiguously, so reject any list
+		// whose declared order the sweep would not honor — a committed
+		// artifact must run in the order it reads.
+		seen := make(map[Pair]bool, len(pairs))
+		var ns, fs []int
+		for i, p := range pairs {
+			if seen[p] {
+				return fmt.Errorf("cells[%d]: duplicate cell n=%d f=%d", i, p.N, p.F)
+			}
+			seen[p] = true
+			if !containsInt(ns, p.N) {
+				ns = append(ns, p.N)
+			}
+			if !containsInt(fs, p.F) {
+				fs = append(fs, p.F)
+			}
+		}
+		var enumerated []Pair
+		for _, n := range ns {
+			for _, f := range fs {
+				if seen[Pair{N: n, F: f}] {
+					enumerated = append(enumerated, Pair{N: n, F: f})
+				}
+			}
+		}
+		for i := range pairs {
+			if enumerated[i] != pairs[i] {
+				return fmt.Errorf("cells: the sweep enumerates n-major (cell %d would run as n=%d f=%d, not n=%d f=%d); group cells by n in that order",
+					i, enumerated[i].N, enumerated[i].F, pairs[i].N, pairs[i].F)
+			}
+		}
+		g.Ns, g.Fs = ns, fs
+		g.Skip = func(c anondyn.Cell) bool { return !seen[Pair{N: c.N, F: c.F}] }
+	} else {
+		g.Ns = s.Ns
+		for _, b := range s.Fs {
+			g.Fs = append(g.Fs, b.Lit)
+		}
+	}
+	g.Epss = s.Epss
+	for _, name := range s.Algorithms {
+		a, err := anondyn.ParseAlgo(name)
+		if err != nil {
+			return fmt.Errorf("algorithms: %w", err)
+		}
+		g.Algorithms = append(g.Algorithms, a)
+	}
+	for _, spec := range s.Adversaries {
+		f, err := anondyn.ParseAdversaryFactory(spec)
+		if err != nil {
+			return fmt.Errorf("adversaries: %w", err)
+		}
+		g.Adversaries = append(g.Adversaries, f)
+	}
+	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// compileVariants merges the sweep-wide overrides into each variant
+// (variant fields win) and compiles the result onto the Grid's
+// variants axis. With no variants axis, the sweep-wide overrides
+// become one unnamed variant.
+func (s *Sweep) compileVariants(g *anondyn.Grid) error {
+	variants := s.Variants
+	if len(variants) == 0 {
+		if !s.Overrides.isZero() {
+			variants = []Variant{{}}
+		} else {
+			return nil
+		}
+	}
+	for _, v := range variants {
+		merged := mergeOverrides(s.Overrides, v.Overrides)
+		apply, err := compileOverrides(merged)
+		if err != nil {
+			return err
+		}
+		g.Variants = append(g.Variants, anondyn.Variant{Name: v.Name, Apply: apply})
+	}
+	return nil
+}
+
+// isZero reports whether no override is set.
+func (o Overrides) isZero() bool {
+	return !o.Unchecked && !o.hasUnchecked && o.Quorum == "" && o.PEnd == 0 &&
+		o.PiggybackWindow == 0 && o.MegaT == 0 && o.MaxMessageBytes == 0 && o.Algorithm == ""
+}
+
+// mergeOverrides layers a variant's overrides on the sweep-wide base.
+func mergeOverrides(base, v Overrides) Overrides {
+	out := base
+	if v.hasUnchecked {
+		out.Unchecked = v.Unchecked
+		out.hasUnchecked = true
+	}
+	if v.Quorum != "" {
+		out.Quorum = v.Quorum
+	}
+	if v.PEnd != 0 {
+		out.PEnd = v.PEnd
+	}
+	if v.PiggybackWindow != 0 {
+		out.PiggybackWindow = v.PiggybackWindow
+	}
+	if v.MegaT != 0 {
+		out.MegaT = v.MegaT
+	}
+	if v.MaxMessageBytes != 0 {
+		out.MaxMessageBytes = v.MaxMessageBytes
+	}
+	if v.Algorithm != "" {
+		out.Algorithm = v.Algorithm
+	}
+	return out
+}
+
+// compileOverrides turns one merged override block into a scenario
+// hook. The quorum and algorithm symbols were validated at parse time.
+func compileOverrides(o Overrides) (func(*anondyn.Scenario), error) {
+	var algo anondyn.Algo
+	if o.Algorithm != "" {
+		a, err := anondyn.ParseAlgo(o.Algorithm)
+		if err != nil {
+			return nil, fmt.Errorf("algorithm: %w", err)
+		}
+		algo = a
+	}
+	quorum, err := compileQuorum(o.Quorum)
+	if err != nil {
+		return nil, err
+	}
+	return func(s *anondyn.Scenario) {
+		if o.Unchecked {
+			s.Unchecked = true
+		}
+		if quorum != nil {
+			s.QuorumOverride = quorum(s)
+		}
+		if o.PEnd != 0 {
+			s.PEndOverride = o.PEnd
+		}
+		if o.PiggybackWindow != 0 {
+			s.PiggybackWindow = o.PiggybackWindow
+		}
+		if o.MegaT != 0 {
+			s.MegaT = o.MegaT
+		}
+		if o.MaxMessageBytes != 0 {
+			s.MaxMessageBytes = o.MaxMessageBytes
+		}
+		if algo != 0 {
+			s.Algorithm = algo
+		}
+	}, nil
+}
+
+// compileQuorum resolves the quorum grammar against a run's scenario.
+func compileQuorum(q string) (func(*anondyn.Scenario) int, error) {
+	switch q {
+	case "":
+		return nil, nil
+	case "crashdeg":
+		return func(s *anondyn.Scenario) int { return anondyn.CrashDegree(s.N) }, nil
+	case "byzdeg":
+		return func(s *anondyn.Scenario) int { return anondyn.ByzDegree(s.N, s.F) }, nil
+	case "f":
+		return func(s *anondyn.Scenario) int { return s.F }, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil {
+		return nil, fmt.Errorf("quorum: %q is neither an integer nor crashdeg/byzdeg/f", q)
+	}
+	return func(*anondyn.Scenario) int { return v }, nil
+}
+
+// compileInputs resolves the inputs grammar into a Grid input
+// generator; "" and "random" keep the Grid default (seeded random
+// inputs).
+func compileInputs(spec string) (func(n int, seed int64) []float64, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "", "random":
+		return nil, nil
+	case "spread":
+		return func(n int, _ int64) []float64 { return anondyn.SpreadInputs(n) }, nil
+	case "split":
+		split, err := compileSplit(arg)
+		if err != nil {
+			return nil, err
+		}
+		return func(n int, _ int64) []float64 { return anondyn.SplitInputs(n, split(n)) }, nil
+	}
+	return nil, fmt.Errorf("inputs: unknown generator %q", spec)
+}
+
+// compileSplit resolves the split point: n/2 by default, the ceiling
+// (n+1)/2, or a literal.
+func compileSplit(arg string) (func(n int) int, error) {
+	switch arg {
+	case "", "n/2":
+		return func(n int) int { return n / 2 }, nil
+	case "(n+1)/2":
+		return func(n int) int { return (n + 1) / 2 }, nil
+	}
+	k, err := strconv.Atoi(arg)
+	if err != nil {
+		return nil, fmt.Errorf("inputs: split argument %q: %v", arg, err)
+	}
+	return func(int) int { return k }, nil
+}
+
+// compileMutate assembles the per-run fault hook: the byzsplit
+// construction, then crash schedules, then Byzantine casts. Returns
+// nil when the sweep declares none of them.
+func (s *Sweep) compileMutate() func(*anondyn.Scenario, anondyn.Cell, int64) {
+	if s.Construction == "" && s.Crashes == nil && len(s.Byzantine) == 0 {
+		return nil
+	}
+	return func(sc *anondyn.Scenario, c anondyn.Cell, seed int64) {
+		if s.Construction == "byzsplit" {
+			split, err := anondyn.NewByzSplit(c.N, c.F)
+			if err != nil {
+				// Grid() validated every cell before the run started.
+				panic(fmt.Sprintf("spec: byzsplit on validated cell n=%d f=%d: %v", c.N, c.F, err))
+			}
+			sc.Adversary = split.Adversary()
+			sc.Byzantine = split.Byzantine()
+			sc.Inputs = split.Inputs()
+		}
+		if s.Crashes != nil {
+			sc.Crashes = s.Crashes.compile(c)
+		}
+		if len(s.Byzantine) > 0 {
+			byz := make(map[int]anondyn.Strategy)
+			for i := range s.Byzantine {
+				s.Byzantine[i].compile(c, seed, byz)
+			}
+			sc.Byzantine = byz
+		}
+	}
+}
+
+// compile materializes the crash schedule for one cell.
+func (c *Crashes) compile(cell anondyn.Cell) map[int]anondyn.Crash {
+	nodes := c.victims(cell)
+	crashes := make(map[int]anondyn.Crash, len(nodes))
+	for i, node := range nodes {
+		round := c.Round + i*c.Stagger
+		if len(c.Rounds) > 0 {
+			round = c.Rounds[i]
+		}
+		if c.Mode == "silent" {
+			crashes[node] = anondyn.CrashSilent(round)
+		} else {
+			crashes[node] = anondyn.CrashAt(round)
+		}
+	}
+	return crashes
+}
+
+// victims resolves the victim set for one cell, clipped to valid IDs.
+func (c *Crashes) victims(cell anondyn.Cell) []int {
+	if len(c.NodeList) > 0 {
+		return c.NodeList
+	}
+	count := resolveCount(c.Count, cell)
+	var nodes []int
+	switch c.Nodes {
+	case "odd":
+		for id := 1; id < cell.N && len(nodes) < count; id += 2 {
+			nodes = append(nodes, id)
+		}
+	case "even":
+		for id := 0; id < cell.N && len(nodes) < count; id += 2 {
+			nodes = append(nodes, id)
+		}
+	case "first":
+		for id := 0; id < cell.N && len(nodes) < count; id++ {
+			nodes = append(nodes, id)
+		}
+	case "top":
+		for id := cell.N - 1; id >= 0 && len(nodes) < count; id-- {
+			nodes = append(nodes, id)
+		}
+	}
+	return nodes
+}
+
+// compile adds one cast's strategies into the run's Byzantine map.
+func (c *Cast) compile(cell anondyn.Cell, seed int64, byz map[int]anondyn.Strategy) {
+	nodes := c.NodeList
+	if len(nodes) == 0 {
+		count := resolveCount(c.Count, cell)
+		switch c.Nodes {
+		case "middle":
+			for id := cell.N / 2; id < cell.N && len(nodes) < count; id++ {
+				nodes = append(nodes, id)
+			}
+		case "first":
+			for id := 0; id < cell.N && len(nodes) < count; id++ {
+				nodes = append(nodes, id)
+			}
+		case "top":
+			for id := cell.N - 1; id >= 0 && len(nodes) < count; id-- {
+				nodes = append(nodes, id)
+			}
+		}
+	}
+	arg := func(i int) float64 {
+		if i < len(c.Args) {
+			return c.Args[i]
+		}
+		return 0
+	}
+	for _, node := range nodes {
+		switch c.Strategy {
+		case "silent":
+			byz[node] = anondyn.Silent()
+		case "extremist":
+			byz[node] = anondyn.Extremist(arg(0))
+		case "equivocate":
+			low, high := 0.0, 1.0
+			if len(c.Args) == 2 {
+				low, high = arg(0), arg(1)
+			}
+			byz[node] = anondyn.Equivocator(low, high)
+		case "noise":
+			noiseSeed := seed + int64(node)
+			if c.Seed != nil {
+				noiseSeed = *c.Seed
+			}
+			byz[node] = anondyn.RandomNoise(noiseSeed)
+		case "laggard":
+			byz[node] = anondyn.Laggard(arg(0))
+		case "mimic":
+			byz[node] = anondyn.Mimic(int(arg(0)))
+		}
+	}
+}
+
+// resolveCount resolves the count grammar for one cell.
+func resolveCount(count string, cell anondyn.Cell) int {
+	switch count {
+	case "", "f":
+		return cell.F
+	case "(n-1)/2":
+		return (cell.N - 1) / 2
+	}
+	v, _ := strconv.Atoi(count) // validated at parse time
+	return v
+}

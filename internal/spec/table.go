@@ -1,0 +1,72 @@
+package spec
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"anondyn"
+	"anondyn/internal/analysis"
+)
+
+// Load parses a spec file and compiles it to a runnable grid, with an
+// optional seeds-per-cell override (> 0; the CLI -seeds flag and the
+// CI one-seed smoke) — the shared front half of every CLI spec run.
+func Load(path string, seedsOverride int) (*Sweep, anondyn.Grid, error) {
+	sw, err := ParseFile(path)
+	if err != nil {
+		return nil, anondyn.Grid{}, err
+	}
+	if seedsOverride > 0 {
+		sw.SeedsPerCell = seedsOverride
+	}
+	grid, err := sw.Grid()
+	if err != nil {
+		return nil, anondyn.Grid{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sw, grid, nil
+}
+
+// RunTitle formats the standard sweep heading the CLIs print above
+// the row table; path names unnamed sweeps.
+func (s *Sweep) RunTitle(path string, cells int) string {
+	name := s.Name
+	if name == "" {
+		name = filepath.Base(path)
+	}
+	per := s.SeedsPerCell
+	if per < 1 {
+		per = 1
+	}
+	return fmt.Sprintf("%s: %d cells × %d seeds", name, cells, per)
+}
+
+// Table renders sweep rows in the standard CLI layout — one aggregate
+// row per cell, with a variant column only when the sweep declares a
+// variants axis — so dynabench and dynasim print identical tables for
+// identical sweeps.
+func Table(title string, rows []anondyn.CellResult) *analysis.Table {
+	withVariants := false
+	for _, r := range rows {
+		if r.Variant != "" {
+			withVariants = true
+			break
+		}
+	}
+	columns := []string{"n", "f", "eps", "algorithm", "adversary"}
+	if withVariants {
+		columns = append(columns, "variant")
+	}
+	columns = append(columns, "decided", "violations", "rounds mean", "rounds p95", "range max")
+	tb := analysis.NewTable(title, columns...)
+	for _, r := range rows {
+		cells := []any{r.N, r.F, r.Eps, r.Algorithm, r.Adversary}
+		if withVariants {
+			cells = append(cells, r.Variant)
+		}
+		cells = append(cells,
+			fmt.Sprintf("%d/%d", r.Decided, r.Runs), r.Violations,
+			r.Rounds.Mean, r.Rounds.P95, r.OutputRange.Max)
+		tb.AddRowf(cells...)
+	}
+	return tb
+}

@@ -1,0 +1,395 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sweep files are YAML for humans and JSON for machines; this file is
+// the YAML half. It parses the block-structured subset the spec format
+// needs — nested mappings, block sequences ("- " items, including
+// compact mapping items), flow sequences ([a, b, c]), scalars with the
+// usual int/float/bool/null coercions, quotes, and # comments — into
+// the same generic tree (map[string]any / []any / scalars) that
+// encoding/json produces, so one decoder serves both syntaxes.
+// Anchors, multi-document streams, flow mappings, and block scalars
+// are out of scope and reported as errors.
+
+// yamlError is a parse failure with its 1-based source line.
+type yamlError struct {
+	line int
+	msg  string
+}
+
+func (e *yamlError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func yamlErrf(line int, format string, args ...any) error {
+	return &yamlError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// yamlLine is one significant source line.
+type yamlLine struct {
+	indent  int
+	content string // comment-stripped, trailing-space-trimmed
+	num     int    // 1-based source line
+}
+
+// parseYAML parses one YAML document into the generic tree.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	p := &yamlParser{lines: lines}
+	doc, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, yamlErrf(p.lines[p.pos].num, "content outside the document structure (indentation?)")
+	}
+	return doc, nil
+}
+
+// splitYAML tokenizes the input into significant lines.
+func splitYAML(data []byte) ([]yamlLine, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		num := i + 1
+		if strings.HasPrefix(strings.TrimLeft(raw, " "), "\t") {
+			return nil, yamlErrf(num, "tab in indentation (YAML indents with spaces)")
+		}
+		indent := len(raw) - len(strings.TrimLeft(raw, " "))
+		content := stripComment(raw[indent:])
+		content = strings.TrimRight(content, " ")
+		if content == "" {
+			continue
+		}
+		if strings.HasPrefix(content, "---") || strings.HasPrefix(content, "%") {
+			return nil, yamlErrf(num, "multi-document streams and directives are not supported")
+		}
+		lines = append(lines, yamlLine{indent: indent, content: content, num: num})
+	}
+	return lines, nil
+}
+
+// stripComment removes a trailing # comment, respecting quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' {
+				return strings.TrimRight(s[:i], " ")
+			}
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the mapping or sequence whose entries sit exactly
+// at the given indent, consuming lines until a shallower indent.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, yamlErrf(0, "unexpected end of input")
+	}
+	if strings.HasPrefix(p.lines[p.pos].content, "- ") || p.lines[p.pos].content == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+// parseMapping parses consecutive "key: value" lines at one indent.
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		if line.indent < indent {
+			break
+		}
+		if line.indent > indent {
+			return nil, yamlErrf(line.num, "unexpected indentation")
+		}
+		if strings.HasPrefix(line.content, "- ") || line.content == "-" {
+			return nil, yamlErrf(line.num, "sequence item in a mapping block")
+		}
+		key, rest, err := splitKey(line)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, yamlErrf(line.num, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseFlowOrScalar(rest, line.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Block value: the nested structure on the following deeper
+		// lines, or null when the key ends the document / its block.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		m[key] = nil
+	}
+	return m, nil
+}
+
+// parseSequence parses consecutive "- item" lines at one indent.
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		if line.indent < indent {
+			break
+		}
+		if line.indent > indent {
+			return nil, yamlErrf(line.num, "unexpected indentation")
+		}
+		if !strings.HasPrefix(line.content, "- ") && line.content != "-" {
+			return nil, yamlErrf(line.num, "expected a \"- \" sequence item")
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(line.content, "-"), " ")
+		itemIndent := line.indent + 2 // nested lines of a compact item
+		if rest == "" {
+			// "-" alone: the item is the nested block below.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= line.indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if key, valueRest, err := splitKey(yamlLine{content: rest, num: line.num}); err == nil {
+			// Compact mapping item: "- key: value" plus continuation
+			// lines indented past the dash.
+			item, err := p.parseCompactItem(key, valueRest, line.num, itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, item)
+			continue
+		}
+		p.pos++
+		v, err := parseFlowOrScalar(rest, line.num)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// parseCompactItem parses one "- key: value" item and its continuation
+// mapping lines at itemIndent.
+func (p *yamlParser) parseCompactItem(key, rest string, num, itemIndent int) (any, error) {
+	m := make(map[string]any)
+	p.pos++
+	if rest != "" {
+		v, err := parseFlowOrScalar(rest, num)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	} else if p.pos < len(p.lines) && p.lines[p.pos].indent > itemIndent {
+		v, err := p.parseBlock(p.lines[p.pos].indent)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	} else {
+		m[key] = nil
+	}
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == itemIndent &&
+		!strings.HasPrefix(p.lines[p.pos].content, "- ") && p.lines[p.pos].content != "-" {
+		line := p.lines[p.pos]
+		k, r, err := splitKey(line)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[k]; dup {
+			return nil, yamlErrf(line.num, "duplicate key %q", k)
+		}
+		p.pos++
+		if r != "" {
+			v, err := parseFlowOrScalar(r, line.num)
+			if err != nil {
+				return nil, err
+			}
+			m[k] = v
+			continue
+		}
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > itemIndent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[k] = v
+			continue
+		}
+		m[k] = nil
+	}
+	return m, nil
+}
+
+// splitKey splits "key: value" (or "key:") into its parts.
+func splitKey(line yamlLine) (key, rest string, err error) {
+	content := line.content
+	// The key may be quoted; otherwise it runs to the first ": " or a
+	// trailing ":".
+	if strings.HasPrefix(content, "\"") || strings.HasPrefix(content, "'") {
+		quote := content[0]
+		end := strings.IndexByte(content[1:], quote)
+		if end < 0 {
+			return "", "", yamlErrf(line.num, "unterminated quoted key")
+		}
+		key = content[1 : 1+end]
+		content = strings.TrimLeft(content[2+end:], " ")
+		if !strings.HasPrefix(content, ":") {
+			return "", "", yamlErrf(line.num, "expected ':' after quoted key")
+		}
+		return key, strings.TrimLeft(content[1:], " "), nil
+	}
+	if idx := strings.Index(content, ": "); idx >= 0 {
+		return content[:idx], strings.TrimLeft(content[idx+2:], " "), nil
+	}
+	if strings.HasSuffix(content, ":") {
+		return strings.TrimSuffix(content, ":"), "", nil
+	}
+	return "", "", yamlErrf(line.num, "expected \"key: value\", got %q", content)
+}
+
+// parseFlowOrScalar parses an inline value: a flow sequence or a
+// scalar.
+func parseFlowOrScalar(s string, num int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, yamlErrf(num, "unterminated flow sequence %q", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		items, err := splitFlow(inner, num)
+		if err != nil {
+			return nil, err
+		}
+		seq := make([]any, 0, len(items))
+		for _, item := range items {
+			item = strings.TrimSpace(item)
+			if item == "" {
+				return nil, yamlErrf(num, "empty item in flow sequence (trailing comma?)")
+			}
+			v, err := parseScalar(item, num)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, yamlErrf(num, "flow mappings ({...}) are not supported; use block form")
+	}
+	return parseScalar(s, num)
+}
+
+// splitFlow splits a flow sequence body on commas, respecting quotes
+// and backslash escapes inside double quotes (nested flow sequences
+// are not supported).
+func splitFlow(s string, num int) ([]string, error) {
+	var (
+		items    []string
+		start    int
+		inSingle bool
+		inDouble bool
+		escaped  bool
+	)
+	for i, r := range s {
+		if escaped {
+			escaped = false
+			continue
+		}
+		switch {
+		case r == '\\' && inDouble:
+			escaped = true
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == '[' && !inSingle && !inDouble:
+			return nil, yamlErrf(num, "nested flow sequences are not supported")
+		case r == ',' && !inSingle && !inDouble:
+			items = append(items, s[start:i])
+			start = i + 1
+		}
+	}
+	if inSingle || inDouble {
+		return nil, yamlErrf(num, "unterminated quote in flow sequence")
+	}
+	return append(items, s[start:]), nil
+}
+
+// parseScalar coerces one scalar token: quoted strings stay strings
+// (double quotes resolve backslash escapes, single quotes are
+// verbatim); otherwise null/bool/int/float, falling back to the raw
+// string.
+func parseScalar(s string, num int) (any, error) {
+	if len(s) >= 2 {
+		if s[0] == '"' && s[len(s)-1] == '"' {
+			unquoted, err := strconv.Unquote(s)
+			if err != nil {
+				return nil, yamlErrf(num, "bad escape in quoted scalar %s", s)
+			}
+			return unquoted, nil
+		}
+		if s[0] == '\'' && s[len(s)-1] == '\'' {
+			return s[1 : len(s)-1], nil
+		}
+	}
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") {
+		return nil, yamlErrf(num, "unterminated quoted scalar %q", s)
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

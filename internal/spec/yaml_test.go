@@ -1,0 +1,124 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLTree(t *testing.T) {
+	doc, err := parseYAML([]byte(`
+# header comment
+name: demo          # trailing comment
+count: 12
+rate: 1e-3
+on: true
+off: false
+nothing: null
+text: "quoted: with colon"
+single: 'single # not a comment'
+list: [1, 2.5, hi, "x, y"]
+empty: []
+nested:
+  inner: 3
+  deeper:
+    leaf: ok
+items:
+  - plain
+  - n: 5
+    f: 2
+  - nested:
+      a: 1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":    "demo",
+		"count":   int64(12),
+		"rate":    1e-3,
+		"on":      true,
+		"off":     false,
+		"nothing": nil,
+		"text":    "quoted: with colon",
+		"single":  "single # not a comment",
+		"list":    []any{int64(1), 2.5, "hi", "x, y"},
+		"empty":   []any{},
+		"nested": map[string]any{
+			"inner":  int64(3),
+			"deeper": map[string]any{"leaf": "ok"},
+		},
+		"items": []any{
+			"plain",
+			map[string]any{"n": int64(5), "f": int64(2)},
+			map[string]any{"nested": map[string]any{"a": int64(1)}},
+		},
+	}
+	if !reflect.DeepEqual(doc, want) {
+		t.Errorf("parsed tree:\n%#v\nwant:\n%#v", doc, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"tab", "a:\n\tb: 1", "tab"},
+		{"flow mapping", "a: {b: 1}", "flow mapping"},
+		{"unterminated flow", "a: [1, 2", "unterminated"},
+		{"unterminated quote", `a: "oops`, "unterminated"},
+		{"bare word line", "a: 1\njust words here continue", "key"},
+		{"multi-doc", "---\na: 1", "multi-document"},
+		{"duplicate key", "a: 1\na: 2", "duplicate"},
+		{"nested flow", "a: [[1], 2]", "nested flow"},
+		{"half indent", "a:\n    b: 1\n  c: 2", "indent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuotedScalarEscapes: double-quoted scalars resolve escapes on
+// the way in, matching what the emitter writes with strconv.Quote.
+func TestQuotedScalarEscapes(t *testing.T) {
+	doc, err := parseYAML([]byte("name: \"say \\\"hi\\\"\"\nlist: [\"a, b\", \"c\\\\d\"]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	if m["name"] != `say "hi"` {
+		t.Errorf("name = %q", m["name"])
+	}
+	if list := m["list"].([]any); list[0] != "a, b" || list[1] != `c\d` {
+		t.Errorf("list = %v", list)
+	}
+	if _, err := parseYAML([]byte(`name: "bad \q escape"`)); err == nil {
+		t.Error("invalid escape accepted")
+	}
+}
+
+// TestTabAndTrailingCommaDiagnostics: tabs inside content are legal
+// (only indentation tabs are rejected), and a trailing flow comma gets
+// a syntax error rather than a wrong-typed-element one.
+func TestTabAndTrailingCommaDiagnostics(t *testing.T) {
+	doc, err := parseYAML([]byte("description: \"a\tb\""))
+	if err != nil {
+		t.Fatalf("tab inside a scalar rejected: %v", err)
+	}
+	if doc.(map[string]any)["description"] != "a\tb" {
+		t.Errorf("tab scalar = %q", doc.(map[string]any)["description"])
+	}
+	if _, err := parseYAML([]byte("ns: [5, 7,]")); err == nil || !strings.Contains(err.Error(), "trailing comma") {
+		t.Errorf("trailing comma error = %v", err)
+	}
+}

@@ -7,18 +7,39 @@ import (
 
 // AdversaryFactory names a parametric adversary constructor so sweeps
 // can instantiate a fresh, independently seeded adversary per run.
+// Factories for the built-in adversaries are resolved by name through
+// ParseAdversaryFactory; the struct stays open so callers can sweep
+// custom constructors too.
 type AdversaryFactory struct {
 	// Name labels the axis value in cell results and reports.
 	Name string
-	// New builds the adversary for one run of size n with the run's
-	// seed. It must return a fresh value per call.
-	New func(n int, seed int64) Adversary
+	// New builds the adversary for one run of the given cell with the
+	// run's seed. It must return a fresh value per call. The cell
+	// carries n and f, so degree-parametric constructors can track the
+	// thresholds (crashdeg, byzdeg) across the sweep.
+	New func(c Cell, seed int64) Adversary
+	// Check, when non-nil, rejects cells the adversary is undefined on
+	// (fig1 needs n=3, isolate needs victim < n). Grid.Run reports the
+	// error before any run starts.
+	Check func(c Cell) error
 }
 
 // CompleteFactory is the trivial always-complete-graph factory — the
 // default adversary axis of a Grid.
 func CompleteFactory() AdversaryFactory {
-	return AdversaryFactory{Name: "complete", New: func(int, int64) Adversary { return Complete() }}
+	return AdversaryFactory{Name: "complete", New: func(Cell, int64) Adversary { return Complete() }}
+}
+
+// Variant is an optional extra sweep axis: a named Scenario override
+// applied to every run of its cells, after the cell's base scenario is
+// assembled and before Grid.Mutate runs. It is how one sweep compares
+// protocol variants — quorum overrides, piggyback windows, algorithm
+// swaps — on otherwise identical cells (experiments E2/E6/E7/E8).
+type Variant struct {
+	// Name labels the variant in cell results and reports.
+	Name string
+	// Apply adjusts one run's scenario; nil is a no-op.
+	Apply func(s *Scenario)
 }
 
 // Cell is one point of a sweep grid: the cross product of the axes
@@ -29,6 +50,9 @@ type Cell struct {
 	Eps       float64
 	Algorithm Algo
 	Adversary AdversaryFactory
+	// Variant is the zero Variant unless the Grid declares a Variants
+	// axis.
+	Variant Variant
 }
 
 // Grid declares a scenario matrix: every combination of the axis
@@ -49,6 +73,9 @@ type Grid struct {
 	Algorithms []Algo
 	// Adversaries are the adversary constructors (nil → complete graph).
 	Adversaries []AdversaryFactory
+	// Variants are the scenario-override axis values (nil → one no-op
+	// variant).
+	Variants []Variant
 	// SeedsPerCell is the Monte-Carlo width per cell (< 1 → 1).
 	SeedsPerCell int
 	// BaseSeed offsets the global seed sequence; run j of cell i uses
@@ -77,10 +104,11 @@ type CellResult struct {
 	Eps       float64 `json:"eps"`
 	Algorithm string  `json:"algorithm"`
 	Adversary string  `json:"adversary"`
+	Variant   string  `json:"variant,omitempty"`
 	BatchReport
 }
 
-// Cells enumerates the matrix in axis order (Ns outermost, Adversaries
+// Cells enumerates the matrix in axis order (Ns outermost, Variants
 // innermost), applying defaults and the Skip filter.
 func (g Grid) Cells() []Cell {
 	fs := g.Fs
@@ -99,17 +127,23 @@ func (g Grid) Cells() []Cell {
 	if len(advs) == 0 {
 		advs = []AdversaryFactory{CompleteFactory()}
 	}
+	variants := g.Variants
+	if len(variants) == 0 {
+		variants = []Variant{{}}
+	}
 	var cells []Cell
 	for _, n := range g.Ns {
 		for _, f := range fs {
 			for _, eps := range epss {
 				for _, algo := range algos {
 					for _, adv := range advs {
-						c := Cell{N: n, F: f, Eps: eps, Algorithm: algo, Adversary: adv}
-						if g.Skip != nil && g.Skip(c) {
-							continue
+						for _, v := range variants {
+							c := Cell{N: n, F: f, Eps: eps, Algorithm: algo, Adversary: adv, Variant: v}
+							if g.Skip != nil && g.Skip(c) {
+								continue
+							}
+							cells = append(cells, c)
 						}
-						cells = append(cells, c)
 					}
 				}
 			}
@@ -118,7 +152,9 @@ func (g Grid) Cells() []Cell {
 	return cells
 }
 
-// scenario assembles one run of one cell.
+// scenario assembles one run of one cell: base fields from the cell,
+// then the variant override, then the Mutate hook (so experiment hooks
+// see the variant-adjusted scenario).
 func (g Grid) scenario(c Cell, seed int64) Scenario {
 	inputs := g.Inputs
 	if inputs == nil {
@@ -128,10 +164,13 @@ func (g Grid) scenario(c Cell, seed int64) Scenario {
 		N: c.N, F: c.F, Eps: c.Eps,
 		Algorithm:        c.Algorithm,
 		Inputs:           inputs(c.N, seed),
-		Adversary:        c.Adversary.New(c.N, seed),
+		Adversary:        c.Adversary.New(c, seed),
 		Seed:             seed,
 		MaxRounds:        g.MaxRounds,
 		AccountBandwidth: g.AccountBandwidth,
+	}
+	if c.Variant.Apply != nil {
+		c.Variant.Apply(&s)
 	}
 	if g.Mutate != nil {
 		g.Mutate(&s, c, seed)
@@ -139,22 +178,29 @@ func (g Grid) scenario(c Cell, seed int64) Scenario {
 	return s
 }
 
-// Run executes the sweep: all cells' runs are flattened into one batch
-// so the pool stays saturated across cell boundaries, and each result
-// streams into its cell's BatchStats. The returned rows are in Cells()
-// order and bit-identical across worker counts.
-func (g Grid) Run(opts BatchOptions) ([]CellResult, error) {
+// RunEach executes the sweep and delivers every run's Result — cells
+// in Cells() order, seeds ascending within a cell — from a single
+// goroutine, alongside the cell it belongs to and the run's global
+// batch index. It is the per-run form of Run, for callers that need
+// more than the BatchStats aggregate (per-run trackers, custom
+// tables); all cells' runs are flattened into one batch so the pool
+// stays saturated across cell boundaries.
+func (g Grid) RunEach(opts BatchOptions, each func(c Cell, cell, run int, seed int64, res *Result) error) error {
 	cells := g.Cells()
 	if len(cells) == 0 {
-		return nil, errors.New("anondyn: empty sweep grid (set Grid.Ns)")
+		return errors.New("anondyn: empty sweep grid (set Grid.Ns)")
+	}
+	for _, c := range cells {
+		if c.Adversary.Check != nil {
+			if err := c.Adversary.Check(c); err != nil {
+				return fmt.Errorf("anondyn: sweep cell n=%d f=%d adversary %s: %w",
+					c.N, c.F, c.Adversary.Name, err)
+			}
+		}
 	}
 	per := g.SeedsPerCell
 	if per < 1 {
 		per = 1
-	}
-	stats := make([]*BatchStats, len(cells))
-	for i, c := range cells {
-		stats[i] = &BatchStats{Eps: c.Eps}
 	}
 	seeds := Seeds(len(cells)*per, g.BaseSeed)
 	err := RunManyStream(seeds,
@@ -162,12 +208,30 @@ func (g Grid) Run(opts BatchOptions) ([]CellResult, error) {
 			i := int(seed-g.BaseSeed) / per
 			return g.scenario(cells[i], seed)
 		},
-		SinkFunc(func(index int, _ int64, res *Result) error {
-			return stats[index/per].Consume(index, seeds[index], res)
+		SinkFunc(func(index int, seed int64, res *Result) error {
+			return each(cells[index/per], index/per, index, seed, res)
 		}),
 		opts)
 	if err != nil {
-		return nil, fmt.Errorf("anondyn: sweep: %w", err)
+		return fmt.Errorf("anondyn: sweep: %w", err)
+	}
+	return nil
+}
+
+// Run executes the sweep: every cell's runs stream into the cell's
+// BatchStats and the returned rows are in Cells() order, bit-identical
+// across worker counts.
+func (g Grid) Run(opts BatchOptions) ([]CellResult, error) {
+	cells := g.Cells()
+	stats := make([]*BatchStats, len(cells))
+	for i, c := range cells {
+		stats[i] = &BatchStats{Eps: c.Eps}
+	}
+	err := g.RunEach(opts, func(_ Cell, cell, run int, seed int64, res *Result) error {
+		return stats[cell].Consume(run, seed, res)
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows := make([]CellResult, len(cells))
 	for i, c := range cells {
@@ -175,6 +239,7 @@ func (g Grid) Run(opts BatchOptions) ([]CellResult, error) {
 			N: c.N, F: c.F, Eps: c.Eps,
 			Algorithm:   c.Algorithm.String(),
 			Adversary:   c.Adversary.Name,
+			Variant:     c.Variant.Name,
 			BatchReport: stats[i].Report(),
 		}
 	}

@@ -69,7 +69,7 @@ func TestGridRunDeterministic(t *testing.T) {
 		Epss: []float64{1e-2, 1e-3},
 		Adversaries: []anondyn.AdversaryFactory{
 			anondyn.CompleteFactory(),
-			{Name: "er(0.5)", New: func(_ int, seed int64) anondyn.Adversary {
+			{Name: "er(0.5)", New: func(_ anondyn.Cell, seed int64) anondyn.Adversary {
 				return anondyn.Probabilistic(0.5, seed)
 			}},
 		},
@@ -119,5 +119,99 @@ func TestCellResultJSON(t *testing.T) {
 		if _, ok := decoded[0][key]; !ok {
 			t.Errorf("report row missing %q: %s", key, data)
 		}
+	}
+}
+
+// TestGridVariantsAxis: the variants axis multiplies cells, labels
+// rows, and applies its scenario override per run.
+func TestGridVariantsAxis(t *testing.T) {
+	g := anondyn.Grid{
+		Ns: []int{6},
+		Adversaries: func() []anondyn.AdversaryFactory {
+			f, err := anondyn.ParseAdversaryFactory("halves")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return []anondyn.AdversaryFactory{f}
+		}(),
+		Variants: []anondyn.Variant{
+			{Name: "paper"},
+			{Name: "eager", Apply: func(s *anondyn.Scenario) {
+				s.QuorumOverride = s.N / 2
+				s.Unchecked = true
+			}},
+		},
+		Inputs:    func(n int, _ int64) []float64 { return anondyn.SplitInputs(n, n/2) },
+		MaxRounds: 200,
+	}
+	rows, err := g.Run(anondyn.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (one per variant)", len(rows))
+	}
+	if rows[0].Variant != "paper" || rows[1].Variant != "eager" {
+		t.Fatalf("variant labels = %q, %q", rows[0].Variant, rows[1].Variant)
+	}
+	// The split adversary stalls the paper quorum; the eager override
+	// terminates (and disagrees) — the variant must actually apply.
+	if rows[0].Decided != 0 {
+		t.Errorf("paper variant decided %d runs below the threshold", rows[0].Decided)
+	}
+	if rows[1].Decided != 1 {
+		t.Errorf("eager variant decided %d runs, want 1", rows[1].Decided)
+	}
+}
+
+// TestGridRunEachOrderAndCells: per-run delivery is deterministic and
+// carries the right cell coordinates.
+func TestGridRunEachOrderAndCells(t *testing.T) {
+	g := anondyn.Grid{
+		Ns:           []int{5, 7},
+		SeedsPerCell: 3,
+		BaseSeed:     10,
+		MaxRounds:    2000,
+	}
+	var gotRuns []int
+	var gotSeeds []int64
+	err := g.RunEach(anondyn.BatchOptions{Workers: 4},
+		func(c anondyn.Cell, cell, run int, seed int64, res *anondyn.Result) error {
+			if wantN := []int{5, 7}[cell]; c.N != wantN {
+				t.Errorf("run %d delivered cell n=%d, want %d", run, c.N, wantN)
+			}
+			if cell != run/3 {
+				t.Errorf("run %d mapped to cell %d", run, cell)
+			}
+			gotRuns = append(gotRuns, run)
+			gotSeeds = append(gotSeeds, seed)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, run := range gotRuns {
+		if run != i {
+			t.Fatalf("delivery %d was run %d (order not deterministic)", i, run)
+		}
+		if gotSeeds[i] != int64(10+i) {
+			t.Fatalf("run %d used seed %d, want %d", i, gotSeeds[i], 10+i)
+		}
+	}
+	if len(gotRuns) != 6 {
+		t.Fatalf("delivered %d runs, want 6", len(gotRuns))
+	}
+}
+
+// TestGridAdversaryCheck: a factory's Check rejects the sweep before
+// any run starts.
+func TestGridAdversaryCheck(t *testing.T) {
+	f, err := anondyn.ParseAdversaryFactory("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := anondyn.Grid{Ns: []int{7}, Adversaries: []anondyn.AdversaryFactory{f}}
+	if _, err := g.Run(anondyn.BatchOptions{}); err == nil {
+		t.Error("fig1 at n=7 ran")
 	}
 }
