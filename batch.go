@@ -154,18 +154,55 @@ type BatchStats struct {
 
 // Consume implements ResultSink.
 func (b *BatchStats) Consume(_ int, _ int64, res *Result) error {
+	return b.ConsumeRecord(Record(res, b.Eps))
+}
+
+// ConsumeRecord folds one pre-compressed run record — the distributed
+// form of Consume. Feeding records in the same order as their Results
+// produces a bit-identical aggregate (the float operations are the
+// same), which is what lets a sharded sweep merge to the exact rows of
+// a local run.
+func (b *BatchStats) ConsumeRecord(rec RunRecord) error {
 	b.runs++
-	b.bytes.Add(float64(res.BytesDelivered))
-	if !res.Decided {
+	b.bytes.Add(float64(rec.Bytes))
+	if !rec.Decided {
 		return nil
 	}
 	b.decided++
-	b.rounds.Add(float64(res.Rounds))
-	b.outRange.Add(res.OutputRange())
-	if !res.Valid() || (b.Eps > 0 && !res.EpsAgreement(b.Eps)) {
+	b.rounds.Add(float64(rec.Rounds))
+	b.outRange.Add(rec.OutRange)
+	if rec.Violation {
 		b.violations++
 	}
 	return nil
+}
+
+// RunRecord is one run compressed to exactly the fields a BatchStats
+// fold consumes — the unit a remote sweep worker ships back per seed.
+type RunRecord struct {
+	// Decided reports whether every fault-free node decided.
+	Decided bool
+	// Rounds is the executed round count.
+	Rounds int
+	// Bytes is Result.BytesDelivered.
+	Bytes int
+	// OutRange is the fault-free output range; meaningful only when
+	// Decided.
+	OutRange float64
+	// Violation reports a validity or ε-agreement break, evaluated
+	// against the ε the record was built with.
+	Violation bool
+}
+
+// Record compresses one Result against eps (the cell's ε; 0 counts
+// only validity violations).
+func Record(res *Result, eps float64) RunRecord {
+	rec := RunRecord{Decided: res.Decided, Rounds: res.Rounds, Bytes: res.BytesDelivered}
+	if res.Decided {
+		rec.OutRange = res.OutputRange()
+		rec.Violation = !res.Valid() || (eps > 0 && !res.EpsAgreement(eps))
+	}
+	return rec
 }
 
 // Runs returns how many results have been consumed.

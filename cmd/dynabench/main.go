@@ -13,6 +13,11 @@
 // -save-spec writes the -sweep flags back out as a spec file, so every
 // flag-driven sweep can become a reviewable artifact.
 //
+// -serve turns the process into a distributed sweep worker: it listens
+// for a dynagrid coordinator and executes the shards it is sent —
+// (spec, run-range) slices of a scenario matrix — on the local
+// harness pool, streaming per-run records back in run order.
+//
 // Usage:
 //
 //	dynabench                      # run every experiment
@@ -24,6 +29,7 @@
 //	dynabench -sweep -ns 5,7 -advs er:0.3 -save-spec er.yaml
 //	dynabench -spec examples/specs/e1-dac-convergence.yaml
 //	dynabench -spec-dir examples/specs -seeds 1   # smoke every artifact
+//	dynabench -serve 127.0.0.1:7101 -workers 4    # distributed sweep worker
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"anondyn/internal/analysis"
 	"anondyn/internal/experiments"
 	"anondyn/internal/harness"
+	"anondyn/internal/shard"
 	"anondyn/internal/spec"
 )
 
@@ -70,12 +77,30 @@ func run(args []string) error {
 		specFile  = fs.String("spec", "", "run the sweep defined in this YAML/JSON scenario file")
 		specDir   = fs.String("spec-dir", "", "run every scenario file (*.yaml, *.yml, *.json) in this directory")
 		saveSpec  = fs.String("save-spec", "", "with -sweep: additionally write the sweep as a spec file")
+		serveAddr = fs.String("serve", "", "run as a distributed sweep worker on this address (shards arrive from dynagrid; -workers sizes the per-shard pool)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *serveAddr != "" {
+		if *sweep || *specFile != "" || *specDir != "" {
+			return fmt.Errorf("-serve is a worker mode; the sweep arrives from the dynagrid coordinator")
+		}
+		w, err := shard.NewWorker(*serveAddr, shard.WorkerOptions{
+			Workers: *workers,
+			Log: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sweep worker listening on %s\n", w.Addr())
+		return w.Serve()
+	}
 
 	if *specFile != "" || *specDir != "" {
 		if *sweep {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -200,5 +201,21 @@ func TestAdvsSymbolicDegrees(t *testing.T) {
 	}
 	if report.Cells[0].Adversary != "random:4,crashdeg,0.05" || report.Cells[1].Adversary != "rotating:crashdeg" {
 		t.Errorf("adversary labels = %q, %q", report.Cells[0].Adversary, report.Cells[1].Adversary)
+	}
+}
+
+func TestServeModeFlagExclusion(t *testing.T) {
+	for _, args := range [][]string{
+		{"-serve", "127.0.0.1:0", "-sweep"},
+		{"-serve", "127.0.0.1:0", "-spec", "x.yaml"},
+		{"-serve", "127.0.0.1:0", "-spec-dir", "dir"},
+	} {
+		if err := run(args); err == nil || !strings.Contains(err.Error(), "-serve") {
+			t.Errorf("run(%v) = %v, want -serve exclusion error", args, err)
+		}
+	}
+	// A bad listen address surfaces as an error rather than a hang.
+	if err := run([]string{"-serve", "256.256.256.256:99999"}); err == nil {
+		t.Error("bad -serve address accepted")
 	}
 }

@@ -1,0 +1,175 @@
+// Command dynagrid coordinates a distributed sweep: it slices a
+// committed scenario file into shards — (spec, cell range, seed range)
+// units — dispatches them to dynabench -serve workers over the shard
+// protocol, requeues shards when a worker is lost, and merges the
+// per-run records back in global run order. The merged rows are
+// byte-identical to a single-process run of the same spec and seeds
+// (dynabench -spec), regardless of worker count, shard count, or
+// mid-sweep worker failures.
+//
+// Usage:
+//
+//	dynabench -serve 127.0.0.1:7101 &    # on each worker machine
+//	dynabench -serve 127.0.0.1:7102 &
+//	dynagrid -spec examples/specs/e3-resilience-boundary.yaml \
+//	         -workers 127.0.0.1:7101,127.0.0.1:7102 -seeds 200 -report csv
+//
+// -report csv / -report json stream the rows to stdout in that format;
+// a path writes a file (.csv for CSV, anything else JSON with the same
+// envelope as dynabench -report, so the two are directly diffable).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"anondyn"
+	"anondyn/internal/shard"
+	"anondyn/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dynagrid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dynagrid", flag.ContinueOnError)
+	var (
+		specFile   = fs.String("spec", "", "YAML/JSON scenario file to shard (required)")
+		workers    = fs.String("workers", "", "comma-separated worker addresses (dynabench -serve endpoints; required)")
+		shardsN    = fs.Int("shards", 0, "target shard count (0 = 2 per worker)")
+		seedsN     = fs.Int("seeds", 0, "override the spec's seeds_per_cell (0 = use the file's)")
+		maxPending = fs.Int("maxpending", 0, "per-shard reorder window on the workers (0 = unbounded)")
+		timeout    = fs.Duration("timeout", shard.DefaultIOTimeout, "per-frame I/O bound (for a record stream: the gap between records)")
+		reportOut  = fs.String("report", "", `"csv"/"json" for stdout, or a path (.csv → CSV, else JSON)`)
+		quiet      = fs.Bool("quiet", false, "suppress the banner and dispatch summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specFile == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	addrs := splitAddrs(*workers)
+	if len(addrs) == 0 {
+		return fmt.Errorf("-workers is required (comma-separated dynabench -serve addresses)")
+	}
+	data, err := os.ReadFile(*specFile)
+	if err != nil {
+		return err
+	}
+
+	logf := func(string, ...any) {}
+	if !*quiet {
+		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	res, err := shard.Run(data, shard.Options{
+		Workers:      addrs,
+		Shards:       *shardsN,
+		SeedsPerCell: *seedsN,
+		MaxPending:   *maxPending,
+		IOTimeout:    *timeout,
+		Log:          logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stdout report modes replace the human table so the output stays
+	// machine-readable.
+	switch *reportOut {
+	case "csv":
+		return spec.Table(title(res, *specFile), res.Rows).WriteCSV(os.Stdout)
+	case "json":
+		return writeJSON(os.Stdout, res, len(addrs))
+	}
+
+	if !*quiet && res.Sweep.Description != "" {
+		fmt.Printf("# %s\n", res.Sweep.Description)
+	}
+	if err := spec.Table(title(res, *specFile), res.Rows).Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("(%d shards over %d workers, %d requeued)\n", len(res.Shards), len(addrs), res.Requeues)
+		for _, addr := range addrs {
+			fmt.Printf("  %s: %d runs\n", addr, res.RunsByWorker[addr])
+		}
+	}
+	if *reportOut == "" {
+		return nil
+	}
+	write := func(w io.Writer) error { return writeJSON(w, res, len(addrs)) }
+	if filepath.Ext(*reportOut) == ".csv" {
+		write = spec.Table(title(res, *specFile), res.Rows).WriteCSV
+	}
+	f, err := os.Create(*reportOut)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", *reportOut, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("(report written to %s)\n", *reportOut)
+	}
+	return nil
+}
+
+func title(res *shard.Result, path string) string {
+	return res.Sweep.RunTitle(path, len(res.Rows))
+}
+
+// sweepReport mirrors dynabench's JSON envelope shape. The cells array
+// is the determinism contract — byte-identical to the local run's —
+// while the envelope records run metadata ("workers" here counts
+// worker processes; dynabench records its pool size), so parity checks
+// compare .cells, as the CI distributed-smoke job does.
+type sweepReport struct {
+	Spec         string               `json:"spec,omitempty"`
+	SeedsPerCell int                  `json:"seeds_per_cell"`
+	BaseSeed     int64                `json:"base_seed"`
+	Workers      int                  `json:"workers"`
+	Cells        []anondyn.CellResult `json:"cells"`
+}
+
+func writeJSON(w io.Writer, res *shard.Result, workers int) error {
+	per := res.Sweep.SeedsPerCell
+	if per < 1 {
+		per = 1
+	}
+	data, err := json.MarshalIndent(sweepReport{
+		Spec:         res.Sweep.Name,
+		SeedsPerCell: per,
+		BaseSeed:     res.Sweep.BaseSeed,
+		Workers:      workers,
+		Cells:        res.Rows,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+func splitAddrs(list string) []string {
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"anondyn"
+	"anondyn/internal/shard"
+	"anondyn/internal/spec"
+)
+
+const specPath = "../../examples/specs/er-crash-sweep.yaml"
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-workers", "h:1"}); err == nil || !strings.Contains(err.Error(), "-spec") {
+		t.Errorf("missing -spec: %v", err)
+	}
+	if err := run([]string{"-spec", specPath}); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("missing -workers: %v", err)
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-spec", "no-such-file.yaml", "-workers", "h:1"}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+// startWorkers spins n in-process sweep workers and returns their
+// address list.
+func startWorkers(t *testing.T, n int) string {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < n; i++ {
+		w, err := shard.NewWorker("127.0.0.1:0", shard.WorkerOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, w.Addr())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			w.Serve() //nolint:errcheck
+		}()
+		t.Cleanup(func() { w.Close(); <-done })
+	}
+	return strings.Join(addrs, ",")
+}
+
+func TestRunEndToEndJSONReport(t *testing.T) {
+	workers := startWorkers(t, 2)
+	out := filepath.Join(t.TempDir(), "dist.json")
+	err := run([]string{
+		"-spec", specPath, "-workers", workers, "-seeds", "3",
+		"-timeout", (10 * time.Second).String(), "-quiet", "-report", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+
+	// The distributed rows must equal a local run of the same spec.
+	sw, grid, err := spec.Load(specPath, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRows, err := grid.Run(anondyn.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spec != sw.Name || rep.SeedsPerCell != 3 {
+		t.Errorf("envelope = {spec: %q, seeds: %d}, want {%q, 3}", rep.Spec, rep.SeedsPerCell, sw.Name)
+	}
+	if !reflect.DeepEqual(rep.Cells, localRows) {
+		t.Errorf("distributed cells differ from local run:\ndist  %+v\nlocal %+v", rep.Cells, localRows)
+	}
+}
+
+func TestRunEndToEndCSVReport(t *testing.T) {
+	workers := startWorkers(t, 1)
+	out := filepath.Join(t.TempDir(), "dist.csv")
+	err := run([]string{
+		"-spec", specPath, "-workers", workers, "-seeds", "1",
+		"-quiet", "-report", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header plus one row per cell (er-crash-sweep has 4 cells).
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[0], "adversary") {
+		t.Errorf("CSV header missing: %q", lines[0])
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	got := splitAddrs(" a:1, b:2 ,,c:3 ")
+	want := []string{"a:1", "b:2", "c:3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splitAddrs = %v, want %v", got, want)
+	}
+}

@@ -4,9 +4,15 @@
 // adversary (the lab's radio environment), and delivering messages
 // tagged with receiver-local ports.
 //
+// The -adversary grammar is the registry shared with dynabench and
+// dynasim (anondyn.ParseAdversaryFactory): symbolic degrees
+// (crashdeg/byzdeg, resolved against -n/-f), pinned seeds, and every
+// registered adversary work identically in live runs and sweeps.
+//
 // Start a hub, then n dynanode processes:
 //
 //	dynahub  -n 5 -addr 127.0.0.1:7000 -adversary rotating:2
+//	dynahub  -n 7 -adversary er:0.4,42 -f 3
 //	dynanode -addr 127.0.0.1:7000 -input 0.2   # × 5, one per node
 package main
 
@@ -16,12 +22,9 @@ import (
 	"math/rand"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	"anondyn"
-	"anondyn/internal/adversary"
 	"anondyn/internal/network"
 	"anondyn/internal/transport"
 )
@@ -37,8 +40,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dynahub", flag.ContinueOnError)
 	var (
 		n         = fs.Int("n", 5, "number of nodes to wait for")
+		f         = fs.Int("f", 0, "fault bound for symbolic adversary degrees (crashdeg/byzdeg)")
 		addr      = fs.String("addr", "127.0.0.1:7000", "listen address")
-		advSpec   = fs.String("adversary", "complete", "complete | rotating:<d> | er:<p> | clustered:<T>")
+		advSpec   = fs.String("adversary", "complete", "adversary (complete | halves | chasemin | fig1 | isolate:<v> | rotating:<d> | clustered:<T> | starve:<d> | er:<p>[,<seed>] | random:<B>,<D>[,<extra>[,<seed>]] | starveperiod:<T>; degrees accept crashdeg/byzdeg) — the grammar shared with dynabench/dynasim")
 		maxRounds = fs.Int("rounds", 10000, "round budget")
 		seed      = fs.Int64("seed", 1, "seed for randomized adversaries / ports")
 		randPorts = fs.Bool("randports", false, "random per-node port numberings")
@@ -47,10 +51,19 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	adv, err := parseAdversary(*advSpec, *seed)
+	// The live hub resolves its adversary through the same registry as
+	// the sweep CLIs and the spec files — one grammar everywhere.
+	factory, err := anondyn.ParseAdversaryFactory(*advSpec)
 	if err != nil {
 		return err
 	}
+	cell := anondyn.Cell{N: *n, F: *f}
+	if factory.Check != nil {
+		if err := factory.Check(cell); err != nil {
+			return fmt.Errorf("adversary %q: %w", *advSpec, err)
+		}
+	}
+	adv := factory.New(cell, *seed)
 	var ports network.Ports
 	if *randPorts {
 		ports = network.RandomPorts(*n, rand.New(rand.NewSource(*seed)))
@@ -61,6 +74,9 @@ func run(args []string) error {
 		Ports:     ports,
 		MaxRounds: *maxRounds,
 		IOTimeout: *timeout,
+		Log: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
 	})
 	if err != nil {
 		return err
@@ -87,32 +103,4 @@ func run(args []string) error {
 		fmt.Printf("trace provided (1,D)-dynaDegree with D=%d\n", anondyn.MaxDynaDegree(res.Trace, ff, 1))
 	}
 	return nil
-}
-
-func parseAdversary(spec string, seed int64) (adversary.Adversary, error) {
-	name, arg, _ := strings.Cut(spec, ":")
-	switch name {
-	case "complete":
-		return adversary.NewComplete(), nil
-	case "rotating":
-		d, err := strconv.Atoi(arg)
-		if err != nil {
-			return nil, fmt.Errorf("rotating wants an integer: %v", err)
-		}
-		return adversary.NewRotating(d)
-	case "er":
-		p, err := strconv.ParseFloat(arg, 64)
-		if err != nil {
-			return nil, fmt.Errorf("er wants a probability: %v", err)
-		}
-		return adversary.NewProbabilistic(p, seed)
-	case "clustered":
-		t, err := strconv.Atoi(arg)
-		if err != nil {
-			return nil, fmt.Errorf("clustered wants an integer: %v", err)
-		}
-		return adversary.NewClustered(t)
-	default:
-		return nil, fmt.Errorf("unknown adversary %q", spec)
-	}
 }

@@ -10,27 +10,44 @@ import (
 	"anondyn/internal/transport"
 )
 
-func TestParseAdversary(t *testing.T) {
-	cases := map[string]string{
-		"complete":    "complete",
-		"rotating:3":  "rotating(d=3)",
-		"er:0.50":     "er(p=0.50)",
-		"clustered:4": "clustered(T=4)",
-	}
-	for spec, want := range cases {
-		a, err := parseAdversary(spec, 1)
-		if err != nil {
-			t.Errorf("parseAdversary(%q): %v", spec, err)
-			continue
-		}
-		if a.Name() != want {
-			t.Errorf("parseAdversary(%q).Name() = %q, want %q", spec, a.Name(), want)
+// badAddr fails at listen time; since run parses the adversary before
+// listening, a listen failure proves the grammar was accepted.
+const badAddr = "256.256.256.256:99999"
+
+func TestRunAcceptsRegistryGrammar(t *testing.T) {
+	for _, spec := range []string{
+		"complete", "halves", "chasemin", "isolate:0", "clustered:4",
+		"rotating:3", "rotating:crashdeg", "starve:byzdeg", "starveperiod:3",
+		"er:0.50", "er:0.3,42", "random:5,crashdeg,0.1,7",
+	} {
+		err := run([]string{"-adversary", spec, "-n", "5", "-f", "1", "-addr", badAddr})
+		if err == nil || !strings.Contains(err.Error(), "listen") {
+			t.Errorf("adversary %q: err = %v, want listen failure (grammar accepted)", spec, err)
 		}
 	}
-	for _, bad := range []string{"rotating:x", "er:y", "clustered:", "mesh"} {
-		if _, err := parseAdversary(bad, 1); err == nil {
-			t.Errorf("parseAdversary(%q) accepted", bad)
+	for _, bad := range []string{"rotating:x", "er:y", "clustered:", "mesh", "starveperiod:0", "isolate:v"} {
+		err := run([]string{"-adversary", bad, "-addr", badAddr})
+		if err == nil || strings.Contains(err.Error(), "listen") {
+			t.Errorf("adversary %q accepted (err = %v)", bad, err)
 		}
+	}
+}
+
+func TestRunEnforcesFactoryCheck(t *testing.T) {
+	// fig1 is defined on exactly 3 nodes; the factory's Check hook must
+	// reject other sizes before the hub ever listens.
+	err := run([]string{"-adversary", "fig1", "-n", "5", "-addr", badAddr})
+	if err == nil || strings.Contains(err.Error(), "listen") {
+		t.Errorf("fig1 with n=5: err = %v, want Check rejection", err)
+	}
+	err = run([]string{"-adversary", "fig1", "-n", "3", "-addr", badAddr})
+	if err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Errorf("fig1 with n=3: err = %v, want listen failure (accepted)", err)
+	}
+	// isolate's victim bound is checked against -n the same way.
+	err = run([]string{"-adversary", "isolate:7", "-n", "5", "-addr", badAddr})
+	if err == nil || strings.Contains(err.Error(), "listen") {
+		t.Errorf("isolate:7 with n=5: err = %v, want Check rejection", err)
 	}
 }
 

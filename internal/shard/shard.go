@@ -1,0 +1,92 @@
+// Package shard distributes declarative sweeps across machines: it
+// slices a committed spec file into shards — (spec, cell range, seed
+// range) units over the Grid.RunEach flattening — dispatches them to
+// long-lived worker processes over the transport package's shard
+// protocol, requeues shards when a worker is lost, and merges the
+// per-run records back in global run order, so the aggregate rows are
+// byte-identical to a single-process Grid.Run with the same seeds.
+//
+// The determinism contract stacks three layers that each preserve
+// order: every run is seeded and independent (the engine), each worker
+// streams its shard's records through the harness ordered sink (the
+// pool), and the coordinator folds whole shards in plan order (the
+// merge). Worker count, shard count, and mid-sweep worker loss are all
+// invisible in the output.
+package shard
+
+import (
+	"fmt"
+)
+
+// Shard is one dispatch unit: a contiguous slice of a sweep's global
+// run-index space (run i = seed BaseSeed+i of cell i/seedsPerCell),
+// aligned so it reads as a cell range × seed range.
+type Shard struct {
+	// Index is the shard's position in the plan.
+	Index int
+	// CellLo, CellHi bound the covered cells [CellLo, CellHi).
+	CellLo, CellHi int
+	// SeedLo, SeedHi bound the per-cell seed offsets [SeedLo, SeedHi).
+	// Multi-cell shards always cover every seed; single-cell shards may
+	// cover a sub-range.
+	SeedLo, SeedHi int
+	// Lo, Hi is the equivalent global run-index range [Lo, Hi).
+	Lo, Hi int
+}
+
+// Runs returns the number of runs the shard covers.
+func (s Shard) Runs() int { return s.Hi - s.Lo }
+
+func (s Shard) String() string {
+	return fmt.Sprintf("shard %d: cells [%d,%d) × seeds [%d,%d) (runs [%d,%d))",
+		s.Index, s.CellLo, s.CellHi, s.SeedLo, s.SeedHi, s.Lo, s.Hi)
+}
+
+// Plan slices a sweep of cells × per runs into at most want contiguous
+// shards covering the run space exactly. With at least as many cells
+// as shards, boundaries snap to cell boundaries (each shard is a cell
+// range over all seeds); with more shards than cells, every cell is
+// split into near-equal seed ranges. want < 1 plans one shard.
+func Plan(cells, per, want int) []Shard {
+	if cells < 1 || per < 1 {
+		return nil
+	}
+	if want < 1 {
+		want = 1
+	}
+	if want > cells*per {
+		want = cells * per
+	}
+	var shards []Shard
+	if want <= cells {
+		for k := 0; k < want; k++ {
+			c0, c1 := k*cells/want, (k+1)*cells/want
+			shards = append(shards, Shard{
+				Index:  k,
+				CellLo: c0, CellHi: c1,
+				SeedLo: 0, SeedHi: per,
+				Lo: c0 * per, Hi: c1 * per,
+			})
+		}
+		return shards
+	}
+	// More shards than cells: cell i gets k_i ∈ {base, base+1} seed
+	// chunks; k_i ≤ ⌈want/cells⌉ ≤ per, so chunks are never empty.
+	base, extra := want/cells, want%cells
+	for c := 0; c < cells; c++ {
+		k := base
+		if c < extra {
+			k++
+		}
+		for j := 0; j < k; j++ {
+			s0, s1 := j*per/k, (j+1)*per/k
+			shards = append(shards, Shard{
+				Index:  len(shards),
+				CellLo: c, CellHi: c + 1,
+				SeedLo: s0, SeedHi: s1,
+				Lo: c*per + s0, Hi: c*per + s1,
+			})
+		}
+	}
+	return shards
+}

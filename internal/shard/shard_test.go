@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anondyn"
+	"anondyn/examples/specs"
+	"anondyn/internal/spec"
+)
+
+func TestPlanCoversRunSpace(t *testing.T) {
+	cases := []struct{ cells, per, want int }{
+		{1, 1, 1}, {1, 1, 8}, {4, 5, 1}, {4, 5, 2}, {4, 5, 4},
+		{4, 5, 7}, {4, 5, 11}, {4, 5, 100}, {3, 1, 5}, {12, 200, 4},
+		{5, 7, 6},
+	}
+	for _, tc := range cases {
+		shards := Plan(tc.cells, tc.per, tc.want)
+		total := tc.cells * tc.per
+		if len(shards) == 0 {
+			t.Fatalf("Plan(%d,%d,%d): empty plan", tc.cells, tc.per, tc.want)
+		}
+		wantLen := tc.want
+		if wantLen < 1 {
+			wantLen = 1
+		}
+		if wantLen > total {
+			wantLen = total
+		}
+		if len(shards) != wantLen {
+			t.Errorf("Plan(%d,%d,%d): %d shards, want %d", tc.cells, tc.per, tc.want, len(shards), wantLen)
+		}
+		next := 0
+		for i, s := range shards {
+			if s.Index != i {
+				t.Errorf("Plan(%d,%d,%d): shard %d has Index %d", tc.cells, tc.per, tc.want, i, s.Index)
+			}
+			if s.Lo != next {
+				t.Errorf("Plan(%d,%d,%d): shard %d starts at %d, want %d (gap or overlap)",
+					tc.cells, tc.per, tc.want, i, s.Lo, next)
+			}
+			if s.Runs() < 1 {
+				t.Errorf("Plan(%d,%d,%d): empty %v", tc.cells, tc.per, tc.want, s)
+			}
+			// The (cell range, seed range) reading must agree with the
+			// run range.
+			if s.CellHi-s.CellLo > 1 && (s.SeedLo != 0 || s.SeedHi != tc.per) {
+				t.Errorf("Plan(%d,%d,%d): multi-cell %v covers partial seeds", tc.cells, tc.per, tc.want, s)
+			}
+			if lo := s.CellLo*tc.per + s.SeedLo; lo != s.Lo {
+				t.Errorf("Plan(%d,%d,%d): %v cell/seed lo inconsistent", tc.cells, tc.per, tc.want, s)
+			}
+			if hi := (s.CellHi-1)*tc.per + s.SeedHi; hi != s.Hi {
+				t.Errorf("Plan(%d,%d,%d): %v cell/seed hi inconsistent", tc.cells, tc.per, tc.want, s)
+			}
+			next = s.Hi
+		}
+		if next != total {
+			t.Errorf("Plan(%d,%d,%d): covers %d runs, want %d", tc.cells, tc.per, tc.want, next, total)
+		}
+	}
+}
+
+// parityCase spins up in-process workers, runs the committed spec
+// through the coordinator, and compares against a local Grid.Run.
+func parityCase(t *testing.T, seeds, nWorkers, nShards int, arm func([]*Worker)) *Result {
+	t.Helper()
+	data, err := specs.Read("er-crash-sweep.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local reference: same spec, same seeds override, same fold.
+	sw, err := spec.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.SeedsPerCell = seeds
+	grid, err := sw.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRows, err := grid.Run(anondyn.BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := make([]*Worker, nWorkers)
+	addrs := make([]string, nWorkers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w, err := NewWorker("127.0.0.1:0", WorkerOptions{Workers: 2, Log: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		addrs[i] = w.Addr()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Serve(); err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		}()
+	}
+	defer wg.Wait()
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	if arm != nil {
+		arm(workers)
+	}
+
+	res, err := Run(data, Options{
+		Workers:      addrs,
+		Shards:       nShards,
+		SeedsPerCell: seeds,
+		IOTimeout:    10 * time.Second,
+		RetryDelay:   20 * time.Millisecond,
+		Log:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(res.Rows, localRows) {
+		t.Errorf("distributed rows differ from local rows:\ndist  %+v\nlocal %+v", res.Rows, localRows)
+	}
+	// The contract is byte-identical report rows, so compare the
+	// serialized form too.
+	distJSON, err := json.Marshal(res.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(localRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(distJSON) != string(localJSON) {
+		t.Errorf("serialized rows differ:\ndist  %s\nlocal %s", distJSON, localJSON)
+	}
+	total := 0
+	for _, n := range res.RunsByWorker {
+		total += n
+	}
+	if want := grid.Runs(); total != want {
+		t.Errorf("runs across workers = %d, want %d", total, want)
+	}
+	return res
+}
+
+func TestDistributedParityTwoWorkers(t *testing.T) {
+	res := parityCase(t, 6, 2, 4, nil)
+	if res.Requeues != 0 {
+		t.Errorf("unexpected requeues: %d", res.Requeues)
+	}
+	if len(res.Shards) != 4 {
+		t.Errorf("planned %d shards, want 4", len(res.Shards))
+	}
+}
+
+func TestDistributedParityManyShards(t *testing.T) {
+	// More shards than cells forces single-cell seed-range shards.
+	parityCase(t, 6, 2, 9, nil)
+}
+
+func TestDistributedParityUnderWorkerRestart(t *testing.T) {
+	res := parityCase(t, 6, 2, 4, func(ws []*Worker) {
+		// Sever whichever connection is serving worker 0's current
+		// task after 2 records: the shard must requeue and rerun
+		// without a trace in the merged rows.
+		ws[0].failAfterRecords(2)
+	})
+	if res.Requeues < 1 {
+		t.Errorf("requeues = %d, want ≥ 1 after induced worker drop", res.Requeues)
+	}
+}
+
+func TestAllWorkersLostAborts(t *testing.T) {
+	data, err := specs.Read("er-crash-sweep.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grab two ports that are closed by the time the coordinator dials.
+	w, err := NewWorker("127.0.0.1:0", WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := w.Addr()
+	w.Close()
+	_, err = Run(data, Options{
+		Workers:      []string{addr},
+		SeedsPerCell: 1,
+		DialRetries:  1,
+		RetryDelay:   10 * time.Millisecond,
+		IOTimeout:    time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "workers") {
+		t.Fatalf("err = %v, want all-workers-lost abort", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run([]byte("ns: [3]"), Options{}); err == nil {
+		t.Error("no workers accepted")
+	}
+	if _, err := Run([]byte("nonsense: ["), Options{Workers: []string{"127.0.0.1:1"}}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"anondyn"
+	"anondyn/internal/spec"
+	"anondyn/internal/transport"
+)
+
+// WorkerOptions configures one sweep worker process.
+type WorkerOptions struct {
+	// Workers is the harness pool size each shard runs on (< 1 =
+	// GOMAXPROCS) — also the capacity announced to coordinators.
+	Workers int
+	// IOTimeout bounds each frame write and the reads within a task
+	// exchange; waiting for the next task is always unbounded. 0 means
+	// DefaultIOTimeout.
+	IOTimeout time.Duration
+	// Log, when non-nil, receives progress lines (Printf-style).
+	Log func(format string, args ...any)
+}
+
+// DefaultIOTimeout is the per-frame bound both ends of the shard
+// protocol fall back to.
+const DefaultIOTimeout = 2 * time.Minute
+
+// Worker executes shards for any coordinator that connects: parse the
+// shipped spec, compile the grid, run the shard's run range on the
+// local harness pool, and stream records back in run order.
+type Worker struct {
+	ln   net.Listener
+	opts WorkerOptions
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	// dropAfter is a test knob: when > 0, the connection serving the
+	// current task is severed after that many further records — the
+	// "worker restart mid-shard" the requeue path must survive. It
+	// disarms after firing.
+	dropAfter int
+}
+
+// NewWorker starts listening on addr (e.g. "127.0.0.1:0"); call Serve
+// to accept coordinators.
+func NewWorker(addr string, opts WorkerOptions) (*Worker, error) {
+	if opts.IOTimeout <= 0 {
+		opts.IOTimeout = DefaultIOTimeout
+	}
+	if opts.Log == nil {
+		opts.Log = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shard: listen %s: %w", addr, err)
+	}
+	return &Worker{ln: ln, opts: opts, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Addr returns the worker's listen address (useful with ":0").
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops accepting and tears down every live connection; Serve
+// returns nil.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.ln.Close()
+	for c := range w.conns {
+		c.Close()
+	}
+}
+
+// Serve accepts coordinator connections until Close, handling each on
+// its own goroutine (shards within one connection run sequentially;
+// parallelism lives in the per-shard harness pool).
+func (w *Worker) Serve() error {
+	for {
+		raw, err := w.ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if !w.track(raw) {
+			raw.Close()
+			return nil
+		}
+		go func() {
+			defer w.untrack(raw)
+			w.handle(raw)
+		}()
+	}
+}
+
+func (w *Worker) track(raw net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.conns[raw] = struct{}{}
+	return true
+}
+
+func (w *Worker) untrack(raw net.Conn) {
+	w.mu.Lock()
+	delete(w.conns, raw)
+	w.mu.Unlock()
+	raw.Close()
+}
+
+// handle speaks one coordinator session.
+func (w *Worker) handle(raw net.Conn) {
+	capacity := w.opts.Workers
+	if capacity < 1 {
+		capacity = 0 // announced as "pool decides" (GOMAXPROCS)
+	}
+	srv, err := transport.AcceptShard(raw, capacity, w.opts.IOTimeout)
+	if err != nil {
+		w.opts.Log("shard worker: handshake from %s: %v", raw.RemoteAddr(), err)
+		return
+	}
+	for {
+		task, err := srv.Next()
+		if err != nil {
+			if !errors.Is(err, transport.ErrShutdown) {
+				w.opts.Log("shard worker: session with %s: %v", raw.RemoteAddr(), err)
+			}
+			return
+		}
+		w.opts.Log("shard worker: shard %d (runs [%d,%d)) from %s", task.Shard, task.Lo, task.Hi, raw.RemoteAddr())
+		if err := w.runTask(raw, srv, task); err != nil {
+			w.opts.Log("shard worker: shard %d: %v", task.Shard, err)
+			return // the connection is no longer trustworthy
+		}
+	}
+}
+
+// runTask executes one shard. A deterministic failure (bad spec,
+// out-of-range slice, run error) is reported with a fail frame and the
+// session continues; a transport failure returns an error and ends the
+// session so the coordinator requeues.
+func (w *Worker) runTask(raw net.Conn, srv *transport.ShardServer, task transport.ShardTask) error {
+	_, grid, err := spec.Compile(task.Spec, task.SeedsPerCell)
+	if err != nil {
+		return srv.Fail(task.Shard, err.Error())
+	}
+	if task.Hi > grid.Runs() {
+		return srv.Fail(task.Shard, fmt.Sprintf("slice [%d,%d) out of range for %d runs", task.Lo, task.Hi, grid.Runs()))
+	}
+	var sendErr error
+	count := 0
+	runErr := grid.RunSlice(task.Lo, task.Hi,
+		anondyn.BatchOptions{Workers: w.opts.Workers, MaxPending: task.MaxPending},
+		func(c anondyn.Cell, _, run int, _ int64, res *anondyn.Result) error {
+			w.maybeDrop(raw)
+			rec := anondyn.Record(res, c.Eps)
+			if err := srv.WriteRecord(transport.ShardRecord{
+				Run:          run,
+				Decided:      rec.Decided,
+				Rounds:       rec.Rounds,
+				Bytes:        rec.Bytes,
+				OutRangeBits: math.Float64bits(rec.OutRange),
+				Violation:    rec.Violation,
+			}); err != nil {
+				sendErr = err
+				return err
+			}
+			count++
+			return nil
+		})
+	if sendErr != nil {
+		return sendErr
+	}
+	if runErr != nil {
+		return srv.Fail(task.Shard, runErr.Error())
+	}
+	return srv.Done(task.Shard, count)
+}
+
+// failAfterRecords arms the test knob: the connection serving the
+// current task is severed after n further records.
+func (w *Worker) failAfterRecords(n int) {
+	w.mu.Lock()
+	w.dropAfter = n
+	w.mu.Unlock()
+}
+
+func (w *Worker) maybeDrop(raw net.Conn) {
+	w.mu.Lock()
+	if w.dropAfter <= 0 {
+		w.mu.Unlock()
+		return
+	}
+	w.dropAfter--
+	fire := w.dropAfter == 0
+	w.mu.Unlock()
+	if fire {
+		raw.Close()
+	}
+}

@@ -399,12 +399,27 @@ func (e *ConcurrentEngine) step() {
 		}
 	}
 
-	// Adversary-suppressed message accounting (alive sender, no link).
-	for u := 0; u < e.cfg.N; u++ {
-		if !e.isByz[u] && !e.cfg.Crashes.Alive(t, u) {
-			continue
+	// Adversary-suppressed message accounting (alive sender, receiver
+	// able to receive in round t, no link) — same exclusions as the
+	// sequential engine, so both report identical counts.
+	if len(e.cfg.Byzantine) == 0 && len(e.cfg.Crashes) == 0 {
+		for u := 0; u < e.cfg.N; u++ {
+			e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
 		}
-		e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
+	} else {
+		for u := 0; u < e.cfg.N; u++ {
+			if !e.isByz[u] && !e.cfg.Crashes.Alive(t, u) {
+				continue
+			}
+			for v := 0; v < e.cfg.N; v++ {
+				if v == u || e.isByz[v] || !e.cfg.Crashes.FullyAlive(t, v) {
+					continue
+				}
+				if !edges.Has(u, v) {
+					e.result.MessagesLost++
+				}
+			}
+		}
 	}
 
 	if ro, ok := e.cfg.Observer.(RoundObserver); ok {

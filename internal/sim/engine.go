@@ -315,12 +315,29 @@ func (e *Engine) Step() {
 		e.noteDecision(v, proc, t)
 	}
 
-	// Count adversary-suppressed messages: alive sender, no link.
-	for u := 0; u < e.cfg.N; u++ {
-		if !e.aliveSender(t, u) {
-			continue
+	// Count adversary-suppressed messages: alive sender, receiver able
+	// to receive in round t, no link. Receivers that cannot receive —
+	// Byzantine nodes, or nodes not fully alive through the round — are
+	// excluded: a missing link toward them suppresses nothing. The
+	// fault-free common case keeps the word-wise OutDegree formula.
+	if len(e.cfg.Byzantine) == 0 && len(e.cfg.Crashes) == 0 {
+		for u := 0; u < e.cfg.N; u++ {
+			e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
 		}
-		e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
+	} else {
+		for u := 0; u < e.cfg.N; u++ {
+			if !e.aliveSender(t, u) {
+				continue
+			}
+			for v := 0; v < e.cfg.N; v++ {
+				if v == u || e.isByz[v] || !e.cfg.Crashes.FullyAlive(t, v) {
+					continue
+				}
+				if !edges.Has(u, v) {
+					e.result.MessagesLost++
+				}
+			}
+		}
 	}
 
 	e.notifyRoundEnd(t)

@@ -336,6 +336,41 @@ func TestEngineMessageAccounting(t *testing.T) {
 	}
 }
 
+// TestEngineMessageAccountingUnderCrash pins MessagesLost under a crash
+// schedule: a missing link toward a node that cannot receive in round t
+// (its crash round or later) is not adversary suppression. Ring on n=4
+// with node 2 crashing cleanly at round 1, over rounds t=0..3:
+//
+//	t=0: every node sends, every node receives — 4×(3−1) = 8 lost
+//	t=1: node 2 still sends but no longer receives — 6 lost
+//	t≥2: senders {0,1,3} toward receivers {0,1,3} — 4 lost per round
+//
+// The former accounting charged N−1−OutDegree regardless of receiver
+// state (28 over the same rounds).
+func TestEngineMessageAccountingUnderCrash(t *testing.T) {
+	n := 4
+	cfg := Config{
+		N:         n,
+		Procs:     dacProcs(t, n, 8, spread(n)),
+		Adversary: adversary.NewStatic("ring", network.Ring(n)),
+		Crashes:   fault.Schedule{2: fault.CrashAt(1)},
+		MaxRounds: 8,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.RunRounds(4)
+	if want := 8 + 6 + 4 + 4; res.MessagesLost != want {
+		t.Errorf("lost = %d, want %d", res.MessagesLost, want)
+	}
+	// Deliveries shrink in step: 4 (all edges), then 3 (2→3 still
+	// carries the final broadcast), then 2 per round.
+	if want := 4 + 3 + 2 + 2; res.MessagesDelivered != want {
+		t.Errorf("delivered = %d, want %d", res.MessagesDelivered, want)
+	}
+}
+
 func TestEngineBandwidthAccounting(t *testing.T) {
 	n := 4
 	cfg := Config{

@@ -16,14 +16,36 @@ func Load(path string, seedsOverride int) (*Sweep, anondyn.Grid, error) {
 	if err != nil {
 		return nil, anondyn.Grid{}, err
 	}
-	if seedsOverride > 0 {
-		sw.SeedsPerCell = seedsOverride
-	}
-	grid, err := sw.Grid()
+	grid, err := compile(sw, seedsOverride)
 	if err != nil {
 		return nil, anondyn.Grid{}, fmt.Errorf("%s: %w", path, err)
 	}
 	return sw, grid, nil
+}
+
+// Compile parses a sweep from raw bytes and compiles it with an
+// optional seeds-per-cell override — the wire-side counterpart of
+// Load. Both ends of the shard protocol derive their grid through this
+// one path, so a coordinator and its workers agree on the flattened
+// run space (cells × seeds and their order) by construction.
+func Compile(data []byte, seedsOverride int) (*Sweep, anondyn.Grid, error) {
+	sw, err := Parse(data)
+	if err != nil {
+		return nil, anondyn.Grid{}, err
+	}
+	grid, err := compile(sw, seedsOverride)
+	if err != nil {
+		return nil, anondyn.Grid{}, err
+	}
+	return sw, grid, nil
+}
+
+// compile applies the seeds override and builds the grid.
+func compile(sw *Sweep, seedsOverride int) (anondyn.Grid, error) {
+	if seedsOverride > 0 {
+		sw.SeedsPerCell = seedsOverride
+	}
+	return sw.Grid()
 }
 
 // RunTitle formats the standard sweep heading the CLIs print above

@@ -38,6 +38,10 @@ type HubConfig struct {
 	// synchronous protocol over real links needs this: one hung node
 	// otherwise blocks the round forever.
 	IOTimeout time.Duration
+	// Log, when non-nil, receives diagnostic lines (Printf-style) —
+	// notably rejected handshakes, which release their slot and would
+	// otherwise be invisible while the hub keeps waiting.
+	Log func(format string, args ...any)
 }
 
 // DefaultMaxRounds caps hub executions without an explicit bound.
@@ -143,10 +147,22 @@ func (h *Hub) Serve() (*HubResult, error) {
 	return res, nil
 }
 
-// accept waits for all n nodes and handshakes each.
+// maxHandshakeRejections bounds consecutive rejected handshakes: a
+// stale-version node in a restart loop must surface as an error, not
+// an infinite reject/accept spin.
+const maxHandshakeRejections = 32
+
+// accept waits for all n nodes and handshakes each. A connection that
+// fails the handshake at the protocol level — wrong version, garbage
+// frames, or a peer that disconnects before completing it — releases
+// its slot (logged via HubConfig.Log) and the hub keeps waiting for a
+// replacement, so a rejected node never burns one of the n seats.
+// I/O timeouts (a connected but wedged node), listener errors, and
+// maxHandshakeRejections consecutive rejections abort the execution.
 func (h *Hub) accept() error {
 	h.conns = make([]*hubConn, h.cfg.N)
-	for id := 0; id < h.cfg.N; id++ {
+	rejected := 0
+	for id := 0; id < h.cfg.N; {
 		raw, err := h.ln.Accept()
 		if err != nil {
 			return fmt.Errorf("transport: accept node %d: %w", id, err)
@@ -154,11 +170,35 @@ func (h *Hub) accept() error {
 		hc := &hubConn{id: id, raw: raw, c: newConn(raw)}
 		if err := h.handshake(hc); err != nil {
 			raw.Close()
+			if handshakeRetryable(err) {
+				rejected++
+				h.logf("transport: hub rejected a connection for node slot %d (%d rejections so far): %v", id, rejected, err)
+				if rejected >= maxHandshakeRejections {
+					return fmt.Errorf("transport: handshake node %d: %d consecutive rejections, last: %w", id, rejected, err)
+				}
+				continue // slot released; await a replacement node
+			}
 			return fmt.Errorf("transport: handshake node %d: %w", id, err)
 		}
 		h.conns[id] = hc
+		id++
+		rejected = 0
 	}
 	return nil
+}
+
+func (h *Hub) logf(format string, args ...any) {
+	if h.cfg.Log != nil {
+		h.cfg.Log(format, args...)
+	}
+}
+
+// handshakeRetryable classifies handshake failures: protocol rejections
+// and early disconnects free the slot, anything else (notably deadline
+// expiry on a silent-but-connected node) aborts.
+func handshakeRetryable(err error) bool {
+	return errors.Is(err, ErrVersion) || errors.Is(err, ErrBadType) ||
+		errors.Is(err, ErrBadFrame) || errors.Is(err, ErrShutdown)
 }
 
 func (h *Hub) handshake(hc *hubConn) error {

@@ -23,8 +23,9 @@ import (
 	"anondyn/internal/wire"
 )
 
-// Protocol version, sent in the hello/config handshake.
-const protocolVersion = 1
+// Protocol version, sent in the hello/config handshake. v2 added the
+// shard frames (0x08–0x0D) for coordinator↔worker sweep dispatch.
+const protocolVersion = 2
 
 // Frame types.
 const (
@@ -34,7 +35,17 @@ const (
 	frameBroadcast  byte = 0x04 // node → hub: message
 	frameDeliver    byte = 0x05 // hub → node: round, count, (port, message)*
 	frameStatus     byte = 0x06 // node → hub: phase, value, decided(+output)
-	frameStop       byte = 0x07 // hub → node: end of execution
+	frameStop       byte = 0x07 // hub → node / coordinator → worker: end of session
+
+	// Shard protocol (coordinator ↔ sweep worker), layered on the same
+	// framing: one hello/ready handshake per connection, then task →
+	// record-stream → done exchanges until the coordinator stops.
+	frameShardHello  byte = 0x08 // coordinator → worker: version
+	frameShardReady  byte = 0x09 // worker → coordinator: version, capacity
+	frameShardTask   byte = 0x0a // coordinator → worker: shard, lo, hi, seeds, maxPending, spec
+	frameShardRecord byte = 0x0b // worker → coordinator: run, decided, rounds, bytes, outbits, violation
+	frameShardDone   byte = 0x0c // worker → coordinator: shard, count
+	frameShardErr    byte = 0x0d // worker → coordinator: shard, message
 )
 
 // Errors surfaced by the protocol layer.

@@ -186,6 +186,29 @@ func (g Grid) scenario(c Cell, seed int64) Scenario {
 // tables); all cells' runs are flattened into one batch so the pool
 // stays saturated across cell boundaries.
 func (g Grid) RunEach(opts BatchOptions, each func(c Cell, cell, run int, seed int64, res *Result) error) error {
+	return g.RunSlice(0, g.Runs(), opts, each)
+}
+
+// Runs returns the total number of runs the sweep comprises —
+// len(Cells()) × max(SeedsPerCell, 1) — the index space RunEach
+// flattens the matrix into (cells in Cells() order, seeds ascending
+// within a cell).
+func (g Grid) Runs() int {
+	per := g.SeedsPerCell
+	if per < 1 {
+		per = 1
+	}
+	return len(g.Cells()) * per
+}
+
+// RunSlice executes the contiguous global run-index range [lo, hi) of
+// the flattened sweep — the shard form of RunEach, used by distributed
+// workers to execute one slice of a matrix. Deliveries arrive in run
+// order from a single goroutine; run j of the slice is global run
+// lo+j, i.e. seed BaseSeed+lo+j of cell (lo+j)/SeedsPerCell. Every
+// cell of the grid is checked before any run starts, so a slice fails
+// on exactly the sweeps the full run would reject.
+func (g Grid) RunSlice(lo, hi int, opts BatchOptions, each func(c Cell, cell, run int, seed int64, res *Result) error) error {
 	cells := g.Cells()
 	if len(cells) == 0 {
 		return errors.New("anondyn: empty sweep grid (set Grid.Ns)")
@@ -202,14 +225,21 @@ func (g Grid) RunEach(opts BatchOptions, each func(c Cell, cell, run int, seed i
 	if per < 1 {
 		per = 1
 	}
-	seeds := Seeds(len(cells)*per, g.BaseSeed)
+	if lo < 0 || hi > len(cells)*per || lo > hi {
+		return fmt.Errorf("anondyn: sweep slice [%d,%d) out of range for %d runs", lo, hi, len(cells)*per)
+	}
+	seeds := make([]int64, hi-lo)
+	for j := range seeds {
+		seeds[j] = g.BaseSeed + int64(lo+j)
+	}
 	err := RunManyStream(seeds,
 		func(seed int64) Scenario {
 			i := int(seed-g.BaseSeed) / per
 			return g.scenario(cells[i], seed)
 		},
 		SinkFunc(func(index int, seed int64, res *Result) error {
-			return each(cells[index/per], index/per, index, seed, res)
+			run := lo + index
+			return each(cells[run/per], run/per, run, seed, res)
 		}),
 		opts)
 	if err != nil {
