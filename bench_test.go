@@ -188,13 +188,17 @@ func steadyEngine(tb testing.TB, n int, adv anondyn.Adversary) *sim.Engine {
 	return eng
 }
 
-// steadyAdversaries are the two adversaries the zero-allocation budget
-// is asserted on: the benign complete graph and the §VII probabilistic
-// adversary (the Monte-Carlo workhorse).
+// steadyAdversaries are the adversaries the zero-allocation budget is
+// asserted on: the benign complete graph, the §VII probabilistic
+// adversary (the Monte-Carlo workhorse) at two densities, and a sparse
+// rotating regular graph — the graph family whose delivery cost should
+// scale with in-degree, not n.
 func steadyAdversaries() map[string]func() anondyn.Adversary {
 	return map[string]func() anondyn.Adversary{
 		"complete": func() anondyn.Adversary { return anondyn.Complete() },
 		"er":       func() anondyn.Adversary { return anondyn.Probabilistic(0.5, 1) },
+		"er10":     func() anondyn.Adversary { return anondyn.Probabilistic(0.1, 1) },
+		"d4":       func() anondyn.Adversary { return anondyn.Rotating(4) },
 	}
 }
 
@@ -232,19 +236,44 @@ func BenchmarkEngineSteadyRound(b *testing.B) {
 	}
 }
 
+// engineRoundCases is the BenchmarkEngineRound grid: the historical
+// size axis on the complete graph plus a graph-density axis at n=51
+// (Erdős–Rényi at two densities, a d-regular rotating graph). The
+// density axis is what shows delivery cost scaling with in-degree
+// rather than n.
+func engineRoundCases() []struct {
+	name string
+	n    int
+	adv  func() anondyn.Adversary
+} {
+	complete := func() anondyn.Adversary { return anondyn.Complete() }
+	return []struct {
+		name string
+		n    int
+		adv  func() anondyn.Adversary
+	}{
+		{"n=7", 7, complete},
+		{"n=25", 25, complete},
+		{"n=51", 51, complete},
+		{"n=51/p=0.5", 51, func() anondyn.Adversary { return anondyn.Probabilistic(0.5, 1) }},
+		{"n=51/p=0.1", 51, func() anondyn.Adversary { return anondyn.Probabilistic(0.1, 1) }},
+		{"n=51/d=4", 51, func() anondyn.Adversary { return anondyn.Rotating(4) }},
+	}
+}
+
 // BenchmarkEngineRound measures simulator round throughput: one full DAC
-// run on the complete graph per size, amortized per round.
+// run per case, amortized per round.
 func BenchmarkEngineRound(b *testing.B) {
-	for _, n := range []int{7, 25, 51} {
-		b.Run(sizeName(n), func(b *testing.B) {
+	for _, c := range engineRoundCases() {
+		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			rounds := 0
 			for i := 0; i < b.N; i++ {
 				res, err := anondyn.Scenario{
-					N: n, F: 0, Eps: 1e-3,
+					N: c.n, F: 0, Eps: 1e-3,
 					Algorithm: anondyn.AlgoDAC,
-					Inputs:    anondyn.SpreadInputs(n),
-					Adversary: anondyn.Complete(),
+					Inputs:    anondyn.SpreadInputs(c.n),
+					Adversary: c.adv(),
 				}.Run()
 				if err != nil {
 					b.Fatal(err)

@@ -45,6 +45,7 @@ func run(args []string, out *os.File) error {
 		nsThreshold  = fs.Float64("ns-threshold", 4.0, "maximum tolerated ns/op regression (fraction; 4.0 = fail beyond 5× — cross-machine baselines need order-of-magnitude slack)")
 		allocsLimit  = fs.Float64("alloc-threshold", 0.02, "maximum tolerated allocs/op regression (fraction; allocation counts are machine-independent)")
 		filter       = fs.String("bench", "", "regexp limiting which benchmarks are gated (default: all common ones)")
+		require      = fs.String("require", "", "comma-separated regexps that must each match at least one gated benchmark (guards against silently dropped or renamed benchmarks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,12 +67,47 @@ func run(args []string, out *os.File) error {
 			return fmt.Errorf("-bench: %w", err)
 		}
 	}
-	regressions, err := gate(baseline, fresh, re, thresholds{ns: *nsThreshold, allocs: *allocsLimit}, out)
+	gated, err := commonNames(baseline, fresh, re)
+	if err != nil {
+		return err
+	}
+	if err := checkRequired(gated, *require); err != nil {
+		return err
+	}
+	regressions, err := gate(baseline, fresh, gated, thresholds{ns: *nsThreshold, allocs: *allocsLimit}, out)
 	if err != nil {
 		return err
 	}
 	if regressions > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond the threshold", regressions)
+	}
+	return nil
+}
+
+// checkRequired verifies the -require coverage patterns: a gate whose
+// key benchmarks vanished (renamed axis, dropped density case) must
+// fail loudly as a configuration error rather than pass vacuously on
+// whatever benchmarks remain.
+func checkRequired(names []string, require string) error {
+	for _, pat := range strings.Split(require, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return fmt.Errorf("-require %q: %w", pat, err)
+		}
+		found := false
+		for _, name := range names {
+			if re.MatchString(name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-require %q matches no gated benchmark (renamed or missing from baseline/new output?)", pat)
+		}
 	}
 	return nil
 }
@@ -96,10 +132,10 @@ func (t thresholds) forUnit(unit string) (float64, bool) {
 	return 0, false
 }
 
-// gate compares the common benchmarks and prints one verdict line per
-// gated metric, returning the number of regressions. A comparison with
-// no common benchmarks is a configuration error, not a regression.
-func gate(baseline, fresh samples, filter *regexp.Regexp, t thresholds, out *os.File) (int, error) {
+// commonNames lists the benchmarks present in both files (and passing
+// the filter), sorted. A comparison with no common benchmarks is a
+// configuration error, not a regression.
+func commonNames(baseline, fresh samples, filter *regexp.Regexp) ([]string, error) {
 	var names []string
 	for name := range baseline {
 		if _, ok := fresh[name]; ok && (filter == nil || filter.MatchString(name)) {
@@ -110,8 +146,14 @@ func gate(baseline, fresh samples, filter *regexp.Regexp, t thresholds, out *os.
 	if len(names) == 0 {
 		// A vacuous gate is a misconfigured gate: renamed benchmarks or
 		// a filter matching nothing, never a performance problem.
-		return 0, fmt.Errorf("no common benchmarks between baseline and new output (renamed benchmark or over-narrow -bench filter?)")
+		return nil, fmt.Errorf("no common benchmarks between baseline and new output (renamed benchmark or over-narrow -bench filter?)")
 	}
+	return names, nil
+}
+
+// gate compares the listed benchmarks and prints one verdict line per
+// gated metric, returning the number of regressions.
+func gate(baseline, fresh samples, names []string, t thresholds, out *os.File) (int, error) {
 	regressions := 0
 	for _, name := range names {
 		for _, unit := range []string{"ns/op", "allocs/op"} {

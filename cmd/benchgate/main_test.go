@@ -113,6 +113,48 @@ func TestGateBenchFilter(t *testing.T) {
 	}
 }
 
+// densityText carries the graph-density benchmark axis names (slashes,
+// dots, equals signs) the gate must both parse and enforce coverage of.
+const densityText = `
+BenchmarkEngineRound/n=51-4          	    1000	     98372 ns/op	     36672 B/op	     152 allocs/op
+BenchmarkEngineRound/n=51/p=0.1-4    	    1000	     29042 ns/op	     40176 B/op	     164 allocs/op
+BenchmarkEngineRound/n=51/d=4-4      	    1000	      9417 ns/op	     33272 B/op	     158 allocs/op
+PASS
+`
+
+func TestGateRequireSatisfied(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", densityText)
+	fresh := write(t, dir, "new.txt", densityText)
+	err := run([]string{"-baseline", base, "-new", fresh,
+		"-require", `EngineRound/n=51/p=0\.1, EngineRound/n=51/d=4`}, os.Stdout)
+	if err != nil {
+		t.Fatalf("satisfied -require rejected: %v", err)
+	}
+}
+
+func TestGateRequireMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", densityText)
+	// The density axis vanished from the fresh run: coverage error.
+	fresh := write(t, dir, "new.txt", strings.ReplaceAll(densityText, "/p=0.1", ""))
+	err := run([]string{"-baseline", base, "-new", fresh,
+		"-require", `EngineRound/n=51/p=0\.1`}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-require") {
+		t.Fatalf("missing required benchmark not surfaced: %v", err)
+	}
+}
+
+func TestGateRequireBadPattern(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", densityText)
+	fresh := write(t, dir, "new.txt", densityText)
+	err := run([]string{"-baseline", base, "-new", fresh, "-require", "("}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-require") {
+		t.Fatalf("invalid -require pattern not surfaced: %v", err)
+	}
+}
+
 func TestParseBenchLine(t *testing.T) {
 	name, metrics, ok := parseBenchLine("BenchmarkEngineRound/n=25-8   	   50000	     25880 ns/op	     512 B/op	      98 allocs/op")
 	if !ok || name != "BenchmarkEngineRound/n=25" {

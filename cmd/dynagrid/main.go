@@ -13,6 +13,13 @@
 //	dynabench -serve 127.0.0.1:7102 &
 //	dynagrid -spec examples/specs/e3-resilience-boundary.yaml \
 //	         -workers 127.0.0.1:7101,127.0.0.1:7102 -seeds 200 -report csv
+//	dynagrid -spec-dir examples/specs -workers 127.0.0.1:7101 -seeds 1
+//
+// -spec-dir is the batch mode mirroring dynabench -spec-dir: every
+// scenario file in the directory runs through the coordinator in name
+// order, against the same set of worker processes (dynabench -serve
+// workers stay up across sweeps, so one worker fleet serves the whole
+// directory).
 //
 // -report csv / -report json stream the rows to stdout in that format;
 // a path writes a file (.csv for CSV, anything else JSON with the same
@@ -26,6 +33,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"anondyn"
@@ -43,7 +51,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dynagrid", flag.ContinueOnError)
 	var (
-		specFile   = fs.String("spec", "", "YAML/JSON scenario file to shard (required)")
+		specFile   = fs.String("spec", "", "YAML/JSON scenario file to shard (this or -spec-dir is required)")
+		specDir    = fs.String("spec-dir", "", "run every scenario file (*.yaml, *.yml, *.json) in this directory over one worker fleet")
 		workers    = fs.String("workers", "", "comma-separated worker addresses (dynabench -serve endpoints; required)")
 		shardsN    = fs.Int("shards", 0, "target shard count (0 = 2 per worker)")
 		seedsN     = fs.Int("seeds", 0, "override the spec's seeds_per_cell (0 = use the file's)")
@@ -55,75 +64,124 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *specFile == "" {
-		return fmt.Errorf("-spec is required")
+	if *specFile == "" && *specDir == "" {
+		return fmt.Errorf("-spec or -spec-dir is required")
+	}
+	if *specFile != "" && *specDir != "" {
+		return fmt.Errorf("-spec and -spec-dir are mutually exclusive")
 	}
 	addrs := splitAddrs(*workers)
 	if len(addrs) == 0 {
 		return fmt.Errorf("-workers is required (comma-separated dynabench -serve addresses)")
 	}
-	data, err := os.ReadFile(*specFile)
-	if err != nil {
-		return err
-	}
-
-	logf := func(string, ...any) {}
-	if !*quiet {
-		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
-	}
-	res, err := shard.Run(data, shard.Options{
+	opts := shard.Options{
 		Workers:      addrs,
 		Shards:       *shardsN,
 		SeedsPerCell: *seedsN,
 		MaxPending:   *maxPending,
 		IOTimeout:    *timeout,
-		Log:          logf,
-	})
+		Log:          func(string, ...any) {},
+	}
+	if !*quiet {
+		opts.Log = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+
+	if *specDir != "" {
+		if *reportOut != "" {
+			return fmt.Errorf("-report wants a single -spec sweep")
+		}
+		return runSpecDir(*specDir, opts, *quiet)
+	}
+	return runSpecFile(*specFile, opts, *reportOut, *quiet)
+}
+
+// runSpecFile shards one scenario file across the workers and reports.
+func runSpecFile(path string, opts shard.Options, reportOut string, quiet bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := shard.Run(data, opts)
 	if err != nil {
 		return err
 	}
 
 	// Stdout report modes replace the human table so the output stays
 	// machine-readable.
-	switch *reportOut {
+	switch reportOut {
 	case "csv":
-		return spec.Table(title(res, *specFile), res.Rows).WriteCSV(os.Stdout)
+		return spec.Table(title(res, path), res.Rows).WriteCSV(os.Stdout)
 	case "json":
-		return writeJSON(os.Stdout, res, len(addrs))
+		return writeJSON(os.Stdout, res, len(opts.Workers))
 	}
 
-	if !*quiet && res.Sweep.Description != "" {
+	if !quiet && res.Sweep.Description != "" {
 		fmt.Printf("# %s\n", res.Sweep.Description)
 	}
-	if err := spec.Table(title(res, *specFile), res.Rows).Fprint(os.Stdout); err != nil {
+	if err := spec.Table(title(res, path), res.Rows).Fprint(os.Stdout); err != nil {
 		return err
 	}
-	if !*quiet {
-		fmt.Printf("(%d shards over %d workers, %d requeued)\n", len(res.Shards), len(addrs), res.Requeues)
-		for _, addr := range addrs {
+	if !quiet {
+		fmt.Printf("(%d shards over %d workers, %d requeued)\n", len(res.Shards), len(opts.Workers), res.Requeues)
+		for _, addr := range opts.Workers {
 			fmt.Printf("  %s: %d runs\n", addr, res.RunsByWorker[addr])
 		}
 	}
-	if *reportOut == "" {
+	if reportOut == "" {
 		return nil
 	}
-	write := func(w io.Writer) error { return writeJSON(w, res, len(addrs)) }
-	if filepath.Ext(*reportOut) == ".csv" {
-		write = spec.Table(title(res, *specFile), res.Rows).WriteCSV
+	write := func(w io.Writer) error { return writeJSON(w, res, len(opts.Workers)) }
+	if filepath.Ext(reportOut) == ".csv" {
+		write = spec.Table(title(res, path), res.Rows).WriteCSV
 	}
-	f, err := os.Create(*reportOut)
+	f, err := os.Create(reportOut)
 	if err != nil {
 		return err
 	}
 	if err := write(f); err != nil {
 		f.Close()
-		return fmt.Errorf("write %s: %w", *reportOut, err)
+		return fmt.Errorf("write %s: %w", reportOut, err)
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if !*quiet {
-		fmt.Printf("(report written to %s)\n", *reportOut)
+	if !quiet {
+		fmt.Printf("(report written to %s)\n", reportOut)
+	}
+	return nil
+}
+
+// runSpecDir shards every scenario file in the directory, in name
+// order, over the same worker fleet — the distributed mirror of
+// dynabench -spec-dir. The workers are dynabench -serve processes that
+// outlive individual sweeps, so the whole directory runs without
+// restarting anything.
+func runSpecDir(dir string, opts shard.Options, quiet bool) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".yaml", ".yml", ".json":
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("%s: no scenario files (*.yaml, *.yml, *.json)", dir)
+	}
+	sort.Strings(files)
+	for i, path := range files {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := runSpecFile(path, opts, "", quiet); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
 	}
 	return nil
 }

@@ -29,6 +29,18 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-spec", "no-such-file.yaml", "-workers", "h:1"}); err == nil {
 		t.Error("missing spec file accepted")
 	}
+	if err := run([]string{"-spec", specPath, "-spec-dir", ".", "-workers", "h:1"}); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-spec with -spec-dir: %v", err)
+	}
+	if err := run([]string{"-spec-dir", ".", "-workers", "h:1", "-report", "out.json"}); err == nil ||
+		!strings.Contains(err.Error(), "-report") {
+		t.Errorf("-spec-dir with -report: %v", err)
+	}
+	if err := run([]string{"-spec-dir", t.TempDir(), "-workers", "h:1"}); err == nil ||
+		!strings.Contains(err.Error(), "no scenario files") {
+		t.Errorf("empty -spec-dir: %v", err)
+	}
 }
 
 // startWorkers spins n in-process sweep workers and returns their
@@ -109,6 +121,43 @@ func TestRunEndToEndCSVReport(t *testing.T) {
 	}
 	if !strings.Contains(lines[0], "adversary") {
 		t.Errorf("CSV header missing: %q", lines[0])
+	}
+}
+
+// TestRunSpecDirBatch: the batch mode must run every spec in the
+// directory through the coordinator over ONE worker fleet (the workers
+// are never restarted between sweeps), producing per-spec rows
+// identical to single-spec runs.
+func TestRunSpecDirBatch(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a-first.yaml", "b-second.yaml"} {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A non-spec file must be ignored, not parsed.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a spec"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	workers := startWorkers(t, 2)
+	err := run([]string{
+		"-spec-dir", dir, "-workers", workers, "-seeds", "2",
+		"-timeout", (10 * time.Second).String(), "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same fleet then serves a follow-up single-spec run: worker
+	// processes survive the whole batch.
+	out := filepath.Join(t.TempDir(), "after.json")
+	if err := run([]string{
+		"-spec", specPath, "-workers", workers, "-seeds", "2", "-quiet", "-report", out,
+	}); err != nil {
+		t.Fatalf("fleet unusable after batch: %v", err)
 	}
 }
 

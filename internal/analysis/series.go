@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"anondyn/internal/sim"
 )
 
 // RangeSeries records, per round, the range (max − min) of the running
@@ -23,19 +25,22 @@ func (s *RangeSeries) OnPhaseEnter(node, from, to int, value float64, round int)
 // OnDecide implements sim.Observer (unused).
 func (s *RangeSeries) OnDecide(node int, value float64, round int) {}
 
-// OnRoundEnd implements sim.RoundObserver.
-func (s *RangeSeries) OnRoundEnd(round int, values map[int]float64) {
+// OnRoundEnd implements sim.RoundObserver. The dense view iterates the
+// running nodes in ascending order with no per-round map traffic.
+func (s *RangeSeries) OnRoundEnd(round int, values sim.RoundValues) {
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range values {
+	running := 0
+	values.Range(func(_ int, v float64) {
+		running++
 		if v < lo {
 			lo = v
 		}
 		if v > hi {
 			hi = v
 		}
-	}
+	})
 	r := 0.0
-	if len(values) >= 2 {
+	if running >= 2 {
 		r = hi - lo
 	}
 	// Rounds arrive in order; pad defensively if one was skipped.

@@ -4,12 +4,26 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"anondyn/internal/sim"
 )
+
+// roundValues adapts a node→value map to the dense view OnRoundEnd
+// takes, for synthetic observer feeds.
+func roundValues(n int, m map[int]float64) sim.RoundValues {
+	values := make([]float64, n)
+	running := make([]bool, n)
+	for node, v := range m {
+		values[node] = v
+		running[node] = true
+	}
+	return sim.MakeRoundValues(values, running)
+}
 
 func feed(s *RangeSeries, ranges ...float64) {
 	for round, r := range ranges {
 		// Two synthetic nodes spanning the range.
-		s.OnRoundEnd(round, map[int]float64{0: 0.5 - r/2, 1: 0.5 + r/2})
+		s.OnRoundEnd(round, roundValues(2, map[int]float64{0: 0.5 - r/2, 1: 0.5 + r/2}))
 	}
 }
 
@@ -40,7 +54,7 @@ func TestRangeSeriesBasics(t *testing.T) {
 
 func TestRangeSeriesSingleNodeRangeZero(t *testing.T) {
 	s := NewRangeSeries()
-	s.OnRoundEnd(0, map[int]float64{3: 0.7})
+	s.OnRoundEnd(0, roundValues(4, map[int]float64{3: 0.7}))
 	if got := s.At(0); got != 0 {
 		t.Errorf("single running node range = %g, want 0", got)
 	}
@@ -48,7 +62,7 @@ func TestRangeSeriesSingleNodeRangeZero(t *testing.T) {
 
 func TestRangeSeriesSkippedRoundPadded(t *testing.T) {
 	s := NewRangeSeries()
-	s.OnRoundEnd(2, map[int]float64{0: 0, 1: 1})
+	s.OnRoundEnd(2, roundValues(2, map[int]float64{0: 0, 1: 1}))
 	if s.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", s.Len())
 	}

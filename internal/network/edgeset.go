@@ -15,23 +15,36 @@ const wordBits = 64
 // [0, n). The model has no self-loops (self-delivery is reliable and
 // modeled inside the algorithms), so Add silently drops (u, u).
 //
-// The representation is a bitset row per source node; n is tiny compared
-// to round counts in every experiment, and the dynaDegree checker unions
-// thousands of these, so word-wise operations matter.
+// The representation is a pair of bit matrices — a row per source node
+// (out) and its transpose, a row per destination node (in) — kept in
+// sync by every mutator. n is tiny compared to round counts in every
+// experiment, and both the dynaDegree checker and the simulation
+// engines' delivery core walk neighbor sets thousands of times per run,
+// so word-wise iteration in BOTH directions matters: the delivery core
+// scans a receiver's in-row in O(n/64 + in-degree) instead of probing
+// all n possible senders.
 type EdgeSet struct {
 	n     int
 	words int
 	out   []uint64 // out[u*words + w]: bitmap of u's outgoing neighbors
+	in    []uint64 // in[v*words + w]: bitmap of v's incoming neighbors
 }
 
-// NewEdgeSet returns an empty edge set over n nodes.
+// NewEdgeSet returns an empty edge set over n nodes. Both matrices
+// share one backing array, so the transpose costs no extra allocation.
 func NewEdgeSet(n int) *EdgeSet {
 	if n < 1 {
 		panic(fmt.Sprintf("network: invalid node count %d", n))
 	}
 	w := (n + wordBits - 1) / wordBits
-	return &EdgeSet{n: n, words: w, out: make([]uint64, n*w)}
+	backing := make([]uint64, 2*n*w)
+	return &EdgeSet{n: n, words: w, out: backing[:n*w:n*w], in: backing[n*w:]}
 }
+
+// MaskWords returns the number of 64-bit words a node bitmap over n
+// nodes occupies — the length callers must size mask arguments
+// (OutMissing) to.
+func MaskWords(n int) int { return (n + wordBits - 1) / wordBits }
 
 // N returns the number of nodes.
 func (e *EdgeSet) N() int { return e.n }
@@ -45,6 +58,7 @@ func (e *EdgeSet) Add(u, v int) {
 		return
 	}
 	e.out[u*e.words+v/wordBits] |= 1 << (uint(v) % wordBits)
+	e.in[v*e.words+u/wordBits] |= 1 << (uint(u) % wordBits)
 }
 
 // Remove deletes the directed link u→v if present.
@@ -52,6 +66,7 @@ func (e *EdgeSet) Remove(u, v int) {
 	e.check(u)
 	e.check(v)
 	e.out[u*e.words+v/wordBits] &^= 1 << (uint(v) % wordBits)
+	e.in[v*e.words+u/wordBits] &^= 1 << (uint(u) % wordBits)
 }
 
 // Has reports whether the directed link u→v is present.
@@ -77,31 +92,38 @@ func (e *EdgeSet) OutNeighbors(u int) []int {
 	return res
 }
 
-// InNeighbors returns v's incoming neighbors in ascending order. The
-// scan is a strided column walk over row bitmaps with the (word, bit) of
-// v precomputed, mirroring InBitsInto — not a per-row Has call.
+// InNeighbors returns v's incoming neighbors in ascending order, by
+// scanning v's transposed in-row word-wise.
 func (e *EdgeSet) InNeighbors(v int) []int {
-	e.check(v)
-	word, bit := v/wordBits, uint64(1)<<(uint(v)%wordBits)
-	var res []int
-	for u, idx := 0, word; u < e.n; u, idx = u+1, idx+e.words {
-		if e.out[idx]&bit != 0 {
-			res = append(res, u)
-		}
-	}
-	return res
+	return e.InNeighborsInto(v, nil)
 }
 
-// InDegree returns the number of incoming links at v, via the same
-// strided column walk as InNeighbors.
+// InNeighborsInto appends v's incoming neighbors to buf in ascending
+// order and returns the extended slice. With a recycled buffer it
+// allocates nothing: the scan walks v's in-row one word at a time and
+// extracts set bits, so the cost is O(n/64 + in-degree) — this is the
+// delivery core's sender gather.
+func (e *EdgeSet) InNeighborsInto(v int, buf []int) []int {
+	e.check(v)
+	base := v * e.words
+	for w := 0; w < e.words; w++ {
+		bits := e.in[base+w]
+		for bits != 0 {
+			b := trailingZeros(bits)
+			buf = append(buf, w*wordBits+b)
+			bits &= bits - 1
+		}
+	}
+	return buf
+}
+
+// InDegree returns the number of incoming links at v, word-wise.
 func (e *EdgeSet) InDegree(v int) int {
 	e.check(v)
-	word, bit := v/wordBits, uint64(1)<<(uint(v)%wordBits)
 	d := 0
-	for idx, end := word, e.n*e.words; idx < end; idx += e.words {
-		if e.out[idx]&bit != 0 {
-			d++
-		}
+	base := v * e.words
+	for w := 0; w < e.words; w++ {
+		d += popCount(e.in[base+w])
 	}
 	return d
 }
@@ -117,6 +139,24 @@ func (e *EdgeSet) OutDegree(u int) int {
 	return d
 }
 
+// OutMissing counts the nodes in mask (a bitmap of MaskWords(n) words)
+// that u has NO link towards — the word-wise core of the engines'
+// suppressed-message accounting. The caller is responsible for masking
+// out u itself when u is in mask: (u, u) is never a link, so it always
+// counts as missing here.
+func (e *EdgeSet) OutMissing(u int, mask []uint64) int {
+	e.check(u)
+	if len(mask) != e.words {
+		panic(fmt.Sprintf("network: mask of %d words for %d-node set (want %d)", len(mask), e.n, e.words))
+	}
+	base := u * e.words
+	miss := 0
+	for w := 0; w < e.words; w++ {
+		miss += popCount(mask[w] &^ e.out[base+w])
+	}
+	return miss
+}
+
 // Len returns the total number of directed links.
 func (e *EdgeSet) Len() int {
 	total := 0
@@ -128,8 +168,8 @@ func (e *EdgeSet) Len() int {
 
 // Clone returns a deep copy.
 func (e *EdgeSet) Clone() *EdgeSet {
-	c := &EdgeSet{n: e.n, words: e.words, out: make([]uint64, len(e.out))}
-	copy(c.out, e.out)
+	c := NewEdgeSet(e.n)
+	c.CopyFrom(e)
 	return c
 }
 
@@ -138,6 +178,7 @@ func (e *EdgeSet) Clone() *EdgeSet {
 // allocating.
 func (e *EdgeSet) Reset() {
 	clear(e.out)
+	clear(e.in)
 }
 
 // CopyFrom overwrites e with other's links without allocating. Both
@@ -147,14 +188,21 @@ func (e *EdgeSet) CopyFrom(other *EdgeSet) {
 		panic(fmt.Sprintf("network: copy between mismatched sizes %d and %d", e.n, other.n))
 	}
 	copy(e.out, other.out)
+	copy(e.in, other.in)
 }
 
 // FillComplete overwrites e with the complete directed graph (every
 // link except self-loops), word-wise — the zero-allocation counterpart
-// of Complete(n).
+// of Complete(n). The complete graph is its own transpose, so both
+// matrices get the same pattern.
 func (e *EdgeSet) FillComplete() {
-	for i := range e.out {
-		e.out[i] = ^uint64(0)
+	e.fillCompleteMatrix(e.out)
+	e.fillCompleteMatrix(e.in)
+}
+
+func (e *EdgeSet) fillCompleteMatrix(m []uint64) {
+	for i := range m {
+		m[i] = ^uint64(0)
 	}
 	tail := ^uint64(0)
 	if r := e.n % wordBits; r != 0 {
@@ -162,8 +210,8 @@ func (e *EdgeSet) FillComplete() {
 	}
 	for u := 0; u < e.n; u++ {
 		row := u * e.words
-		e.out[row+e.words-1] &= tail
-		e.out[row+u/wordBits] &^= 1 << (uint(u) % wordBits)
+		m[row+e.words-1] &= tail
+		m[row+u/wordBits] &^= 1 << (uint(u) % wordBits)
 	}
 }
 
@@ -175,6 +223,9 @@ func (e *EdgeSet) UnionWith(other *EdgeSet) {
 	for i, w := range other.out {
 		e.out[i] |= w
 	}
+	for i, w := range other.in {
+		e.in[i] |= w
+	}
 }
 
 // IntersectWith keeps only the links present in both sets, in place.
@@ -184,6 +235,9 @@ func (e *EdgeSet) IntersectWith(other *EdgeSet) {
 	}
 	for i, w := range other.out {
 		e.out[i] &= w
+	}
+	for i, w := range other.in {
+		e.in[i] &= w
 	}
 }
 
@@ -212,17 +266,14 @@ func (e *EdgeSet) Edges() [][2]int {
 	return res
 }
 
-// InBitsInto accumulates, into acc (length words), the bitmap of v's
-// incoming neighbors. Used by the dynaDegree checker to union windows
-// without allocating.
+// InBitsInto accumulates, into acc (length MaskWords(n)), the bitmap of
+// v's incoming neighbors — a word-wise OR of v's transposed in-row.
+// Used by the dynaDegree checker to union windows without allocating.
 func (e *EdgeSet) InBitsInto(v int, acc []uint64) {
 	e.check(v)
-	word := v / wordBits
-	bit := uint64(1) << (uint(v) % wordBits)
-	for u := 0; u < e.n; u++ {
-		if e.out[u*e.words+word]&bit != 0 {
-			acc[u/wordBits] |= 1 << (uint(u) % wordBits)
-		}
+	base := v * e.words
+	for w := 0; w < e.words; w++ {
+		acc[w] |= e.in[base+w]
 	}
 }
 

@@ -1,0 +1,67 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPortOfBijectivity: PortOf must agree with Port and invert Node on
+// every numbering the package can build.
+func TestPortOfBijectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	numberings := map[string]Numbering{
+		"identity": IdentityNumbering(17),
+		"random":   RandomNumbering(17, rng),
+	}
+	fromPerm, err := NumberingFromPerm([]int{2, 0, 1, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numberings["fromPerm"] = fromPerm
+	for name, p := range numberings {
+		seen := make([]bool, p.N())
+		for node := 0; node < p.N(); node++ {
+			port := p.PortOf(node)
+			if port != p.Port(node) {
+				t.Fatalf("%s: PortOf(%d)=%d != Port=%d", name, node, port, p.Port(node))
+			}
+			if port < 0 || port >= p.N() {
+				t.Fatalf("%s: PortOf(%d)=%d out of range", name, node, port)
+			}
+			if seen[port] {
+				t.Fatalf("%s: port %d assigned twice", name, port)
+			}
+			seen[port] = true
+			if back := p.Node(port); back != node {
+				t.Fatalf("%s: Node(PortOf(%d)) = %d", name, node, back)
+			}
+		}
+	}
+}
+
+// TestIsIdentityDetection: the cached identity flag must hold exactly
+// for the identity bijection, however it was constructed.
+func TestIsIdentityDetection(t *testing.T) {
+	if !IdentityNumbering(9).IsIdentity() {
+		t.Error("IdentityNumbering not flagged identity")
+	}
+	idPerm, err := NumberingFromPerm([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idPerm.IsIdentity() {
+		t.Error("identity perm via NumberingFromPerm not flagged")
+	}
+	swapped, err := NumberingFromPerm([]int{1, 0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped.IsIdentity() {
+		t.Error("non-identity perm flagged identity")
+	}
+	// A random numbering that happens to be the identity must be
+	// detected too (n=1 always is).
+	if !RandomNumbering(1, rand.New(rand.NewSource(1))).IsIdentity() {
+		t.Error("n=1 random numbering is necessarily the identity")
+	}
+}

@@ -12,15 +12,16 @@ import (
 // can tell two senders apart and track repeated messages from one sender,
 // but nodes can never translate ports into global identities.
 type Numbering struct {
-	toPort []int // toPort[node] = port
-	toNode []int // toNode[port] = node
+	toPort   []int // toPort[node] = port
+	toNode   []int // toNode[port] = node
+	identity bool  // toPort is the identity permutation (cached at build)
 }
 
 // IdentityNumbering maps node j to port j. Handy in tests; the algorithms
 // must not behave differently under any other bijection (asserted by the
 // permutation-invariance tests).
 func IdentityNumbering(n int) Numbering {
-	p := Numbering{toPort: make([]int, n), toNode: make([]int, n)}
+	p := Numbering{toPort: make([]int, n), toNode: make([]int, n), identity: true}
 	for i := 0; i < n; i++ {
 		p.toPort[i] = i
 		p.toNode[i] = i
@@ -35,7 +36,17 @@ func RandomNumbering(n int, rng *rand.Rand) Numbering {
 	for node, port := range perm {
 		p.toNode[port] = node
 	}
+	p.identity = isIdentityPerm(perm)
 	return p
+}
+
+func isIdentityPerm(perm []int) bool {
+	for i, p := range perm {
+		if p != i {
+			return false
+		}
+	}
+	return true
 }
 
 // NumberingFromPerm builds a numbering from an explicit permutation,
@@ -56,7 +67,7 @@ func NumberingFromPerm(perm []int) (Numbering, error) {
 	}
 	toPort := make([]int, n)
 	copy(toPort, perm)
-	return Numbering{toPort: toPort, toNode: toNode}, nil
+	return Numbering{toPort: toPort, toNode: toNode, identity: isIdentityPerm(perm)}, nil
 }
 
 // N returns the size of the numbering.
@@ -64,6 +75,19 @@ func (p Numbering) N() int { return len(p.toPort) }
 
 // Port returns the port this node uses for the given sender.
 func (p Numbering) Port(node int) int { return p.toPort[node] }
+
+// PortOf is the delivery core's sender→port lookup: identical to Port,
+// named for the hot path where the engines map each gathered in-neighbor
+// to its receiver-local port in O(1) off the dense toPort slice, keeping
+// the whole gather at O(in-degree).
+func (p Numbering) PortOf(node int) int { return p.toPort[node] }
+
+// IsIdentity reports whether the numbering is the identity bijection
+// (node j ↔ port j), cached at construction. The engines use it to skip
+// the port-order sort: ascending-node in-neighbor iteration already IS
+// ascending-port order under the identity numbering, which is the
+// default for every simulation without explicit Ports.
+func (p Numbering) IsIdentity() bool { return p.identity }
 
 // Node returns the sender a port refers to. Only the simulation engine
 // may call this — the algorithms themselves never learn the mapping.

@@ -5,6 +5,7 @@ import (
 
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
+	"anondyn/internal/fault"
 	"anondyn/internal/network"
 	"anondyn/internal/trace"
 	"anondyn/internal/wire"
@@ -38,6 +39,8 @@ type ConcurrentEngine struct {
 	decideRound []int
 	inputs      []float64
 	faultFree   []int
+	crashRound  []int         // crash round, or neverCrashes — no map on the hot path
+	crashInfo   []fault.Crash // partial-delivery detail for crash-scheduled nodes
 
 	// round scratch reused across rounds
 	broadcasts []core.Message
@@ -48,11 +51,16 @@ type ConcurrentEngine struct {
 	replies    chan nodeReply
 	replyBufs  []nodeReply // per-node landing slot for the delivery barrier
 	hasReply   []bool
+	inbuf      []int    // in-neighbor gather buffer (delivery core)
+	recvMask   []uint64 // word-wise mask of round-t-eligible receivers
 	edges      *network.EdgeSet
 	inPlace    adversary.InPlace
 	needSize   bool
+	hasCap     bool
 
-	roundValues map[int]float64
+	// dense RoundObserver scratch, reused across rounds
+	rvValues  []float64
+	rvRunning []bool
 
 	cmds    []chan nodeCmd
 	wg      sync.WaitGroup
@@ -117,9 +125,16 @@ func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
 		delivBufs:   make([][]core.Delivery, n),
 		replyBufs:   make([]nodeReply, n),
 		hasReply:    make([]bool, n),
+		inbuf:       make([]int, 0, n),
+		recvMask:    make([]uint64, network.MaskWords(n)),
+		rvValues:    make([]float64, n),
+		rvRunning:   make([]bool, n),
+		crashRound:  make([]int, n),
+		crashInfo:   make([]fault.Crash, n),
 		replies:     make(chan nodeReply, n),
 		cmds:        make([]chan nodeCmd, n),
 	}
+	fillCrashState(e.crashRound, e.crashInfo, cfg.Crashes)
 	for i := range cfg.Byzantine {
 		e.isByz[i] = true
 	}
@@ -128,6 +143,7 @@ func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
 		e.edges = network.NewEdgeSet(n)
 	}
 	e.needSize = cfg.AccountBandwidth || cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
+	e.hasCap = cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
 	e.view = newExecView(&e.cfg, e.isByz)
 	e.faultFree = cfg.FaultFree()
 	for i, p := range cfg.Procs {
@@ -250,7 +266,7 @@ func (e *ConcurrentEngine) step() {
 			continue
 		}
 		s := e.snaps[i]
-		s.Crashed = !e.cfg.Crashes.Alive(t, i)
+		s.Crashed = t > e.crashRound[i]
 		e.view.snaps[i] = s
 	}
 	e.view.round = t
@@ -277,7 +293,7 @@ func (e *ConcurrentEngine) step() {
 	pending := 0
 	for i := 0; i < e.cfg.N; i++ {
 		e.hasBcast[i] = false
-		if e.cmds[i] == nil || !e.cfg.Crashes.Alive(t, i) {
+		if e.cmds[i] == nil || t > e.crashRound[i] {
 			continue
 		}
 		e.cmds[i] <- nodeCmd{kind: cmdBroadcast}
@@ -308,18 +324,17 @@ func (e *ConcurrentEngine) step() {
 	// (3) Build per-receiver delivery sequences (identical order to the
 	// sequential engine: ascending port), into buffers reused across
 	// rounds — the delivery barrier below guarantees the worker is done
-	// with its buffer before the next round refills it.
+	// with its buffer before the next round refills it. As in the
+	// sequential engine, the gather iterates only actual in-neighbors
+	// off the edge set's transposed bitmap, then restores port order.
 	for v := 0; v < e.cfg.N; v++ {
-		if e.cmds[v] == nil || !e.cfg.Crashes.FullyAlive(t, v) {
+		if e.cmds[v] == nil || t >= e.crashRound[v] {
 			continue
 		}
 		ds := e.delivBufs[v][:0]
 		numbering := e.ports[v]
-		for port := 0; port < e.cfg.N; port++ {
-			u := numbering.Node(port)
-			if u == v || !edges.Has(u, v) {
-				continue
-			}
+		e.inbuf = edges.InNeighborsInto(v, e.inbuf[:0])
+		for _, u := range e.inbuf {
 			var m core.Message
 			size := 0
 			if e.isByz[u] {
@@ -335,20 +350,25 @@ func (e *ConcurrentEngine) step() {
 				if !e.hasBcast[u] {
 					continue
 				}
-				if c, ok := e.cfg.Crashes[u]; ok && c.Round == t && !c.AllowsFinalDelivery(v) {
+				if e.crashRound[u] == t && !e.crashInfo[u].AllowsFinalDelivery(v) {
 					continue
 				}
 				m = e.broadcasts[u]
 				size = e.bcastSize[u]
 			}
-			if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
-				e.result.MessagesOversized++
-				continue
+			if e.hasCap {
+				if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
+					e.result.MessagesOversized++
+					continue
+				}
 			}
-			ds = append(ds, core.Delivery{Port: port, Msg: m})
+			ds = append(ds, core.Delivery{Port: numbering.PortOf(u), Msg: m})
 			if e.cfg.AccountBandwidth {
 				e.result.BytesDelivered += size
 			}
+		}
+		if !numbering.IsIdentity() {
+			sortDeliveriesByPort(ds)
 		}
 		if e.cfg.ShuffleDelivery {
 			shuffleDeliveries(ds, e.cfg.ShuffleSeed, t, v)
@@ -400,40 +420,21 @@ func (e *ConcurrentEngine) step() {
 	}
 
 	// Adversary-suppressed message accounting (alive sender, receiver
-	// able to receive in round t, no link) — same exclusions as the
-	// sequential engine, so both report identical counts.
-	if len(e.cfg.Byzantine) == 0 && len(e.cfg.Crashes) == 0 {
-		for u := 0; u < e.cfg.N; u++ {
-			e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
-		}
-	} else {
-		for u := 0; u < e.cfg.N; u++ {
-			if !e.isByz[u] && !e.cfg.Crashes.Alive(t, u) {
-				continue
-			}
-			for v := 0; v < e.cfg.N; v++ {
-				if v == u || e.isByz[v] || !e.cfg.Crashes.FullyAlive(t, v) {
-					continue
-				}
-				if !edges.Has(u, v) {
-					e.result.MessagesLost++
-				}
-			}
-		}
-	}
+	// able to receive in round t, no link) — the same word-wise mask
+	// fold as the sequential engine, so both report identical counts.
+	e.result.MessagesLost += countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
 
 	if ro, ok := e.cfg.Observer.(RoundObserver); ok {
-		if e.roundValues == nil {
-			e.roundValues = make(map[int]float64, e.cfg.N)
-		}
-		clear(e.roundValues)
 		for i := 0; i < e.cfg.N; i++ {
-			if e.cmds[i] == nil || !e.cfg.Crashes.Alive(t+1, i) {
-				continue
+			running := e.cmds[i] != nil && t+1 <= e.crashRound[i]
+			e.rvRunning[i] = running
+			if running {
+				e.rvValues[i] = e.snaps[i].Value
+			} else {
+				e.rvValues[i] = 0
 			}
-			e.roundValues[i] = e.snaps[i].Value
 		}
-		ro.OnRoundEnd(t, e.roundValues)
+		ro.OnRoundEnd(t, RoundValues{values: e.rvValues, running: e.rvRunning})
 	}
 
 	e.round++

@@ -45,9 +45,64 @@ type Observer interface {
 // are absent). Used for round-resolution convergence curves (the F1
 // figure series).
 type RoundObserver interface {
-	// OnRoundEnd receives the round index and a node→value map; the map
-	// is reused across calls and must not be retained.
-	OnRoundEnd(round int, values map[int]float64)
+	// OnRoundEnd receives the round index and a dense view of the
+	// running nodes' values; the view's backing storage is reused
+	// across calls and must not be retained.
+	OnRoundEnd(round int, values RoundValues)
+}
+
+// RoundValues is the dense view OnRoundEnd receives: per-node values
+// plus a running mask, backed by engine-owned slices that are
+// overwritten every round. It replaces the map the hook used to get —
+// observers iterate in deterministic ascending node order with no
+// hashing on the engine's hot path. Callers needing a snapshot must
+// copy what they read before returning.
+type RoundValues struct {
+	values  []float64
+	running []bool
+}
+
+// MakeRoundValues builds a standalone view over caller-owned slices —
+// for tests and adapters that feed observers outside an engine. values
+// and running must have equal length; running[i] marks node i as one of
+// the round's running nodes.
+func MakeRoundValues(values []float64, running []bool) RoundValues {
+	if len(values) != len(running) {
+		panic(fmt.Sprintf("sim: RoundValues over %d values but %d running flags", len(values), len(running)))
+	}
+	return RoundValues{values: values, running: running}
+}
+
+// N returns the network size the view spans.
+func (rv RoundValues) N() int { return len(rv.values) }
+
+// Len counts the running nodes in the view.
+func (rv RoundValues) Len() int {
+	count := 0
+	for _, r := range rv.running {
+		if r {
+			count++
+		}
+	}
+	return count
+}
+
+// Value returns node i's post-round value and whether the node is
+// running this round (false for crashed and Byzantine nodes).
+func (rv RoundValues) Value(i int) (float64, bool) {
+	if !rv.running[i] {
+		return 0, false
+	}
+	return rv.values[i], true
+}
+
+// Range calls fn for every running node in ascending node order.
+func (rv RoundValues) Range(fn func(node int, value float64)) {
+	for i, r := range rv.running {
+		if r {
+			fn(i, rv.values[i])
+		}
+	}
 }
 
 // Config describes one execution.

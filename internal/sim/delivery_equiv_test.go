@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"anondyn/internal/adversary"
+	"anondyn/internal/core"
+	"anondyn/internal/fault"
+	"anondyn/internal/network"
+	"anondyn/internal/trace"
+)
+
+// TestDeliveryEquivalenceProperty is the word-wise delivery core's
+// oracle test: across randomized sparse, dense and faulted scenarios,
+// the in-neighbor gather must produce byte-identical Results — trace,
+// MessagesLost/Delivered/Oversized, BytesDelivered, outputs — AND an
+// identical per-delivery event stream (delivery order is visible
+// through the recorder) compared to the retained reference port-loop
+// implementation (Engine.portLoopDelivery).
+func TestDeliveryEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Sizes straddle the 64-bit word boundary on purpose: the word-wise
+	// path must be exact in the multi-word regime too.
+	for trial := 0; trial < 60; trial++ {
+		n := []int{3, 7, 13, 33, 63, 64, 65, 70}[rng.Intn(8)]
+		seed := rng.Int63()
+		cfg := func() Config { return randomDeliveryConfig(t, n, seed) }
+
+		refCfg, refRec := cfg(), trace.NewRecorder()
+		refCfg.Recorder = refRec
+		refEng, err := NewEngine(refCfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		refEng.portLoopDelivery = true
+		ref := refEng.RunRounds(25)
+
+		wwCfg, wwRec := cfg(), trace.NewRecorder()
+		wwCfg.Recorder = wwRec
+		wwEng, err := NewEngine(wwCfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ww := wwEng.RunRounds(25)
+
+		if !reflect.DeepEqual(ref, ww) {
+			t.Fatalf("trial %d (n=%d, seed=%d): Results diverge\nref %+v\nww  %+v", trial, n, seed, ref, ww)
+		}
+		refEvents, wwEvents := refRec.Events(), wwRec.Events()
+		if !reflect.DeepEqual(refEvents, wwEvents) {
+			for i := range refEvents {
+				if i >= len(wwEvents) || !reflect.DeepEqual(refEvents[i], wwEvents[i]) {
+					t.Fatalf("trial %d (n=%d, seed=%d): event streams diverge at %d:\nref %v\nww  %v",
+						trial, n, seed, i, trace.Describe(refEvents[i]), describeAt(wwEvents, i))
+				}
+			}
+			t.Fatalf("trial %d: ww stream has %d extra events", trial, len(wwEvents)-len(refEvents))
+		}
+	}
+}
+
+func describeAt(events []trace.Event, i int) string {
+	if i >= len(events) {
+		return "<missing>"
+	}
+	return trace.Describe(events[i])
+}
+
+// randomDeliveryConfig draws one scenario from the property test's
+// distribution: sparse/dense adversaries, optional crashes (clean,
+// silent and partial), optional Byzantine senders, random port
+// numberings, delivery shuffling, bandwidth accounting and per-link
+// caps. Everything is a deterministic function of (n, seed) so both
+// engines see identical configurations.
+func randomDeliveryConfig(t *testing.T, n int, seed int64) Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	var adv adversary.Adversary
+	switch rng.Intn(4) {
+	case 0:
+		adv = adversary.NewComplete()
+	case 1:
+		p := []float64{0.05, 0.3, 0.9}[rng.Intn(3)]
+		a, err := adversary.NewProbabilistic(p, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv = a
+	case 2:
+		a, err := adversary.NewRotating(1 + rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv = a
+	default:
+		a, err := adversary.NewIsolate(rng.Intn(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv = a
+	}
+
+	crashes := fault.Schedule{}
+	byz := map[int]fault.Strategy{}
+	if n >= 7 {
+		perm := rng.Perm(n)
+		faulty := perm[:rng.Intn(3)]
+		for i, node := range faulty {
+			switch {
+			case rng.Intn(2) == 0:
+				strat := []fault.Strategy{
+					fault.Silent{},
+					fault.Extremist{Value: 1},
+					fault.Equivocator{Low: 0, High: 1},
+				}[rng.Intn(3)]
+				byz[node] = strat
+			case i%2 == 0:
+				crashes[node] = fault.CrashPartial(rng.Intn(6), perm[len(faulty):][:rng.Intn(3)]...)
+			default:
+				crashes[node] = fault.CrashAt(rng.Intn(6))
+			}
+		}
+	}
+
+	procs := make([]core.Process, n)
+	for i := 0; i < n; i++ {
+		if _, isByz := byz[i]; isByz {
+			continue
+		}
+		d, err := core.NewDACPhases(n, i, 1<<20, rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = d
+	}
+
+	cfg := Config{
+		N:                n,
+		F:                len(crashes) + len(byz),
+		Procs:            procs,
+		Byzantine:        byz,
+		Crashes:          crashes,
+		Adversary:        adv,
+		MaxRounds:        1 << 20,
+		AccountBandwidth: true,
+		KeepTrace:        true,
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Ports = network.RandomPorts(n, rng)
+	}
+	if rng.Intn(2) == 0 {
+		cfg.ShuffleDelivery = true
+		cfg.ShuffleSeed = rng.Int63()
+	}
+	if rng.Intn(3) == 0 {
+		cfg.MaxMessageBytes = 1 + rng.Intn(4) // small enough to clip some messages
+	}
+	return cfg
+}
+
+// TestEnginePortsRecycledAcrossReset: the engine-owned identity
+// numberings — and with them the dense PortOf cache the delivery core
+// leans on — must be reused verbatim by a same-size Reset, and must
+// still be a bijection afterwards.
+func TestEnginePortsRecycledAcrossReset(t *testing.T) {
+	mk := func() Config {
+		return Config{N: 9, Procs: dacProcs(t, 9, 10, spread(9)), Adversary: adversary.NewComplete()}
+	}
+	eng, err := NewEngine(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.ports
+	eng.Run()
+	if err := eng.Reset(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if &eng.ports[0] != &before[0] {
+		t.Error("same-n Reset rebuilt the engine-owned ports")
+	}
+	for v := 0; v < 9; v++ {
+		numbering := eng.ports[v]
+		if !numbering.IsIdentity() {
+			t.Fatalf("default numbering for %d lost its identity flag", v)
+		}
+		for u := 0; u < 9; u++ {
+			if numbering.PortOf(u) != u || numbering.Node(u) != u {
+				t.Fatalf("recycled PortOf broken at receiver %d, sender %d", v, u)
+			}
+		}
+	}
+	// A different n must rebuild rather than reuse stale numberings.
+	cfg := mk()
+	cfg.N = 5
+	cfg.Procs = dacProcs(t, 5, 10, spread(5))
+	if err := eng.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.ports[0].N(); got != 5 {
+		t.Fatalf("resized Reset kept %d-node numberings", got)
+	}
+}
+
+// TestDeliveryEquivalenceAcrossReset drives one recycled engine pair
+// through several scenarios, flipping nothing but the gather
+// implementation: Engine.Reset must preserve the equivalence (scratch
+// reuse may not leak state between runs).
+func TestDeliveryEquivalenceAcrossReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var refEng, wwEng *Engine
+	for trial := 0; trial < 12; trial++ {
+		n := []int{5, 9, 70}[rng.Intn(3)]
+		seed := rng.Int63()
+		refCfg, wwCfg := randomDeliveryConfig(t, n, seed), randomDeliveryConfig(t, n, seed)
+		var err error
+		if refEng == nil {
+			if refEng, err = NewEngine(refCfg); err != nil {
+				t.Fatal(err)
+			}
+			refEng.portLoopDelivery = true
+			if wwEng, err = NewEngine(wwCfg); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err = refEng.Reset(refCfg); err != nil {
+				t.Fatal(err)
+			}
+			if err = wwEng.Reset(wwCfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref, ww := refEng.RunRounds(20), wwEng.RunRounds(20)
+		if !reflect.DeepEqual(ref, ww) {
+			t.Fatalf("trial %d (n=%d, seed=%d): recycled Results diverge", trial, n, seed)
+		}
+	}
+}

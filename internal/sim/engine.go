@@ -38,6 +38,8 @@ type Engine struct {
 	decideRound []int
 	inputs      []float64
 	faultFree   []int
+	crashRound  []int         // crash round, or neverCrashes — no map on the hot path
+	crashInfo   []fault.Crash // partial-delivery detail for crash-scheduled nodes
 
 	// scratch reused across rounds
 	broadcasts []core.Message
@@ -45,12 +47,24 @@ type Engine struct {
 	bcastSize  []int // wire.Size per broadcast, computed once per round
 	byzMsgs    [][]*core.Message
 	deliveries []core.Delivery
+	inbuf      []int             // in-neighbor gather buffer (delivery core)
+	recvMask   []uint64          // word-wise mask of round-t-eligible receivers
 	edges      *network.EdgeSet  // engine-owned E(t) for InPlace adversaries
 	inPlace    adversary.InPlace // non-nil when the adversary has the fast path
 	roundObs   RoundObserver     // cfg.Observer's optional round hook, cached
 	needSize   bool              // any consumer of wire sizes configured
+	hasCap     bool              // any per-link byte budget configured
 
-	roundValues map[int]float64 // lazily built, reused across rounds
+	// dense RoundObserver scratch, reused across rounds
+	rvValues  []float64
+	rvRunning []bool
+
+	// portLoopDelivery switches delivery gathering to the retained
+	// reference implementation: the original O(n)-per-receiver port loop.
+	// The word-wise in-neighbor path must be bit-for-bit equivalent to
+	// it — TestDeliveryEquivalenceProperty flips this flag to prove it.
+	// Never set outside tests.
+	portLoopDelivery bool
 
 	result Result // counters accumulate here; finish() materializes maps
 }
@@ -115,7 +129,13 @@ func (e *Engine) Reset(cfg Config) error {
 		e.hasBcast = make([]bool, n)
 		e.bcastSize = make([]int, n)
 		e.byzMsgs = make([][]*core.Message, n)
+		e.crashRound = make([]int, n)
+		e.crashInfo = make([]fault.Crash, n)
 		e.deliveries = nil
+		e.inbuf = make([]int, 0, n) // max in-degree is n−1; no growth in the round loop
+		e.recvMask = make([]uint64, network.MaskWords(n))
+		e.rvValues = make([]float64, n)
+		e.rvRunning = make([]bool, n)
 		e.edges = nil
 		e.view = nil
 	}
@@ -123,6 +143,7 @@ func (e *Engine) Reset(cfg Config) error {
 		e.isByz[i] = true
 		e.byzStrats[i] = strat
 	}
+	fillCrashState(e.crashRound, e.crashInfo, cfg.Crashes)
 
 	if ip, ok := cfg.Adversary.(adversary.InPlace); ok {
 		e.inPlace = ip
@@ -134,6 +155,7 @@ func (e *Engine) Reset(cfg Config) error {
 	}
 	e.roundObs, _ = cfg.Observer.(RoundObserver)
 	e.needSize = cfg.AccountBandwidth || cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
+	e.hasCap = cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
 
 	if e.view == nil {
 		e.view = newExecView(&e.cfg, e.isByz)
@@ -242,7 +264,7 @@ func (e *Engine) Step() {
 			e.byzMsgs[i] = e.byzStrats[i].Messages(t, i, e.view)
 			continue
 		}
-		if !e.cfg.Crashes.Alive(t, i) {
+		if t > e.crashRound[i] {
 			continue
 		}
 		m := e.cfg.Procs[i].Broadcast()
@@ -263,35 +285,23 @@ func (e *Engine) Step() {
 	}
 
 	// (3) Deliveries, per receiver in node order, per sender in the
-	// receiver's port order — fully deterministic.
+	// receiver's port order — fully deterministic. The gather walks the
+	// edge set's in-neighbor bitmap, so its cost scales with the
+	// receiver's actual in-degree, not n.
 	for v := 0; v < e.cfg.N; v++ {
 		if e.isByz[v] {
 			continue
 		}
 		// A node receives in round t only if it survives the whole
 		// round: its crash round delivers nothing to it.
-		if !e.cfg.Crashes.FullyAlive(t, v) {
+		if t >= e.crashRound[v] {
 			continue
 		}
 		e.deliveries = e.deliveries[:0]
-		numbering := e.ports[v]
-		for port := 0; port < e.cfg.N; port++ {
-			u := numbering.Node(port)
-			if u == v || !edges.Has(u, v) {
-				continue
-			}
-			m, size, ok := e.outgoing(t, u, v)
-			if !ok {
-				continue // sender silent towards v (crashed, partial, or Byzantine nil)
-			}
-			if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
-				e.result.MessagesOversized++
-				continue // the link cannot carry a message this large
-			}
-			e.deliveries = append(e.deliveries, core.Delivery{Port: port, Msg: m})
-			if e.cfg.AccountBandwidth {
-				e.result.BytesDelivered += size
-			}
+		if e.portLoopDelivery {
+			e.gatherPortLoop(t, v, edges)
+		} else {
+			e.gatherInNeighbors(t, v, edges)
 		}
 		if e.cfg.ShuffleDelivery {
 			shuffleDeliveries(e.deliveries, e.cfg.ShuffleSeed, t, v)
@@ -318,78 +328,119 @@ func (e *Engine) Step() {
 	// Count adversary-suppressed messages: alive sender, receiver able
 	// to receive in round t, no link. Receivers that cannot receive —
 	// Byzantine nodes, or nodes not fully alive through the round — are
-	// excluded: a missing link toward them suppresses nothing. The
-	// fault-free common case keeps the word-wise OutDegree formula.
-	if len(e.cfg.Byzantine) == 0 && len(e.cfg.Crashes) == 0 {
-		for u := 0; u < e.cfg.N; u++ {
-			e.result.MessagesLost += e.cfg.N - 1 - edges.OutDegree(u)
-		}
-	} else {
-		for u := 0; u < e.cfg.N; u++ {
-			if !e.aliveSender(t, u) {
-				continue
-			}
-			for v := 0; v < e.cfg.N; v++ {
-				if v == u || e.isByz[v] || !e.cfg.Crashes.FullyAlive(t, v) {
-					continue
-				}
-				if !edges.Has(u, v) {
-					e.result.MessagesLost++
-				}
-			}
-		}
-	}
+	// excluded: a missing link toward them suppresses nothing. One
+	// word-wise mask of the eligible receivers replaces the former
+	// O(n²) faulted fallback; the fault-free case degenerates to the
+	// same n−1−OutDegree(u) totals it always had.
+	e.result.MessagesLost += countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
 
 	e.notifyRoundEnd(t)
 	e.round++
 }
 
-// notifyRoundEnd feeds the optional RoundObserver extension.
+// gatherInNeighbors is the delivery core: it iterates only v's actual
+// in-neighbors off the edge set's transposed bitmap (O(in-degree)),
+// maps each sender to v's local port in O(1), and restores the
+// documented ascending-port delivery order — bit-for-bit the order the
+// reference port loop produces, because ports are a bijection. Under
+// the default identity numbering ascending node order already IS
+// ascending port order and the sort is skipped entirely.
+func (e *Engine) gatherInNeighbors(t, v int, edges *network.EdgeSet) {
+	numbering := e.ports[v]
+	e.inbuf = edges.InNeighborsInto(v, e.inbuf[:0])
+	for _, u := range e.inbuf {
+		m, size, ok := e.outgoing(t, u, v)
+		if !ok {
+			continue // sender silent towards v (crashed, partial, or Byzantine nil)
+		}
+		if e.hasCap {
+			if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
+				e.result.MessagesOversized++
+				continue // the link cannot carry a message this large
+			}
+		}
+		e.deliveries = append(e.deliveries, core.Delivery{Port: numbering.PortOf(u), Msg: *m})
+		if e.cfg.AccountBandwidth {
+			e.result.BytesDelivered += size
+		}
+	}
+	if !numbering.IsIdentity() {
+		sortDeliveriesByPort(e.deliveries)
+	}
+}
+
+// gatherPortLoop is the retained reference implementation: walk all n
+// ports in ascending order and probe the edge set per sender. Kept
+// solely as the equivalence oracle for the word-wise path (see
+// portLoopDelivery); it is not reachable in production configurations.
+func (e *Engine) gatherPortLoop(t, v int, edges *network.EdgeSet) {
+	numbering := e.ports[v]
+	for port := 0; port < e.cfg.N; port++ {
+		u := numbering.Node(port)
+		if u == v || !edges.Has(u, v) {
+			continue
+		}
+		m, size, ok := e.outgoing(t, u, v)
+		if !ok {
+			continue
+		}
+		if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
+			e.result.MessagesOversized++
+			continue
+		}
+		e.deliveries = append(e.deliveries, core.Delivery{Port: port, Msg: *m})
+		if e.cfg.AccountBandwidth {
+			e.result.BytesDelivered += size
+		}
+	}
+}
+
+// notifyRoundEnd feeds the optional RoundObserver extension through a
+// dense, engine-owned RoundValues view: no map rebuild, no hashing, no
+// allocation — the observer path is as allocation-stable as the rest of
+// the round loop.
 func (e *Engine) notifyRoundEnd(t int) {
 	if e.roundObs == nil {
 		return
 	}
-	if e.roundValues == nil {
-		e.roundValues = make(map[int]float64, e.cfg.N)
-	}
-	clear(e.roundValues)
 	for i, p := range e.cfg.Procs {
-		if p == nil || !e.cfg.Crashes.Alive(t+1, i) {
-			continue
+		running := p != nil && t+1 <= e.crashRound[i]
+		e.rvRunning[i] = running
+		if running {
+			e.rvValues[i] = p.Value()
+		} else {
+			e.rvValues[i] = 0
 		}
-		e.roundValues[i] = p.Value()
 	}
-	e.roundObs.OnRoundEnd(t, e.roundValues)
+	e.roundObs.OnRoundEnd(t, RoundValues{values: e.rvValues, running: e.rvRunning})
 }
 
 // outgoing resolves the message sender u directs at receiver v in round
 // t, honoring Byzantine per-receiver choice and crash partial delivery.
-// size is the wire-format length, valid only when the configuration
-// needs sizes (bandwidth accounting or link caps); broadcast sizes come
-// from the once-per-round pass, Byzantine per-receiver messages are
-// sized here (each is delivered at most once per round).
-func (e *Engine) outgoing(t, u, v int) (m core.Message, size int, ok bool) {
+// The message comes back as a pointer into the engine's round scratch
+// (one copy into the Delivery, not two); size is the wire-format
+// length, valid only when the configuration needs sizes (bandwidth
+// accounting or link caps) — broadcast sizes come from the
+// once-per-round pass, Byzantine per-receiver messages are sized here
+// (each is delivered at most once per round).
+func (e *Engine) outgoing(t, u, v int) (m *core.Message, size int, ok bool) {
 	if e.isByz[u] {
 		mp := e.byzMsgs[u][v]
 		if mp == nil {
-			return core.Message{}, 0, false
+			return nil, 0, false
 		}
 		if e.needSize {
 			size = wire.Size(*mp)
 		}
-		return *mp, size, true
+		return mp, size, true
 	}
 	if !e.hasBcast[u] {
-		return core.Message{}, 0, false
+		return nil, 0, false
 	}
-	if c, crashed := e.cfg.Crashes[u]; crashed && c.Round == t && !c.AllowsFinalDelivery(v) {
-		return core.Message{}, 0, false
+	if e.crashRound[u] == t && !e.crashInfo[u].AllowsFinalDelivery(v) {
+		return nil, 0, false
 	}
-	return e.broadcasts[u], e.bcastSize[u], true
-}
-
-func (e *Engine) aliveSender(t, u int) bool {
-	return e.isByz[u] || e.cfg.Crashes.Alive(t, u)
+	return &e.broadcasts[u], e.bcastSize[u], true
 }
 
 func (e *Engine) notePhase(node, from, to int, value float64, round int) {

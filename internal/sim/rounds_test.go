@@ -46,11 +46,9 @@ type roundSpy struct {
 	perRound []map[int]float64
 }
 
-func (r *roundSpy) OnRoundEnd(round int, values map[int]float64) {
-	cp := make(map[int]float64, len(values))
-	for k, v := range values {
-		cp[k] = v
-	}
+func (r *roundSpy) OnRoundEnd(round int, values RoundValues) {
+	cp := make(map[int]float64, values.Len())
+	values.Range(func(node int, v float64) { cp[node] = v })
 	r.perRound = append(r.perRound, cp)
 }
 

@@ -4,13 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
 	"anondyn/internal/network"
+	"anondyn/internal/wire"
 )
 
 // The hub realizes the broadcast primitive of §II-A for honest senders:
@@ -62,8 +63,24 @@ type Hub struct {
 	ln    net.Listener
 	conns []*hubConn
 
+	// round scratch, reused across rounds: collected broadcasts, each
+	// sender's wire encoding (produced ONCE per round and written to
+	// every link it traverses), the per-receiver delivery entries and
+	// the in-neighbor gather buffer.
+	broadcasts []core.Message
+	encoded    [][]byte
+	entries    []delivEntry
+	inbuf      []int
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// delivEntry is one (port, sender) delivery slot while a receiver's
+// round frame is assembled.
+type delivEntry struct {
+	port   int
+	sender int
 }
 
 type hubConn struct {
@@ -95,7 +112,11 @@ func NewHub(addr string, cfg HubConfig) (*Hub, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &Hub{cfg: cfg, ln: ln}, nil
+	return &Hub{
+		cfg: cfg, ln: ln,
+		broadcasts: make([]core.Message, cfg.N),
+		encoded:    make([][]byte, cfg.N),
+	}, nil
 }
 
 // Addr returns the hub's listen address (useful with ":0").
@@ -227,9 +248,7 @@ func (h *Hub) handshake(hc *hubConn) error {
 // runRound executes one synchronous round: collect broadcasts, route
 // per the edge set, collect statuses.
 func (h *Hub) runRound(round int, edges *network.EdgeSet, res *HubResult) error {
-	n := h.cfg.N
 	// (1) Round start + broadcast collection.
-	broadcasts := make([]core.Message, n)
 	for _, hc := range h.conns {
 		h.deadline(hc)
 		if err := hc.c.writeFrame(frameRoundStart, uint64(round)); err != nil {
@@ -252,35 +271,40 @@ func (h *Hub) runRound(round int, edges *network.EdgeSet, res *HubResult) error 
 		if err != nil {
 			return fmt.Errorf("node %d: %w", hc.id, err)
 		}
-		broadcasts[hc.id] = m
+		h.broadcasts[hc.id] = m
+	}
+
+	// Encode each sender's broadcast exactly once per round, into a
+	// buffer reused across rounds: a sender with k out-links used to
+	// pay k encodes, now its bytes are written to every link verbatim.
+	for _, hc := range h.conns {
+		h.encoded[hc.id] = wire.Encode(h.encoded[hc.id][:0], h.broadcasts[hc.id])
 	}
 
 	// (2) Deliveries, tagged with each receiver's local ports, in
-	// ascending port order (the sim engines' semantics).
+	// ascending port order (the sim engines' semantics). As in the
+	// engines, only the receiver's actual in-neighbors are walked and
+	// the gather is re-sorted into port order when the numbering is not
+	// the identity.
 	for _, hc := range h.conns {
 		numbering := h.cfg.Ports[hc.id]
-		type entry struct {
-			port int
-			msg  core.Message
+		h.entries = h.entries[:0]
+		h.inbuf = edges.InNeighborsInto(hc.id, h.inbuf[:0])
+		for _, u := range h.inbuf {
+			h.entries = append(h.entries, delivEntry{port: numbering.PortOf(u), sender: u})
 		}
-		var entries []entry
-		for port := 0; port < n; port++ {
-			u := numbering.Node(port)
-			if u == hc.id || !edges.Has(u, hc.id) {
-				continue
-			}
-			entries = append(entries, entry{port: port, msg: broadcasts[u]})
+		if !numbering.IsIdentity() {
+			slices.SortFunc(h.entries, func(a, b delivEntry) int { return a.port - b.port })
 		}
-		sort.Slice(entries, func(a, b int) bool { return entries[a].port < entries[b].port })
 		h.deadline(hc)
-		if err := hc.c.writeFrame(frameDeliver, uint64(round), uint64(len(entries))); err != nil {
+		if err := hc.c.writeFrame(frameDeliver, uint64(round), uint64(len(h.entries))); err != nil {
 			return fmt.Errorf("node %d: %w", hc.id, err)
 		}
-		for _, e := range entries {
+		for _, e := range h.entries {
 			if err := hc.c.writeUvarint(uint64(e.port)); err != nil {
 				return fmt.Errorf("node %d: %w", hc.id, err)
 			}
-			if err := hc.c.writeMessage(e.msg); err != nil {
+			if err := hc.c.writeBytes(h.encoded[e.sender]); err != nil {
 				return fmt.Errorf("node %d: %w", hc.id, err)
 			}
 		}

@@ -365,7 +365,7 @@ func (m multiObserver) OnDecide(node int, value float64, round int) {
 	}
 }
 
-func (m multiObserver) OnRoundEnd(round int, values map[int]float64) {
+func (m multiObserver) OnRoundEnd(round int, values sim.RoundValues) {
 	for _, o := range m {
 		if ro, ok := o.(sim.RoundObserver); ok {
 			ro.OnRoundEnd(round, values)
