@@ -114,6 +114,21 @@ func Probabilistic(p float64, seed int64) Adversary {
 	return a
 }
 
+// SparseProbabilistic returns the sparse-native variant of Probabilistic:
+// the same per-round Erdős–Rényi distribution rendered with
+// geometric-skip sampling in O(pn²) RNG draws instead of n(n−1) — the
+// adversary behind the `er2:<p>` registry name. Its RNG stream is a
+// versioned contract distinct from the legacy `er` stream: identical
+// (p, seed) pairs reproduce identical er2 traces forever, but not the
+// traces `er` draws from that seed.
+func SparseProbabilistic(p float64, seed int64) Adversary {
+	a, err := adversary.NewSparseProbabilistic(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
 // Static wraps a fixed graph as an adversary.
 func Static(name string, g *EdgeSet) Adversary { return adversary.NewStatic(name, g) }
 
@@ -133,7 +148,7 @@ func Periodic(name string, sets ...*EdgeSet) Adversary {
 //	complete | halves | chasemin | fig1
 //	isolate:<victim>
 //	rotating:<d> | clustered:<T> | starve:<d>
-//	er:<p>[,<seed>]
+//	er:<p>[,<seed>] | er2:<p>[,<seed>]
 //	random:<B>,<D>[,<extra>[,<seed>]]
 //	starveperiod:<T>
 //
@@ -142,6 +157,14 @@ func Periodic(name string, sets ...*EdgeSet) Adversary {
 // threshold), resolved per cell so one axis entry tracks the threshold
 // across network sizes. Randomized adversaries draw from the run seed
 // unless the spec pins an explicit seed.
+//
+// er and er2 draw the same per-round Erdős–Rényi distribution but are
+// distinct, individually stable RNG stream contracts: er is the legacy
+// dense one-uniform-per-pair draw (kept byte-compatible so committed
+// specs and pinned seeds keep reproducing their exact graphs), er2 is
+// the geometric-skip sparse sampler whose cost scales with p·n² — use
+// it for large sparse networks. A spec that switches between them
+// changes its graphs, never its graph distribution.
 
 // factoryParser builds a factory from the argument part of a
 // "name:arg" spec.
@@ -277,6 +300,26 @@ func registerBuiltinFactories() {
 				seed = fixed
 			}
 			return Probabilistic(p, seed)
+		}}, nil
+	})
+	RegisterAdversaryFactory("er2", func(arg string) (AdversaryFactory, error) {
+		parts := strings.Split(arg, ",")
+		if len(parts) < 1 || len(parts) > 2 {
+			return AdversaryFactory{}, fmt.Errorf("er2 wants er2:<p>[,<seed>]")
+		}
+		p, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return AdversaryFactory{}, fmt.Errorf("er2 needs a probability: %v", err)
+		}
+		fixed, hasFixed, err := optionalSeed(parts, 1)
+		if err != nil {
+			return AdversaryFactory{}, err
+		}
+		return AdversaryFactory{New: func(_ Cell, seed int64) Adversary {
+			if hasFixed {
+				seed = fixed
+			}
+			return SparseProbabilistic(p, seed)
 		}}, nil
 	})
 	RegisterAdversaryFactory("random", func(arg string) (AdversaryFactory, error) {

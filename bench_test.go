@@ -216,6 +216,17 @@ func TestSteadyRoundAllocBudget(t *testing.T) {
 			}
 		})
 	}
+	// The budget holds at sparse scale too: the n=1025 geometric-skip
+	// rounds must not regrow the delivery scratch when a late round sees
+	// a record in-degree (the scratch is sized to the n−1 maximum up
+	// front), and the skipped view refresh must not be replaced by
+	// anything that allocates.
+	t.Run("er2/n=1025", func(t *testing.T) {
+		eng := steadyEngine(t, 1025, anondyn.SparseProbabilistic(8.0/1025, 1))
+		if avg := testing.AllocsPerRun(50, eng.Step); avg != 0 {
+			t.Errorf("steady-state sparse round allocated %g times per round, want 0", avg)
+		}
+	})
 }
 
 // BenchmarkEngineSteadyRound measures one steady-state round in
@@ -237,10 +248,14 @@ func BenchmarkEngineSteadyRound(b *testing.B) {
 }
 
 // engineRoundCases is the BenchmarkEngineRound grid: the historical
-// size axis on the complete graph plus a graph-density axis at n=51
-// (Erdős–Rényi at two densities, a d-regular rotating graph). The
-// density axis is what shows delivery cost scaling with in-degree
-// rather than n.
+// size axis on the complete graph plus a graph-density axis — at n=51
+// (Erdős–Rényi at two densities, a d-regular rotating graph), and at
+// n=1025 and n=4097 with ~8 expected in-links per node (er2, the
+// geometric-skip sparse sampler) and a rotating d=4 graph. The density
+// axis is what shows round cost scaling with edges rather than n²: the
+// n=1025 p=8/n row has ~20× the edges of the n=51 sparse rows and must
+// land within ~10× their ns/round, where an n²-proportional round loop
+// would predict ~400×.
 func engineRoundCases() []struct {
 	name string
 	n    int
@@ -258,6 +273,10 @@ func engineRoundCases() []struct {
 		{"n=51/p=0.5", 51, func() anondyn.Adversary { return anondyn.Probabilistic(0.5, 1) }},
 		{"n=51/p=0.1", 51, func() anondyn.Adversary { return anondyn.Probabilistic(0.1, 1) }},
 		{"n=51/d=4", 51, func() anondyn.Adversary { return anondyn.Rotating(4) }},
+		{"n=1025/p=8n", 1025, func() anondyn.Adversary { return anondyn.SparseProbabilistic(8.0/1025, 1) }},
+		{"n=1025/d=4", 1025, func() anondyn.Adversary { return anondyn.Rotating(4) }},
+		{"n=4097/p=8n", 4097, func() anondyn.Adversary { return anondyn.SparseProbabilistic(8.0/4097, 1) }},
+		{"n=4097/d=4", 4097, func() anondyn.Adversary { return anondyn.Rotating(4) }},
 	}
 }
 

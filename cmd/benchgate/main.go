@@ -17,12 +17,24 @@
 //
 //	go test -run '^$' -bench EngineRound -benchmem -count=5 . > new.txt
 //	benchgate -baseline bench/baseline.txt -new new.txt
+//
+// With -append (and a mandatory -label), a run that passes the gate is
+// also recorded: the gated benchmarks' ns/op and allocs/op medians are
+// appended as one labeled entry to a committed JSON history file
+// (bench/BENCH_engine.json), giving the repo a per-PR performance
+// ledger that survives baseline refreshes:
+//
+//	benchgate -baseline bench/baseline.txt -new new.txt \
+//	    -append bench/BENCH_engine.json -label pr7
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"regexp"
 	"sort"
@@ -46,6 +58,8 @@ func run(args []string, out *os.File) error {
 		allocsLimit  = fs.Float64("alloc-threshold", 0.02, "maximum tolerated allocs/op regression (fraction; allocation counts are machine-independent)")
 		filter       = fs.String("bench", "", "regexp limiting which benchmarks are gated (default: all common ones)")
 		require      = fs.String("require", "", "comma-separated regexps that must each match at least one gated benchmark (guards against silently dropped or renamed benchmarks)")
+		appendPath   = fs.String("append", "", "JSON history file to append the gated medians of a passing run to (requires -label)")
+		label        = fs.String("label", "", "entry label for -append, e.g. a PR number or commit; duplicate labels are rejected")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +95,70 @@ func run(args []string, out *os.File) error {
 	if regressions > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond the threshold", regressions)
 	}
+	if *appendPath != "" {
+		if *label == "" {
+			return fmt.Errorf("-append requires -label")
+		}
+		if err := appendHistory(*appendPath, *label, fresh, gated); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded %d benchmark(s) as %q in %s\n", len(gated), *label, *appendPath)
+	}
 	return nil
+}
+
+// historyEntry is one -append record: the gated benchmarks' medians for
+// one labeled run. The committed history is an append-only JSON array —
+// each PR that refreshes the baseline adds one entry, so the trajectory
+// stays reconstructible even though baseline.txt itself is overwritten.
+type historyEntry struct {
+	Label      string                   `json:"label"`
+	Benchmarks map[string]historyMetric `json:"benchmarks"`
+}
+
+type historyMetric struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// appendHistory loads the history file (absent means empty), rejects a
+// duplicate label (re-running CI on the same PR must not double-record),
+// and writes the extended array back.
+func appendHistory(path, label string, fresh samples, names []string) error {
+	var history []historyEntry
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// first entry: start a fresh history
+	case err != nil:
+		return err
+	default:
+		if err := json.Unmarshal(data, &history); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	for _, e := range history {
+		if e.Label == label {
+			return fmt.Errorf("%s: label %q already recorded", path, label)
+		}
+	}
+	entry := historyEntry{Label: label, Benchmarks: map[string]historyMetric{}}
+	for _, name := range names {
+		var m historyMetric
+		if xs := fresh[name]["ns/op"]; len(xs) > 0 {
+			m.NsOp = median(xs)
+		}
+		if xs := fresh[name]["allocs/op"]; len(xs) > 0 {
+			m.AllocsOp = median(xs)
+		}
+		entry.Benchmarks[name] = m
+	}
+	history = append(history, entry)
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // checkRequired verifies the -require coverage patterns: a gate whose

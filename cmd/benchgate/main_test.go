@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -152,6 +153,80 @@ func TestGateRequireBadPattern(t *testing.T) {
 	err := run([]string{"-baseline", base, "-new", fresh, "-require", "("}, os.Stdout)
 	if err == nil || !strings.Contains(err.Error(), "-require") {
 		t.Fatalf("invalid -require pattern not surfaced: %v", err)
+	}
+}
+
+// TestAppendHistoryRoundTrip: two passing runs with distinct labels
+// must accumulate into one ordered JSON history; the recorded values
+// are the per-benchmark medians of the fresh run.
+func TestAppendHistoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	fresh := write(t, dir, "new.txt", baselineText)
+	hist := filepath.Join(dir, "BENCH_engine.json")
+
+	if err := run([]string{"-baseline", base, "-new", fresh,
+		"-append", hist, "-label", "pr6"}, os.Stdout); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-new", fresh,
+		"-append", hist, "-label", "pr7"}, os.Stdout); err != nil {
+		t.Fatalf("second append: %v", err)
+	}
+
+	data, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []historyEntry
+	if err := json.Unmarshal(data, &history); err != nil {
+		t.Fatalf("history not valid JSON: %v\n%s", err, data)
+	}
+	if len(history) != 2 || history[0].Label != "pr6" || history[1].Label != "pr7" {
+		t.Fatalf("history = %+v", history)
+	}
+	m, ok := history[0].Benchmarks["BenchmarkEngineRound/n=25"]
+	if !ok {
+		t.Fatalf("entry lacks the gated benchmark: %+v", history[0].Benchmarks)
+	}
+	if m.NsOp != 25880 || m.AllocsOp != 98 {
+		t.Errorf("recorded medians = %+v, want ns_op 25880 allocs_op 98", m)
+	}
+}
+
+// TestAppendRejectsDuplicateLabel: re-running CI for the same PR must
+// not double-record the entry.
+func TestAppendRejectsDuplicateLabel(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	fresh := write(t, dir, "new.txt", baselineText)
+	hist := filepath.Join(dir, "hist.json")
+	args := []string{"-baseline", base, "-new", fresh, "-append", hist, "-label", "pr6"}
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := run(args, os.Stdout); err == nil || !strings.Contains(err.Error(), "already recorded") {
+		t.Fatalf("duplicate label not rejected: %v", err)
+	}
+}
+
+// TestAppendRequiresLabel and skips recording on a failed gate: the
+// history must only ever contain runs that passed.
+func TestAppendGuards(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineText)
+	fresh := write(t, dir, "new.txt", baselineText)
+	hist := filepath.Join(dir, "hist.json")
+	if err := run([]string{"-baseline", base, "-new", fresh, "-append", hist}, os.Stdout); err == nil {
+		t.Fatal("-append without -label accepted")
+	}
+	regressed := write(t, dir, "bad.txt", strings.ReplaceAll(baselineText, "98 allocs/op", "140 allocs/op"))
+	if err := run([]string{"-baseline", base, "-new", regressed,
+		"-append", hist, "-label", "pr6"}, os.Stdout); err == nil {
+		t.Fatal("regressed run passed")
+	}
+	if _, err := os.Stat(hist); !os.IsNotExist(err) {
+		t.Error("failed or mislabeled runs wrote a history file")
 	}
 }
 

@@ -40,7 +40,8 @@ func TestParseAdversary(t *testing.T) {
 		{"random:3,4", "randomDegree(B=3,D=4,extra=0.05)"},
 		{"isolate:2", "isolate(2)"},
 		{"chasemin", "chaseMin"},
-		{"er:0.30", "er(p=0.30)"},
+		{"er:0.30", "er(p=0.3)"},
+		{"er2:0.30", "er2(p=0.3)"},
 	}
 	for _, tc := range cases {
 		a, err := parseAdversary(tc.spec, 7, 1, 1)

@@ -231,3 +231,15 @@ func (c *Compose) Reseed(seed int64) {
 		}
 	}
 }
+
+// Oblivious implements the state-independence seam: a composition is
+// oblivious exactly when every sub-adversary is — one adaptive sub makes
+// the whole cycle consult snapshots.
+func (c *Compose) Oblivious() bool {
+	for _, sub := range c.subs {
+		if !IsOblivious(sub) {
+			return false
+		}
+	}
+	return true
+}

@@ -53,6 +53,29 @@ type Reseeder interface {
 	Reseed(seed int64)
 }
 
+// Oblivious is the optional state-independence seam: an adversary
+// returning true promises that Edges/EdgesInto never consult the view's
+// snapshots — E(t) is a function of the round number (and any internal
+// seed) only. The engines exploit the promise by skipping the per-round
+// state snapshot entirely when nothing else (a Byzantine strategy)
+// reads the view, which removes the last O(n)-per-round cost that does
+// not scale with the edge count. Obliviousness is a method rather than
+// a bare marker interface so wrappers like Compose can answer
+// per-instance.
+type Oblivious interface {
+	Adversary
+	// Oblivious reports whether this instance ignores view snapshots.
+	Oblivious() bool
+}
+
+// IsOblivious reports whether the adversary declares itself
+// state-independent. Adversaries without the seam are conservatively
+// treated as adaptive.
+func IsOblivious(a Adversary) bool {
+	o, ok := a.(Oblivious)
+	return ok && o.Oblivious()
+}
+
 // staticView adapts a plain size (no state access) to View for
 // adversaries evaluated outside an engine, e.g. when pre-rendering a
 // trace for the dynaDegree checker.

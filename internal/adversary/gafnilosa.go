@@ -54,6 +54,9 @@ func (a *Isolate) EdgesInto(t int, view View, dst *network.EdgeSet) {
 // Victim returns the suppressed node.
 func (a *Isolate) Victim() int { return a.victim }
 
+// Oblivious implements the state-independence seam.
+func (a *Isolate) Oblivious() bool { return true }
+
 // ChaseMin is the adaptive variant: each round it inspects the current
 // state values and suppresses, for every receiver, the incoming link
 // from one node currently holding the minimum value. Against flooding

@@ -40,6 +40,7 @@ func inPlaceCases(t *testing.T) map[string][2]Adversary {
 		"rotating":     pair(func() Adversary { return mustAdv(NewRotating(3)) }),
 		"randomDegree": pair(func() Adversary { return mustAdv(NewRandomDegree(3, 2, 0.2, 42)) }),
 		"er":           pair(func() Adversary { return mustAdv(NewProbabilistic(0.4, 7)) }),
+		"er2":          pair(func() Adversary { return mustAdv(NewSparseProbabilistic(0.4, 7)) }),
 		"clustered":    pair(func() Adversary { return mustAdv(NewClustered(4)) }),
 		"starve":       pair(func() Adversary { return mustAdv(NewStarve(3)) }),
 		"isolate":      pair(func() Adversary { return mustAdv(NewIsolate(4)) }),
@@ -148,6 +149,7 @@ func TestReseedMatchesFreshInstance(t *testing.T) {
 		fresh func(seed int64) Adversary
 	}{
 		"er":           {func(seed int64) Adversary { return mustAdv(NewProbabilistic(0.4, seed)) }},
+		"er2":          {func(seed int64) Adversary { return mustAdv(NewSparseProbabilistic(0.4, seed)) }},
 		"randomDegree": {func(seed int64) Adversary { return mustAdv(NewRandomDegree(3, 2, 0.2, seed)) }},
 	}
 	for name, tc := range cases {

@@ -30,6 +30,9 @@ func (Complete) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	dst.FillComplete()
 }
 
+// Oblivious implements the state-independence seam.
+func (Complete) Oblivious() bool { return true }
+
 // Static replays one fixed graph every round.
 type Static struct {
 	g    *network.EdgeSet
@@ -49,6 +52,9 @@ func (s *Static) Name() string { return "static:" + s.name }
 // allocation-free and cheaper than any per-round copy into an
 // engine-owned scratch set (the engine never mutates returned sets).
 func (s *Static) Edges(t int, view View) *network.EdgeSet { return s.g }
+
+// Oblivious implements the state-independence seam.
+func (s *Static) Oblivious() bool { return true }
 
 // Periodic cycles through a fixed schedule of edge sets:
 // E(t) = sets[t mod len(sets)].
@@ -77,6 +83,9 @@ func (p *Periodic) Edges(t int, view View) *network.EdgeSet {
 
 // Period returns the schedule length.
 func (p *Periodic) Period() int { return len(p.sets) }
+
+// Oblivious implements the state-independence seam.
+func (p *Periodic) Oblivious() bool { return true }
 
 // NewFig1 reproduces the paper's Figure 1 on 3 nodes: odd rounds have no
 // links at all, even rounds have {(0,1),(1,0),(1,2),(2,1)} (paper's
@@ -132,6 +141,9 @@ func (r *Rotating) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	}
 	network.InRegularInto(dst, d, (t*d)%n)
 }
+
+// Oblivious implements the state-independence seam.
+func (r *Rotating) Oblivious() bool { return true }
 
 // RandomDegree spreads, for every node and every aligned block of B
 // rounds, links from D distinct random in-neighbors across the block's
@@ -194,14 +206,17 @@ func (r *RandomDegree) EdgesInto(t int, view View, dst *network.EdgeSet) {
 		r.buildBlock(b, n, d)
 	}
 	dst.CopyFrom(r.schedule[t%r.block])
-	for u := 0; u < n; u++ {
-		for v := 0; v < n; v++ {
-			if u != v && r.extra > 0 && r.rng.Float64() < r.extra {
-				dst.Add(u, v)
-			}
-		}
-	}
+	// Extra links are layered with the geometric-skip sampler: same
+	// per-pair Bernoulli(extra) distribution, O(extra·n²) draws instead of
+	// n(n−1). This changed the RNG stream relative to the old dense
+	// per-pair loop — RandomDegree's stream is not a pinned compatibility
+	// contract the way the legacy `er` stream is (no committed spec pins
+	// its graphs), only per-seed determinism of THIS implementation is.
+	sparseBernoulliInto(dst, n, r.extra, r.rng)
 }
+
+// Oblivious implements the state-independence seam.
+func (r *RandomDegree) Oblivious() bool { return true }
 
 // Reseed implements Reseeder: the next Edges call behaves exactly like
 // the first call of a fresh instance built with this seed.

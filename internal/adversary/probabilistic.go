@@ -21,14 +21,16 @@ type Probabilistic struct {
 // NewProbabilistic builds the adversary; p ∈ [0, 1] is the per-link
 // per-round presence probability.
 func NewProbabilistic(p float64, seed int64) (*Probabilistic, error) {
-	if p < 0 || p > 1 {
+	if !(p >= 0 && p <= 1) { // rejects NaN too
 		return nil, fmt.Errorf("adversary: link probability %g outside [0,1]", p)
 	}
 	return &Probabilistic{p: p, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
-// Name implements Adversary.
-func (a *Probabilistic) Name() string { return fmt.Sprintf("er(p=%.2f)", a.p) }
+// Name implements Adversary. %g keeps sparse probabilities
+// distinguishable in reports and spec round-trips (%.2f collapsed
+// p=8/4097 and p=8/1025 onto the same "er(p=0.00)").
+func (a *Probabilistic) Name() string { return fmt.Sprintf("er(p=%g)", a.p) }
 
 // Edges implements Adversary. The RNG stream advances with every call;
 // replaying requires a fresh instance with the same seed, or a Reseed.
@@ -40,6 +42,13 @@ func (a *Probabilistic) Edges(t int, view View) *network.EdgeSet {
 
 // EdgesInto implements InPlace; it consumes the RNG stream exactly as
 // Edges does, so both paths draw identical graphs from the same seed.
+//
+// The dense one-uniform-per-pair draw below is a compatibility
+// contract, not an oversight: committed specs and pinned seeds
+// reproduce these exact graphs, so this stream must stay byte-stable
+// (TestProbabilisticDenseStreamPinned asserts it against an
+// independent reference). The sparse-native sampler lives in
+// SparseProbabilistic (`er2:<p>`) as an explicitly versioned stream.
 func (a *Probabilistic) EdgesInto(t int, view View, dst *network.EdgeSet) {
 	n := view.N()
 	dst.Reset()
@@ -57,3 +66,7 @@ func (a *Probabilistic) EdgesInto(t int, view View, dst *network.EdgeSet) {
 func (a *Probabilistic) Reseed(seed int64) {
 	a.rng = rand.New(rand.NewSource(seed))
 }
+
+// Oblivious implements the state-independence seam: E(t) never reads
+// node snapshots.
+func (a *Probabilistic) Oblivious() bool { return true }

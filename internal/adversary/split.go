@@ -69,6 +69,9 @@ func (s *SplitGroups) Name() string { return s.name }
 // allocation-free and copy-free.
 func (s *SplitGroups) Edges(t int, view View) *network.EdgeSet { return s.g }
 
+// Oblivious implements the state-independence seam.
+func (s *SplitGroups) Oblivious() bool { return true }
+
 // ByzSplitLayout is the full Theorem 10 scenario: the node grouping, the
 // Byzantine set, and the inputs that together force any terminating
 // algorithm to violate agreement at (1, ⌊(n+3f)/2⌋−1)-dynaDegree.

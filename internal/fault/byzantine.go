@@ -125,6 +125,12 @@ func (s SplitBrain) Messages(round, self int, view View) []*core.Message {
 // plausible-looking garbage.
 type RandomNoise struct {
 	rng *rand.Rand
+
+	// scratch reused across rounds by Messages. Receivers may retain the
+	// returned pointers only within the round, which the engine contract
+	// guarantees (messages are consumed during delivery).
+	msgs []core.Message
+	out  []*core.Message
 }
 
 // NewRandomNoise builds the strategy with its own deterministic stream.
@@ -142,18 +148,29 @@ func (r *RandomNoise) Reseed(seed int64) {
 // Name implements Strategy.
 func (*RandomNoise) Name() string { return "randomNoise" }
 
-// Messages implements Strategy.
+// Messages implements Strategy. The returned slice and the messages it
+// points into are owned by the strategy and overwritten on the next
+// call; the engine consumes them within the round, so no per-round
+// allocation is needed. The RNG draw order (value, then phase offset,
+// per receiver in ID order) is unchanged from the allocating version,
+// so seeds render identical noise.
 func (r *RandomNoise) Messages(round, self int, view View) []*core.Message {
 	n := view.N()
-	out := make([]*core.Message, n)
+	if cap(r.msgs) < n {
+		r.msgs = make([]core.Message, n)
+		r.out = make([]*core.Message, n)
+	}
+	r.msgs = r.msgs[:n]
+	r.out = r.out[:n]
 	for i := 0; i < n; i++ {
 		recvPhase := view.Snapshot(i).Phase
-		out[i] = &core.Message{
+		r.msgs[i] = core.Message{
 			Value: r.rng.Float64(),
 			Phase: recvPhase + r.rng.Intn(3),
 		}
+		r.out[i] = &r.msgs[i]
 	}
-	return out
+	return r.out
 }
 
 // Laggard replays stale protocol state: it sends its genuine-looking

@@ -38,7 +38,7 @@ func NewEdgeSet(n int) *EdgeSet {
 	}
 	w := (n + wordBits - 1) / wordBits
 	backing := make([]uint64, 2*n*w)
-	return &EdgeSet{n: n, words: w, out: backing[:n*w:n*w], in: backing[n*w:]}
+	return &EdgeSet{n: n, words: w, out: backing[: n*w : n*w], in: backing[n*w:]}
 }
 
 // MaskWords returns the number of 64-bit words a node bitmap over n
@@ -57,6 +57,16 @@ func (e *EdgeSet) Add(u, v int) {
 	if u == v {
 		return
 	}
+	e.out[u*e.words+v/wordBits] |= 1 << (uint(v) % wordBits)
+	e.in[v*e.words+u/wordBits] |= 1 << (uint(u) % wordBits)
+}
+
+// AddUnchecked is Add without the range validation and the self-loop
+// drop: the caller guarantees 0 ≤ u,v < n and u ≠ v. It exists for bulk
+// generators (the geometric-skip sampler) whose index arithmetic
+// already establishes both invariants for every edge — revalidating per
+// edge is measurable at sparse-bench scale. Everyone else wants Add.
+func (e *EdgeSet) AddUnchecked(u, v int) {
 	e.out[u*e.words+v/wordBits] |= 1 << (uint(v) % wordBits)
 	e.in[v*e.words+u/wordBits] |= 1 << (uint(u) % wordBits)
 }
@@ -264,6 +274,19 @@ func (e *EdgeSet) Edges() [][2]int {
 		}
 	}
 	return res
+}
+
+// InRow exposes v's transposed in-row — the raw bitmap words of v's
+// incoming neighbors, bit u of word w set iff u = 64w+b is a sender
+// towards v. The slice aliases the set's backing storage and is valid
+// only until the next mutation; callers must treat it as read-only.
+// It exists for the simulation engines' fused gather, which turns the
+// row's bits straight into deliveries without an intermediate neighbor
+// list.
+func (e *EdgeSet) InRow(v int) []uint64 {
+	e.check(v)
+	base := v * e.words
+	return e.in[base : base+e.words : base+e.words]
 }
 
 // InBitsInto accumulates, into acc (length MaskWords(n)), the bitmap of

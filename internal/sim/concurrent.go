@@ -57,6 +57,14 @@ type ConcurrentEngine struct {
 	inPlace    adversary.InPlace
 	needSize   bool
 	hasCap     bool
+	viewSkip   bool // oblivious adversary, no byz: snapshots never read
+	lostFast   bool // no byz/crashes/caps: lost = n(n−1) − delivered
+
+	// trackPhases is false when neither an Observer nor a Recorder is
+	// configured; workers then skip the two Phase() probes per delivery,
+	// matching the sequential engine's gate. Set before start(), read-only
+	// afterwards, so workers race-freely share it.
+	trackPhases bool
 
 	// dense RoundObserver scratch, reused across rounds
 	rvValues  []float64
@@ -144,6 +152,9 @@ func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
 	}
 	e.needSize = cfg.AccountBandwidth || cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
 	e.hasCap = cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
+	e.viewSkip = adversary.IsOblivious(cfg.Adversary) && len(cfg.Byzantine) == 0
+	e.lostFast = len(cfg.Byzantine) == 0 && len(cfg.Crashes) == 0 && !e.hasCap
+	e.trackPhases = cfg.Observer != nil || cfg.Recorder != nil
 	e.view = newExecView(&e.cfg, e.isByz)
 	e.faultFree = cfg.FaultFree()
 	for i, p := range cfg.Procs {
@@ -238,11 +249,19 @@ func (e *ConcurrentEngine) worker(node int, proc core.Process, cmds <-chan nodeC
 			e.replies <- nodeReply{node: node, msg: proc.Broadcast()}
 		case cmdDeliver:
 			trs = trs[:0]
-			for _, d := range cmd.deliveries {
-				before := proc.Phase()
-				proc.Deliver(d)
-				if after := proc.Phase(); after != before {
-					trs = append(trs, transition{from: before, to: after, value: proc.Value()})
+			if e.trackPhases {
+				for _, d := range cmd.deliveries {
+					before := proc.Phase()
+					proc.Deliver(d)
+					if after := proc.Phase(); after != before {
+						trs = append(trs, transition{from: before, to: after, value: proc.Value()})
+					}
+				}
+			} else {
+				// Transitions feed only Observer/Recorder; with neither
+				// configured the Phase() probes are pure waste.
+				for _, d := range cmd.deliveries {
+					proc.Deliver(d)
 				}
 			}
 			proc.EndRound()
@@ -260,16 +279,21 @@ func (e *ConcurrentEngine) step() {
 
 	// (1) Start-of-round view for the adversary and Byzantine nodes,
 	// from the snapshots gathered at the end of the previous round.
-	for i := 0; i < e.cfg.N; i++ {
-		if e.isByz[i] {
-			e.view.snaps[i] = core.Snapshot{Byzantine: true}
-			continue
+	// Skipped entirely when nothing in the configuration reads the
+	// snapshots (oblivious adversary, no Byzantine strategies) — the
+	// same lazy-view gate as the sequential engine.
+	if !e.viewSkip {
+		for i := 0; i < e.cfg.N; i++ {
+			if e.isByz[i] {
+				e.view.snaps[i] = core.Snapshot{Byzantine: true}
+				continue
+			}
+			s := e.snaps[i]
+			s.Crashed = t > e.crashRound[i]
+			e.view.snaps[i] = s
 		}
-		s := e.snaps[i]
-		s.Crashed = t > e.crashRound[i]
-		e.view.snaps[i] = s
+		e.view.round = t
 	}
-	e.view.round = t
 
 	var edges *network.EdgeSet
 	if e.inPlace != nil {
@@ -327,6 +351,7 @@ func (e *ConcurrentEngine) step() {
 	// with its buffer before the next round refills it. As in the
 	// sequential engine, the gather iterates only actual in-neighbors
 	// off the edge set's transposed bitmap, then restores port order.
+	roundDelivered := 0
 	for v := 0; v < e.cfg.N; v++ {
 		if e.cmds[v] == nil || t >= e.crashRound[v] {
 			continue
@@ -374,7 +399,7 @@ func (e *ConcurrentEngine) step() {
 			shuffleDeliveries(ds, e.cfg.ShuffleSeed, t, v)
 		}
 		e.delivBufs[v] = ds
-		e.result.MessagesDelivered += len(ds)
+		roundDelivered += len(ds)
 		if e.cfg.Recorder != nil {
 			for _, d := range ds {
 				e.cfg.Recorder.Record(trace.Event{
@@ -420,9 +445,15 @@ func (e *ConcurrentEngine) step() {
 	}
 
 	// Adversary-suppressed message accounting (alive sender, receiver
-	// able to receive in round t, no link) — the same word-wise mask
-	// fold as the sequential engine, so both report identical counts.
-	e.result.MessagesLost += countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
+	// able to receive in round t, no link) — the same fast path and
+	// word-wise mask fold as the sequential engine, so both report
+	// identical counts.
+	e.result.MessagesDelivered += roundDelivered
+	if e.lostFast {
+		e.result.MessagesLost += e.cfg.N*(e.cfg.N-1) - roundDelivered
+	} else {
+		e.result.MessagesLost += countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
+	}
 
 	if ro, ok := e.cfg.Observer.(RoundObserver); ok {
 		for i := 0; i < e.cfg.N; i++ {

@@ -12,13 +12,15 @@ import (
 	"anondyn/internal/trace"
 )
 
-// TestDeliveryEquivalenceProperty is the word-wise delivery core's
-// oracle test: across randomized sparse, dense and faulted scenarios,
-// the in-neighbor gather must produce byte-identical Results — trace,
-// MessagesLost/Delivered/Oversized, BytesDelivered, outputs — AND an
-// identical per-delivery event stream (delivery order is visible
-// through the recorder) compared to the retained reference port-loop
-// implementation (Engine.portLoopDelivery).
+// TestDeliveryEquivalenceProperty is the round loop's oracle test:
+// across randomized sparse, dense and faulted scenarios, the fast paths
+// — word-wise in-neighbor gather, lazy/incremental view maintenance,
+// and the O(1) fault-free lost count — must together produce
+// byte-identical Results (trace, MessagesLost/Delivered/Oversized,
+// BytesDelivered, outputs) AND an identical per-delivery event stream
+// (delivery order is visible through the recorder) compared to the
+// retained reference implementations (Engine.referenceRound: port-loop
+// gather, eager per-round view refresh, word-wise lost count).
 func TestDeliveryEquivalenceProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	// Sizes straddle the 64-bit word boundary on purpose: the word-wise
@@ -34,7 +36,7 @@ func TestDeliveryEquivalenceProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		refEng.portLoopDelivery = true
+		refEng.referenceRound = true
 		ref := refEng.RunRounds(25)
 
 		wwCfg, wwRec := cfg(), trace.NewRecorder()
@@ -58,6 +60,29 @@ func TestDeliveryEquivalenceProperty(t *testing.T) {
 			}
 			t.Fatalf("trial %d: ww stream has %d extra events", trial, len(wwEvents)-len(refEvents))
 		}
+
+		// Third run: no Recorder, no bandwidth accounting. This is the
+		// only shape that arms the fused fast paths (fastGather and the
+		// direct-deliver core fire exactly when nothing observes
+		// deliveries), so it must be pinned against the reference too —
+		// through Results, since there is no event stream to compare.
+		bareRef := cfg()
+		bareRef.AccountBandwidth = false
+		bareRefEng, err := NewEngine(bareRef)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bareRefEng.referenceRound = true
+		bareWW := cfg()
+		bareWW.AccountBandwidth = false
+		bareWWEng, err := NewEngine(bareWW)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rr, ww := bareRefEng.RunRounds(25), bareWWEng.RunRounds(25); !reflect.DeepEqual(rr, ww) {
+			t.Fatalf("trial %d (n=%d, seed=%d): bare-config Results diverge\nref %+v\nww  %+v",
+				trial, n, seed, rr, ww)
+		}
 	}
 }
 
@@ -79,7 +104,7 @@ func randomDeliveryConfig(t *testing.T, n int, seed int64) Config {
 	rng := rand.New(rand.NewSource(seed))
 
 	var adv adversary.Adversary
-	switch rng.Intn(4) {
+	switch rng.Intn(7) {
 	case 0:
 		adv = adversary.NewComplete()
 	case 1:
@@ -91,6 +116,30 @@ func randomDeliveryConfig(t *testing.T, n int, seed int64) Config {
 		adv = a
 	case 2:
 		a, err := adversary.NewRotating(1 + rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv = a
+	case 3:
+		// Sparse-native sampler: the geometric-skip draw must be exact
+		// through the whole round loop, not just in isolation.
+		p := []float64{0.02, 0.1, 0.5}[rng.Intn(3)]
+		a, err := adversary.NewSparseProbabilistic(p, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv = a
+	case 4:
+		// Adaptive adversaries read the view's snapshots every round:
+		// they gate the incremental view maintenance against the eager
+		// reference refresh.
+		a, err := adversary.NewClustered(1 + rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv = a
+	case 5:
+		a, err := adversary.NewStarve(1 + rng.Intn(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,11 +160,15 @@ func randomDeliveryConfig(t *testing.T, n int, seed int64) Config {
 		for i, node := range faulty {
 			switch {
 			case rng.Intn(2) == 0:
+				// RandomNoise reads receiver phases off the view — it
+				// gates the incremental snapshots even under oblivious
+				// adversaries.
 				strat := []fault.Strategy{
 					fault.Silent{},
 					fault.Extremist{Value: 1},
 					fault.Equivocator{Low: 0, High: 1},
-				}[rng.Intn(3)]
+					fault.NewRandomNoise(rng.Int63()),
+				}[rng.Intn(4)]
 				byz[node] = strat
 			case i%2 == 0:
 				crashes[node] = fault.CrashPartial(rng.Intn(6), perm[len(faulty):][:rng.Intn(3)]...)
@@ -220,7 +273,7 @@ func TestDeliveryEquivalenceAcrossReset(t *testing.T) {
 			if refEng, err = NewEngine(refCfg); err != nil {
 				t.Fatal(err)
 			}
-			refEng.portLoopDelivery = true
+			refEng.referenceRound = true
 			if wwEng, err = NewEngine(wwCfg); err != nil {
 				t.Fatal(err)
 			}

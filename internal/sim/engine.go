@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
 	"anondyn/internal/fault"
@@ -59,12 +61,58 @@ type Engine struct {
 	rvValues  []float64
 	rvRunning []bool
 
-	// portLoopDelivery switches delivery gathering to the retained
-	// reference implementation: the original O(n)-per-receiver port loop.
-	// The word-wise in-neighbor path must be bit-for-bit equivalent to
-	// it — TestDeliveryEquivalenceProperty flips this flag to prove it.
-	// Never set outside tests.
-	portLoopDelivery bool
+	// lazy-view bookkeeping: viewSkip means nothing in this configuration
+	// ever reads the view's snapshots (oblivious adversary, no Byzantine
+	// strategies), so the per-round state capture is skipped entirely.
+	// Otherwise the view is maintained incrementally — a full refresh on
+	// the first Step, then only the snapshots that changed: each processed
+	// node re-snapped at the end of its round, crash flags flipped from
+	// the precomputed schedule. Both replace the former O(n) eager
+	// refresh per round, the last per-round cost that scaled with n
+	// rather than with the edge count.
+	viewSkip   bool
+	viewInit   bool
+	crashSched []int // nodes with a scheduled crash, for flag flips
+
+	// lostFast marks configurations where the suppressed-message count
+	// degenerates to n(n−1) − delivered: no Byzantine nodes, no crashes,
+	// no link caps — every sender broadcasts, every receiver is eligible,
+	// every present link delivers. O(1) instead of the word-wise mask
+	// fold, which at n=4097 is the difference between touching 64·n words
+	// and none.
+	lostFast bool
+
+	// fastGather additionally rules out bandwidth accounting: every
+	// in-neighbor then delivers its broadcast unconditionally. Combined
+	// with allIdentity (every numbering is the identity bijection,
+	// checked once per Reset) the gather fuses: it scans the receiver's
+	// in-row bitmap words straight into the delivery buffer, skipping
+	// the intermediate neighbor list, outgoing()'s fault checks and the
+	// cap/size branches per delivery.
+	fastGather  bool
+	allIdentity bool
+
+	// directDeliver is the fully fused round core: with fastGather,
+	// identity ports everywhere, no delivery shuffling and no
+	// Observer/Recorder, nothing between the edge bitmap and the
+	// algorithm needs the delivery buffer — each in-row bit becomes a
+	// Deliver call on the spot, in the same ascending order the buffered
+	// path produces.
+	directDeliver bool
+
+	// trackPhases is false when neither an Observer nor a Recorder is
+	// configured: phase transitions then have no consumer, and the
+	// delivery loop skips the two Phase() probes per delivery — at
+	// n=1025/p=8/n that is ~16k interface calls per round feeding a no-op.
+	trackPhases bool
+
+	// referenceRound switches the round loop to the retained reference
+	// implementations: the original O(n)-per-receiver port-loop gather,
+	// the eager full view refresh, and the word-wise lost count. Every
+	// fast path must be bit-for-bit equivalent to the reference —
+	// TestDeliveryEquivalenceProperty flips this flag to prove it. Never
+	// set outside tests.
+	referenceRound bool
 
 	result Result // counters accumulate here; finish() materializes maps
 }
@@ -118,6 +166,7 @@ func (e *Engine) Reset(cfg Config) error {
 			e.byzMsgs[i] = nil // drop last run's slices: nothing stale survives
 		}
 		e.deliveries = e.deliveries[:0]
+		e.crashSched = e.crashSched[:0]
 	} else {
 		e.isByz = make([]bool, n)
 		e.byzStrats = make([]fault.Strategy, n)
@@ -131,7 +180,10 @@ func (e *Engine) Reset(cfg Config) error {
 		e.byzMsgs = make([][]*core.Message, n)
 		e.crashRound = make([]int, n)
 		e.crashInfo = make([]fault.Crash, n)
-		e.deliveries = nil
+		// Max in-degree is n−1: sized up front so a later record-degree
+		// round can never regrow it (steady rounds stay at 0 allocs).
+		e.deliveries = make([]core.Delivery, 0, n)
+		e.crashSched = nil
 		e.inbuf = make([]int, 0, n) // max in-degree is n−1; no growth in the round loop
 		e.recvMask = make([]uint64, network.MaskWords(n))
 		e.rvValues = make([]float64, n)
@@ -144,6 +196,26 @@ func (e *Engine) Reset(cfg Config) error {
 		e.byzStrats[i] = strat
 	}
 	fillCrashState(e.crashRound, e.crashInfo, cfg.Crashes)
+	for i := 0; i < n; i++ {
+		if e.crashRound[i] != neverCrashes {
+			e.crashSched = append(e.crashSched, i)
+		}
+	}
+	e.viewSkip = adversary.IsOblivious(cfg.Adversary) && len(cfg.Byzantine) == 0
+	e.viewInit = false
+	e.lostFast = len(cfg.Byzantine) == 0 && len(cfg.Crashes) == 0 &&
+		cfg.MaxMessageBytes == 0 && cfg.LinkBandwidth == nil
+	e.fastGather = e.lostFast && !cfg.AccountBandwidth
+	e.trackPhases = cfg.Observer != nil || cfg.Recorder != nil
+	e.allIdentity = true
+	for _, numbering := range e.ports {
+		if !numbering.IsIdentity() {
+			e.allIdentity = false
+			break
+		}
+	}
+	e.directDeliver = e.fastGather && e.allIdentity &&
+		!cfg.ShuffleDelivery && !e.trackPhases
 
 	if ip, ok := cfg.Adversary.(adversary.InPlace); ok {
 		e.inPlace = ip
@@ -240,10 +312,41 @@ func (e *Engine) roundEdges(t int) *network.EdgeSet {
 	return e.cfg.Adversary.Edges(t, e.view)
 }
 
+// refreshView brings the state window up to date for round t. The eager
+// full refresh is the reference semantics; the lazy modes below are
+// equivalent because every Process.Broadcast implementation is a pure
+// read — a node's public state at the start of round t is exactly its
+// state after EndRound of the last round it was processed in, which the
+// delivery loop captures as it goes. The concurrent engine has used the
+// same end-of-round capture since its introduction; the property test
+// pins both against the eager reference.
+func (e *Engine) refreshView(t int) {
+	switch {
+	case e.referenceRound:
+		e.view.refresh(t)
+	case e.viewSkip:
+		// Oblivious adversary, no Byzantine strategies: no snapshot is
+		// ever read, so none is taken.
+	case !e.viewInit:
+		e.view.refresh(t)
+		e.viewInit = true
+	default:
+		// Processed nodes were re-snapped at the end of the previous
+		// round; byz markers are constant; crashed nodes keep their
+		// frozen state. Only crash flags can still flip.
+		e.view.round = t
+		for _, i := range e.crashSched {
+			if t > e.crashRound[i] {
+				e.view.snaps[i].Crashed = true
+			}
+		}
+	}
+}
+
 // Step executes one synchronous round.
 func (e *Engine) Step() {
 	t := e.round
-	e.view.refresh(t)
+	e.refreshView(t)
 
 	// (1) The adversary chooses E(t) (it may read start-of-round state).
 	edges := e.roundEdges(t)
@@ -279,7 +382,7 @@ func (e *Engine) Step() {
 				Kind: trace.KindBroadcast, Round: t, Node: i, Value: m.Value, Phase: m.Phase,
 			})
 		}
-		if c, ok := e.cfg.Crashes[i]; ok && c.Round == t && e.cfg.Recorder != nil {
+		if e.cfg.Recorder != nil && e.crashRound[i] == t {
 			e.cfg.Recorder.Record(trace.Event{Kind: trace.KindCrash, Round: t, Node: i})
 		}
 	}
@@ -288,6 +391,9 @@ func (e *Engine) Step() {
 	// receiver's port order — fully deterministic. The gather walks the
 	// edge set's in-neighbor bitmap, so its cost scales with the
 	// receiver's actual in-degree, not n.
+	roundDelivered := 0
+	liveView := !e.viewSkip && !e.referenceRound
+	direct := e.directDeliver && !e.referenceRound
 	for v := 0; v < e.cfg.N; v++ {
 		if e.isByz[v] {
 			continue
@@ -297,42 +403,78 @@ func (e *Engine) Step() {
 		if t >= e.crashRound[v] {
 			continue
 		}
-		e.deliveries = e.deliveries[:0]
-		if e.portLoopDelivery {
-			e.gatherPortLoop(t, v, edges)
-		} else {
-			e.gatherInNeighbors(t, v, edges)
-		}
-		if e.cfg.ShuffleDelivery {
-			shuffleDeliveries(e.deliveries, e.cfg.ShuffleSeed, t, v)
-		}
-		e.result.MessagesDelivered += len(e.deliveries)
 		proc := e.cfg.Procs[v]
-		for _, d := range e.deliveries {
-			if e.cfg.Recorder != nil {
-				e.cfg.Recorder.Record(trace.Event{
-					Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
-					Value: d.Msg.Value, Phase: d.Msg.Phase,
-				})
+		if direct {
+			// Fully fused core: each in-row bit becomes a Deliver call
+			// on the spot — same senders, same ascending order as the
+			// buffered path, with no intermediate Delivery written.
+			base := 0
+			for _, w := range edges.InRow(v) {
+				for w != 0 {
+					u := base + bits.TrailingZeros64(w)
+					w &= w - 1
+					proc.Deliver(core.Delivery{Port: u, Msg: e.broadcasts[u]})
+					roundDelivered++
+				}
+				base += 64
 			}
-			before := proc.Phase()
-			proc.Deliver(d)
-			if after := proc.Phase(); after != before {
-				e.notePhase(v, before, after, proc.Value(), t)
+		} else {
+			e.deliveries = e.deliveries[:0]
+			if e.referenceRound {
+				e.gatherPortLoop(t, v, edges)
+			} else {
+				e.gatherInNeighbors(t, v, edges)
+			}
+			if e.cfg.ShuffleDelivery {
+				shuffleDeliveries(e.deliveries, e.cfg.ShuffleSeed, t, v)
+			}
+			roundDelivered += len(e.deliveries)
+			if e.trackPhases {
+				for _, d := range e.deliveries {
+					if e.cfg.Recorder != nil {
+						e.cfg.Recorder.Record(trace.Event{
+							Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
+							Value: d.Msg.Value, Phase: d.Msg.Phase,
+						})
+					}
+					before := proc.Phase()
+					proc.Deliver(d)
+					if after := proc.Phase(); after != before {
+						e.notePhase(v, before, after, proc.Value(), t)
+					}
+				}
+			} else {
+				// No Observer, no Recorder: phase transitions have no
+				// consumer, so the before/after Phase() probes (pure
+				// reads) are skipped wholesale.
+				for _, d := range e.deliveries {
+					proc.Deliver(d)
+				}
 			}
 		}
 		proc.EndRound()
 		e.noteDecision(v, proc, t)
+		if liveView {
+			// End-of-round state IS the start-of-next-round snapshot:
+			// nothing mutates the process until its next Deliver.
+			e.view.snaps[v] = core.Snap(proc)
+		}
 	}
+	e.result.MessagesDelivered += roundDelivered
 
 	// Count adversary-suppressed messages: alive sender, receiver able
 	// to receive in round t, no link. Receivers that cannot receive —
 	// Byzantine nodes, or nodes not fully alive through the round — are
-	// excluded: a missing link toward them suppresses nothing. One
-	// word-wise mask of the eligible receivers replaces the former
-	// O(n²) faulted fallback; the fault-free case degenerates to the
-	// same n−1−OutDegree(u) totals it always had.
-	e.result.MessagesLost += countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
+	// excluded: a missing link toward them suppresses nothing. With no
+	// Byzantine nodes, no crashes and no link caps, every one of the
+	// n(n−1) potential messages either delivered or was suppressed, so
+	// the count is a subtraction; otherwise one word-wise mask of the
+	// eligible receivers replaces the former O(n²) faulted fallback.
+	if e.lostFast && !e.referenceRound {
+		e.result.MessagesLost += e.cfg.N*(e.cfg.N-1) - roundDelivered
+	} else {
+		e.result.MessagesLost += countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
+	}
 
 	e.notifyRoundEnd(t)
 	e.round++
@@ -346,6 +488,24 @@ func (e *Engine) Step() {
 // the default identity numbering ascending node order already IS
 // ascending port order and the sort is skipped entirely.
 func (e *Engine) gatherInNeighbors(t, v int, edges *network.EdgeSet) {
+	if e.fastGather && e.allIdentity {
+		// No Byzantine senders, no crashes, no caps, no bandwidth
+		// accounting, identity ports: every in-neighbor delivers its
+		// broadcast at port == node ID, already in ascending order —
+		// outgoing()'s per-sender checks are all statically true. The
+		// in-row bits turn straight into deliveries, with no
+		// intermediate neighbor list.
+		base := 0
+		for _, w := range edges.InRow(v) {
+			for w != 0 {
+				u := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				e.deliveries = append(e.deliveries, core.Delivery{Port: u, Msg: e.broadcasts[u]})
+			}
+			base += 64
+		}
+		return
+	}
 	numbering := e.ports[v]
 	e.inbuf = edges.InNeighborsInto(v, e.inbuf[:0])
 	for _, u := range e.inbuf {
@@ -372,7 +532,7 @@ func (e *Engine) gatherInNeighbors(t, v int, edges *network.EdgeSet) {
 // gatherPortLoop is the retained reference implementation: walk all n
 // ports in ascending order and probe the edge set per sender. Kept
 // solely as the equivalence oracle for the word-wise path (see
-// portLoopDelivery); it is not reachable in production configurations.
+// referenceRound); it is not reachable in production configurations.
 func (e *Engine) gatherPortLoop(t, v int, edges *network.EdgeSet) {
 	numbering := e.ports[v]
 	for port := 0; port < e.cfg.N; port++ {

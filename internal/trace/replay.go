@@ -53,10 +53,17 @@ func (r *Replay) Edges(t int, _ adversary.View) *network.EdgeSet {
 	return r.sets[len(r.sets)-1]
 }
 
+// Oblivious implements adversary.Oblivious: the view is never read, the
+// recorded sets are a pure function of the round number.
+func (r *Replay) Oblivious() bool { return true }
+
 // Replay deliberately does not implement adversary.InPlace: it returns
 // recorded sets by pointer, which the engine's fallback path consumes
 // without allocating or copying.
-var _ adversary.Adversary = (*Replay)(nil)
+var (
+	_ adversary.Adversary = (*Replay)(nil)
+	_ adversary.Oblivious = (*Replay)(nil)
+)
 
 // Rounds reports how many rounds were recorded.
 func (r *Replay) Rounds() int { return len(r.sets) }
