@@ -163,9 +163,9 @@ func BenchmarkRunManyCompiled(b *testing.B) {
 
 // Substrate micro-benchmarks.
 
-// steadyEngine builds a sequential engine that never decides (huge
-// phase budget), so every Step is a steady-state round.
-func steadyEngine(tb testing.TB, n int, adv anondyn.Adversary) *sim.Engine {
+// steadyProcs builds n never-deciding DAC processes (huge phase
+// budget), so every engine Step over them is a steady-state round.
+func steadyProcs(tb testing.TB, n int) []core.Process {
 	tb.Helper()
 	procs := make([]core.Process, n)
 	for i := 0; i < n; i++ {
@@ -175,12 +175,23 @@ func steadyEngine(tb testing.TB, n int, adv anondyn.Adversary) *sim.Engine {
 		}
 		procs[i] = d
 	}
-	eng, err := sim.NewEngine(sim.Config{
+	return procs
+}
+
+// steadyEngine builds a sequential engine that never decides; opts
+// tweak the Config (CSR scratch, parallel rounds) before construction.
+func steadyEngine(tb testing.TB, n int, adv anondyn.Adversary, opts ...func(*sim.Config)) *sim.Engine {
+	tb.Helper()
+	cfg := sim.Config{
 		N:         n,
-		Procs:     procs,
+		Procs:     steadyProcs(tb, n),
 		Adversary: adv,
 		MaxRounds: 1 << 30,
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	eng, err := sim.NewEngine(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -227,6 +238,72 @@ func TestSteadyRoundAllocBudget(t *testing.T) {
 			t.Errorf("steady-state sparse round allocated %g times per round, want 0", avg)
 		}
 	})
+	// The CSR round core keeps the budget: the forced-sparse scratch
+	// (mutation log, CSR arrays, the sender-major scatter buffer) must
+	// absorb record-edge rounds through its headroom, never by
+	// reallocating in the steady state.
+	t.Run("er2/n=1025/csr", func(t *testing.T) {
+		eng := steadyEngine(t, 1025, anondyn.SparseProbabilistic(8.0/1025, 1),
+			func(cfg *sim.Config) { cfg.ForceCSR = true })
+		if avg := testing.AllocsPerRun(50, eng.Step); avg != 0 {
+			t.Errorf("steady-state CSR round allocated %g times per round, want 0", avg)
+		}
+	})
+	// Past the size threshold the CSR representation is automatic.
+	t.Run("er2/n=4097", func(t *testing.T) {
+		eng := steadyEngine(t, 4097, anondyn.SparseProbabilistic(8.0/4097, 1))
+		if avg := testing.AllocsPerRun(30, eng.Step); avg != 0 {
+			t.Errorf("steady-state auto-CSR round allocated %g times per round, want 0", avg)
+		}
+	})
+	// Receiver-parallel rounds reuse the persistent pool and per-worker
+	// scratch; the steady state stays allocation-free on both
+	// representations.
+	for _, sub := range []struct {
+		name string
+		csr  bool
+	}{{"par/n=1025", false}, {"par/n=1025/csr", true}} {
+		t.Run(sub.name, func(t *testing.T) {
+			eng := steadyEngine(t, 1025, anondyn.SparseProbabilistic(8.0/1025, 1),
+				func(cfg *sim.Config) { cfg.RoundWorkers = 2; cfg.ForceCSR = sub.csr })
+			defer eng.Close()
+			if avg := testing.AllocsPerRun(50, eng.Step); avg != 0 {
+				t.Errorf("steady-state parallel round allocated %g times per round, want 0", avg)
+			}
+		})
+	}
+	// The concurrent engine rides the same scratch discipline: after
+	// warmup its per-round buffers (delivery slices, reply slots, worker
+	// transition buffers) are all recycled and the channel barriers run
+	// off runtime caches, so its steady rounds are allocation-free too.
+	// A regression that rebuilds any per-node buffer per round adds
+	// Θ(n) allocations and trips this hard at n=25.
+	t.Run("concurrent/n=25", func(t *testing.T) {
+		eng := steadyConcurrentEngine(t, 25, anondyn.Complete())
+		defer eng.Close()
+		if avg := testing.AllocsPerRun(100, eng.Step); avg != 0 {
+			t.Errorf("steady-state concurrent round allocated %g times per round, want 0", avg)
+		}
+	})
+}
+
+// steadyConcurrentEngine mirrors steadyEngine for the goroutine-per-
+// node engine: never-deciding processes, warmed scratch.
+func steadyConcurrentEngine(tb testing.TB, n int, adv anondyn.Adversary) *sim.ConcurrentEngine {
+	tb.Helper()
+	eng, err := sim.NewConcurrentEngine(sim.Config{
+		N:         n,
+		Procs:     steadyProcs(tb, n),
+		Adversary: adv,
+		MaxRounds: 1 << 30,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 32; i++ { // warm the per-receiver delivery buffers
+		eng.Step()
+	}
+	return eng
 }
 
 // BenchmarkEngineSteadyRound measures one steady-state round in
@@ -249,57 +326,84 @@ func BenchmarkEngineSteadyRound(b *testing.B) {
 
 // engineRoundCases is the BenchmarkEngineRound grid: the historical
 // size axis on the complete graph plus a graph-density axis — at n=51
-// (Erdős–Rényi at two densities, a d-regular rotating graph), and at
+// (Erdős–Rényi at two densities, a d-regular rotating graph), at
 // n=1025 and n=4097 with ~8 expected in-links per node (er2, the
-// geometric-skip sparse sampler) and a rotating d=4 graph. The density
-// axis is what shows round cost scaling with edges rather than n²: the
-// n=1025 p=8/n row has ~20× the edges of the n=51 sparse rows and must
-// land within ~10× their ns/round, where an n²-proportional round loop
-// would predict ~400×.
+// geometric-skip sparse sampler) and a rotating d=4 graph, and the CSR
+// regime at n=16385 and n=65537 where the per-round graph lives in
+// sparse CSR form and the round loop scatters sender-major into
+// DeliverAll slices. The density axis is what shows round cost scaling
+// with edges rather than n²: ns/edge must stay roughly flat from
+// n=1025 to n=65537 (an n²-proportional round loop would grow it
+// 64×). Rows above the convergence horizon cap their round budget — a
+// few hundred steady rounds measure the per-round cost; running DAC to
+// decision at n=65537 would add minutes without changing the metric.
+// The /par rows shard the receiver loop across GOMAXPROCS workers
+// (equal to the sequential rows on a single-core runner; their ratio
+// on multi-core CI is the parallel speedup).
 func engineRoundCases() []struct {
-	name string
-	n    int
-	adv  func() anondyn.Adversary
+	name      string
+	n         int
+	maxRounds int // 0: run to decision
+	workers   int // Scenario.RoundWorkers
+	adv       func() anondyn.Adversary
 } {
 	complete := func() anondyn.Adversary { return anondyn.Complete() }
+	er2 := func(n int) func() anondyn.Adversary {
+		return func() anondyn.Adversary { return anondyn.SparseProbabilistic(8.0/float64(n), 1) }
+	}
+	d4 := func() anondyn.Adversary { return anondyn.Rotating(4) }
 	return []struct {
-		name string
-		n    int
-		adv  func() anondyn.Adversary
+		name      string
+		n         int
+		maxRounds int
+		workers   int
+		adv       func() anondyn.Adversary
 	}{
-		{"n=7", 7, complete},
-		{"n=25", 25, complete},
-		{"n=51", 51, complete},
-		{"n=51/p=0.5", 51, func() anondyn.Adversary { return anondyn.Probabilistic(0.5, 1) }},
-		{"n=51/p=0.1", 51, func() anondyn.Adversary { return anondyn.Probabilistic(0.1, 1) }},
-		{"n=51/d=4", 51, func() anondyn.Adversary { return anondyn.Rotating(4) }},
-		{"n=1025/p=8n", 1025, func() anondyn.Adversary { return anondyn.SparseProbabilistic(8.0/1025, 1) }},
-		{"n=1025/d=4", 1025, func() anondyn.Adversary { return anondyn.Rotating(4) }},
-		{"n=4097/p=8n", 4097, func() anondyn.Adversary { return anondyn.SparseProbabilistic(8.0/4097, 1) }},
-		{"n=4097/d=4", 4097, func() anondyn.Adversary { return anondyn.Rotating(4) }},
+		{"n=7", 7, 0, 0, complete},
+		{"n=25", 25, 0, 0, complete},
+		{"n=51", 51, 0, 0, complete},
+		{"n=51/p=0.5", 51, 0, 0, func() anondyn.Adversary { return anondyn.Probabilistic(0.5, 1) }},
+		{"n=51/p=0.1", 51, 0, 0, func() anondyn.Adversary { return anondyn.Probabilistic(0.1, 1) }},
+		{"n=51/d=4", 51, 0, 0, d4},
+		{"n=1025/p=8n", 1025, 0, 0, er2(1025)},
+		{"n=1025/d=4", 1025, 0, 0, d4},
+		{"n=4097/p=8n", 4097, 0, 0, er2(4097)},
+		{"n=4097/d=4", 4097, 0, 0, d4},
+		{"n=16385/p=8n", 16385, 256, 0, er2(16385)},
+		{"n=16385/d=4", 16385, 256, 0, d4},
+		{"n=16385/p=8n/par", 16385, 256, -1, er2(16385)},
+		{"n=65537/p=8n", 65537, 128, 0, er2(65537)},
+		{"n=65537/d=4", 65537, 128, 0, d4},
+		{"n=65537/p=8n/par", 65537, 128, -1, er2(65537)},
 	}
 }
 
-// BenchmarkEngineRound measures simulator round throughput: one full DAC
-// run per case, amortized per round.
+// BenchmarkEngineRound measures simulator round throughput: one full
+// DAC run per case (round-capped at CSR scale), amortized per round
+// and per delivered edge — ns/edge is the density-axis invariant the
+// CSR core is gated on.
 func BenchmarkEngineRound(b *testing.B) {
 	for _, c := range engineRoundCases() {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
-			rounds := 0
+			rounds, edges := 0, 0
 			for i := 0; i < b.N; i++ {
 				res, err := anondyn.Scenario{
 					N: c.n, F: 0, Eps: 1e-3,
-					Algorithm: anondyn.AlgoDAC,
-					Inputs:    anondyn.SpreadInputs(c.n),
-					Adversary: c.adv(),
+					Algorithm:    anondyn.AlgoDAC,
+					Inputs:       anondyn.SpreadInputs(c.n),
+					Adversary:    c.adv(),
+					MaxRounds:    c.maxRounds,
+					RoundWorkers: c.workers,
 				}.Run()
 				if err != nil {
 					b.Fatal(err)
 				}
 				rounds += res.Rounds
+				edges += res.MessagesDelivered
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rounds), "ns/round")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(edges), "ns/edge")
 		})
 	}
 }

@@ -19,10 +19,13 @@
 //	benchgate -baseline bench/baseline.txt -new new.txt
 //
 // With -append (and a mandatory -label), a run that passes the gate is
-// also recorded: the gated benchmarks' ns/op and allocs/op medians are
-// appended as one labeled entry to a committed JSON history file
-// (bench/BENCH_engine.json), giving the repo a per-PR performance
-// ledger that survives baseline refreshes:
+// also recorded: the gated benchmarks' ns/op, allocs/op, and (where
+// reported) ns/edge medians are appended as one labeled entry to a
+// committed JSON history file (bench/BENCH_engine.json), giving the
+// repo a per-PR performance ledger that survives baseline refreshes.
+// Each append also prints one delta line per benchmark against the
+// previous ledger entry, so the recorded trajectory is visible in the
+// CI log:
 //
 //	benchgate -baseline bench/baseline.txt -new new.txt \
 //	    -append bench/BENCH_engine.json -label pr7
@@ -99,7 +102,7 @@ func run(args []string, out *os.File) error {
 		if *label == "" {
 			return fmt.Errorf("-append requires -label")
 		}
-		if err := appendHistory(*appendPath, *label, fresh, gated); err != nil {
+		if err := appendHistory(*appendPath, *label, fresh, gated, out); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "recorded %d benchmark(s) as %q in %s\n", len(gated), *label, *appendPath)
@@ -119,12 +122,14 @@ type historyEntry struct {
 type historyMetric struct {
 	NsOp     float64 `json:"ns_op"`
 	AllocsOp float64 `json:"allocs_op"`
+	NsEdge   float64 `json:"ns_edge,omitempty"`
 }
 
 // appendHistory loads the history file (absent means empty), rejects a
 // duplicate label (re-running CI on the same PR must not double-record),
-// and writes the extended array back.
-func appendHistory(path, label string, fresh samples, names []string) error {
+// prints per-benchmark deltas against the previous entry, and writes
+// the extended array back.
+func appendHistory(path, label string, fresh samples, names []string, out *os.File) error {
 	var history []historyEntry
 	data, err := os.ReadFile(path)
 	switch {
@@ -151,14 +156,62 @@ func appendHistory(path, label string, fresh samples, names []string) error {
 		if xs := fresh[name]["allocs/op"]; len(xs) > 0 {
 			m.AllocsOp = median(xs)
 		}
+		if xs := fresh[name]["ns/edge"]; len(xs) > 0 {
+			m.NsEdge = median(xs)
+		}
 		entry.Benchmarks[name] = m
 	}
+	if len(history) > 0 {
+		printHistoryDeltas(out, history[len(history)-1], entry)
+	}
 	history = append(history, entry)
-	out, err := json.MarshalIndent(history, "", "  ")
+	blob, err := json.MarshalIndent(history, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// printHistoryDeltas reports, for every benchmark recorded in both the
+// previous ledger entry and the new one, how each tracked metric moved.
+// The gate's verdict lines compare against baseline.txt, which is
+// overwritten on refresh; these lines compare against the last
+// *recorded* entry, so the ledger's own trajectory is visible in the
+// log that appends to it.
+func printHistoryDeltas(out *os.File, prev, next historyEntry) {
+	names := make([]string, 0, len(next.Benchmarks))
+	for name := range next.Benchmarks {
+		if _, ok := prev.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p, n := prev.Benchmarks[name], next.Benchmarks[name]
+		fmt.Fprintf(out, "since %q %-50s %s  %s  %s\n", prev.Label, name,
+			deltaField("ns/op", p.NsOp, n.NsOp),
+			deltaField("allocs/op", p.AllocsOp, n.AllocsOp),
+			deltaField("ns/edge", p.NsEdge, n.NsEdge))
+	}
+}
+
+// deltaField formats one metric's movement. ns-valued metrics are never
+// legitimately 0, so a zero there means the unit was unrecorded on that
+// side (ns/edge predates the pr7 entries) and renders as a placeholder.
+// allocs/op, by contrast, is genuinely 0 for the steady-round
+// benchmarks, so zeros are compared like any other value.
+func deltaField(unit string, prev, next float64) string {
+	if unit != "allocs/op" && (prev == 0 || next == 0) {
+		return unit + " –"
+	}
+	switch {
+	case prev == next:
+		return fmt.Sprintf("%s %.5g (=)", unit, next)
+	case prev == 0:
+		return fmt.Sprintf("%s %.5g → %.5g", unit, prev, next)
+	default:
+		return fmt.Sprintf("%s %.5g → %.5g (%+.1f%%)", unit, prev, next, 100*(next-prev)/prev)
+	}
 }
 
 // checkRequired verifies the -require coverage patterns: a gate whose

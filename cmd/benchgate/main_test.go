@@ -194,6 +194,67 @@ func TestAppendHistoryRoundTrip(t *testing.T) {
 	}
 }
 
+// edgeText reports the custom ns/edge metric alongside the standard
+// units, as BenchmarkEngineRound does via b.ReportMetric.
+const edgeText = `
+BenchmarkEngineRound/n=1025/p=8n-4   	     100	    368000 ns/op	        50.50 ns/edge	       0 B/op	       0 allocs/op
+BenchmarkEngineRound/n=1025/p=8n-4   	     100	    369000 ns/op	        50.70 ns/edge	       0 B/op	       0 allocs/op
+PASS
+`
+
+// TestAppendRecordsNsEdge: the ns/edge metric must land in the ledger,
+// and a second append must print a delta line against the previous
+// entry covering all three tracked units.
+func TestAppendRecordsNsEdge(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", edgeText)
+	fresh := write(t, dir, "new.txt", edgeText)
+	faster := write(t, dir, "faster.txt", strings.NewReplacer(
+		"368000 ns/op", "340000 ns/op",
+		"369000 ns/op", "341000 ns/op",
+		"50.50 ns/edge", "46.60 ns/edge",
+		"50.70 ns/edge", "46.80 ns/edge",
+	).Replace(edgeText))
+	hist := filepath.Join(dir, "hist.json")
+	logPath := filepath.Join(dir, "log.txt")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logFile.Close()
+
+	if err := run([]string{"-baseline", base, "-new", fresh,
+		"-append", hist, "-label", "pr6"}, logFile); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-new", faster,
+		"-append", hist, "-label", "pr7"}, logFile); err != nil {
+		t.Fatalf("second append: %v", err)
+	}
+
+	data, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []historyEntry
+	if err := json.Unmarshal(data, &history); err != nil {
+		t.Fatal(err)
+	}
+	m := history[0].Benchmarks["BenchmarkEngineRound/n=1025/p=8n"]
+	if m.NsEdge < 50.59 || m.NsEdge > 50.61 {
+		t.Errorf("recorded ns_edge = %v, want the median ≈50.6", m.NsEdge)
+	}
+	log, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`since "pr6"`, "ns/op", "allocs/op", "ns/edge", "%)"} {
+		if !strings.Contains(string(log), want) {
+			t.Errorf("append log lacks %q:\n%s", want, log)
+		}
+	}
+}
+
 // TestAppendRejectsDuplicateLabel: re-running CI for the same PR must
 // not double-record the entry.
 func TestAppendRejectsDuplicateLabel(t *testing.T) {

@@ -142,11 +142,16 @@ func (c *CompiledScenario) Run(seed int64, inputs []float64) (*Result, error) {
 
 	cfg := s.config(procs, ports, c.byz, c.crashes, seed)
 	if s.Concurrent {
-		eng, err := sim.NewConcurrentEngine(*cfg)
-		if err != nil {
+		if c.box.ceng == nil {
+			eng, err := sim.NewConcurrentEngine(*cfg)
+			if err != nil {
+				return nil, err
+			}
+			c.box.ceng = eng
+		} else if err := c.box.ceng.Reset(*cfg); err != nil {
 			return nil, err
 		}
-		return eng.Run(), nil
+		return c.box.ceng.Run(), nil
 	}
 	if c.box.eng == nil {
 		eng, err := sim.NewEngine(*cfg)

@@ -230,7 +230,10 @@ func (r *RandomDegree) buildBlock(b, n, d int) {
 	if len(r.schedule) != r.block || (r.block > 0 && r.schedule[0].N() != n) {
 		r.schedule = make([]*network.EdgeSet, r.block)
 		for i := range r.schedule {
-			r.schedule[i] = network.NewEdgeSet(n)
+			// Auto representation: a block of d-regular rounds at large n
+			// is exactly the regime where the n×n bit-matrix per block
+			// round dominates memory — CSR holds d·n edges instead.
+			r.schedule[i] = network.NewEdgeSetAuto(n)
 		}
 	} else {
 		for _, s := range r.schedule {

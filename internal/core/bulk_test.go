@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeliverAllFoldEquivalenceProperty is the BulkDeliverer contract:
+// for random delivery streams chopped into random chunks, DeliverAll on
+// one instance must track Deliver-one-at-a-time on a twin instance
+// through every observable after every chunk — including jump/quorum
+// phase transitions landing mid-chunk.
+func TestDeliverAllFoldEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type pair struct {
+		name       string
+		bulk, step Process
+	}
+	mkPairs := func(n, f int, input float64) []pair {
+		mk := func(build func() (Process, error)) Process {
+			p, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		dacA := mk(func() (Process, error) { return NewDACPhases(n, 0, 6, input) })
+		dacB := mk(func() (Process, error) { return NewDACPhases(n, 0, 6, input) })
+		dbacA := mk(func() (Process, error) { return NewDBACPhases(n, f, 0, 6, input) })
+		dbacB := mk(func() (Process, error) { return NewDBACPhases(n, f, 0, 6, input) })
+		pbA := mk(func() (Process, error) { return NewDBACPiggybackPhases(n, f, 0, 2, 6, input) })
+		pbB := mk(func() (Process, error) { return NewDBACPiggybackPhases(n, f, 0, 2, 6, input) })
+		return []pair{
+			{"DAC", dacA, dacB},
+			{"DBAC", dbacA, dbacB},
+			{"DBACPiggyback", pbA, pbB},
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(60)
+		f := rng.Intn(1 + (n-1)/5)
+		input := rng.Float64()
+		for _, pr := range mkPairs(n, f, input) {
+			bulk, ok := pr.bulk.(BulkDeliverer)
+			if !ok {
+				t.Fatalf("%s does not implement BulkDeliverer", pr.name)
+			}
+			for round := 0; round < 30; round++ {
+				chunk := make([]Delivery, rng.Intn(n))
+				maxPhase := pr.step.Phase() + 3
+				for i := range chunk {
+					hist := []HistEntry(nil)
+					if rng.Intn(3) == 0 {
+						hist = []HistEntry{{Value: rng.Float64(), Phase: rng.Intn(maxPhase + 1)}}
+					}
+					chunk[i] = Delivery{
+						Port: 1 + rng.Intn(n-1), // port 0 is self, never delivered by engines
+						Msg: Message{
+							Value:   rng.Float64(),
+							Phase:   rng.Intn(maxPhase + 1),
+							History: hist,
+						},
+					}
+				}
+				bulk.DeliverAll(chunk)
+				for i := range chunk {
+					pr.step.Deliver(chunk[i])
+				}
+				pr.bulk.EndRound()
+				pr.step.EndRound()
+				if got, want := pr.bulk.Broadcast(), pr.step.Broadcast(); got.Value != want.Value || got.Phase != want.Phase {
+					t.Fatalf("trial %d %s round %d: Broadcast ⟨%v,%d⟩ vs ⟨%v,%d⟩",
+						trial, pr.name, round, got.Value, got.Phase, want.Value, want.Phase)
+				}
+				if got, want := pr.bulk.Phase(), pr.step.Phase(); got != want {
+					t.Fatalf("trial %d %s round %d: Phase %d vs %d", trial, pr.name, round, got, want)
+				}
+				if got, want := pr.bulk.Value(), pr.step.Value(); got != want {
+					t.Fatalf("trial %d %s round %d: Value %v vs %v", trial, pr.name, round, got, want)
+				}
+				gv, gok := pr.bulk.Output()
+				wv, wok := pr.step.Output()
+				if gv != wv || gok != wok {
+					t.Fatalf("trial %d %s round %d: Output (%v,%v) vs (%v,%v)",
+						trial, pr.name, round, gv, gok, wv, wok)
+				}
+			}
+		}
+	}
+}

@@ -30,8 +30,8 @@ type DAC struct {
 	p    int
 	vmin float64
 	vmax float64
-	r    []bool // r[port] — phase-p state already received from port
-	nr   int    // |R|: number of true entries in r
+	r    []uint64 // R as a bitset: bit port set — phase-p state received from port
+	nr   int      // |R|: number of set bits in r
 
 	selfPort int
 
@@ -70,10 +70,14 @@ func NewDAC(n, selfPort int, input, eps float64) (*DAC, error) {
 		v:        input,
 		vmin:     input,
 		vmax:     input,
-		r:        make([]bool, n),
+		// A bitset, not []bool: with n nodes each holding an n-entry R
+		// vector the per-node ~n bytes would put the whole population at
+		// Θ(n²) — a gigabyte-scale footprint at n≥6·10⁴. Bits cut it 8×
+		// and make RESET a word-wise clear.
+		r:        make([]uint64, (n+63)/64),
 		selfPort: selfPort,
 	}
-	d.r[selfPort] = true
+	d.r[selfPort>>6] = 1 << (uint(selfPort) & 63)
 	d.nr = 1
 	d.maybeDecide()
 	return d, nil
@@ -115,11 +119,13 @@ func (d *DAC) Deliver(dl Delivery) {
 		}
 		d.jumps++
 		d.reset()
-	case m.Phase == d.p && !d.r[dl.Port]:
+	case m.Phase == d.p:
 		// New same-phase state (lines 9–11).
-		d.r[dl.Port] = true
-		d.nr++
-		d.store(m.Value)
+		if w := dl.Port >> 6; d.r[w]&(1<<(uint(dl.Port)&63)) == 0 {
+			d.r[w] |= 1 << (uint(dl.Port) & 63)
+			d.nr++
+			d.store(m.Value)
+		}
 	}
 	// Quorum check (lines 12–15) runs after every processed message.
 	if d.p < d.pEnd && d.nr >= d.quorum {
@@ -204,10 +210,8 @@ func (d *DAC) Reinit(input float64) {
 	d.p = 0
 	d.vmin = input
 	d.vmax = input
-	for i := range d.r {
-		d.r[i] = false
-	}
-	d.r[d.selfPort] = true
+	clear(d.r)
+	d.r[d.selfPort>>6] = 1 << (uint(d.selfPort) & 63)
 	d.nr = 1
 	d.decided = false
 	d.decision = 0
@@ -219,10 +223,8 @@ func (d *DAC) Reinit(input float64) {
 // reset is RESET() of Algorithm 1: clear R except the self entry and
 // collapse the phase-p extremes onto the current value.
 func (d *DAC) reset() {
-	for i := range d.r {
-		d.r[i] = false
-	}
-	d.r[d.selfPort] = true
+	clear(d.r)
+	d.r[d.selfPort>>6] = 1 << (uint(d.selfPort) & 63)
 	d.nr = 1
 	d.vmin = d.v
 	d.vmax = d.v

@@ -1,0 +1,224 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSparseDenseEquivalenceProperty drives a dense and a sparse
+// EdgeSet through the same randomized mutation sequence — including
+// duplicate adds, removals, resets, copies and set algebra against both
+// representations — and asserts every observable agrees after each
+// phase. This is the representation contract the engines rely on: a
+// sparse set is indistinguishable from a dense one through the public
+// API.
+func TestSparseDenseEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(97)
+		dense, sparse := NewEdgeSet(n), NewEdgeSetSparse(n)
+		if sparse.IsSparse() == dense.IsSparse() {
+			t.Fatal("representation flags must differ")
+		}
+		for step := 0; step < 30; step++ {
+			switch op := rng.Intn(10); op {
+			case 0: // burst of adds, duplicates included
+				for k := 0; k < 1+rng.Intn(3*n); k++ {
+					u, v := rng.Intn(n), rng.Intn(n)
+					dense.Add(u, v)
+					sparse.Add(u, v)
+				}
+			case 1: // remove a (maybe absent) link
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v {
+					dense.Remove(u, v)
+					sparse.Remove(u, v)
+				}
+			case 2:
+				dense.Reset()
+				sparse.Reset()
+			case 3:
+				dense.FillComplete()
+				sparse.FillComplete()
+			case 4: // union with a random set, in the same and the other mode
+				other := randomSet(rng, n, rng.Intn(2) == 0)
+				dense.UnionWith(other)
+				sparse.UnionWith(other)
+			case 5: // intersect
+				other := randomSet(rng, n, rng.Intn(2) == 0)
+				dense.IntersectWith(other)
+				sparse.IntersectWith(other)
+			case 6: // cross-mode copy
+				other := randomSet(rng, n, rng.Intn(2) == 0)
+				dense.CopyFrom(other)
+				sparse.CopyFrom(other)
+			case 7: // clone and keep going on the clones
+				dense, sparse = dense.Clone(), sparse.Clone()
+			default: // more adds (bias toward content)
+				for k := 0; k < 1+rng.Intn(n); k++ {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u != v {
+						dense.AddUnchecked(u, v)
+						sparse.AddUnchecked(u, v)
+					}
+				}
+			}
+			assertSame(t, dense, sparse, rng)
+			if t.Failed() {
+				t.Fatalf("diverged at trial %d step %d", trial, step)
+			}
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand, n int, sparseMode bool) *EdgeSet {
+	var s *EdgeSet
+	if sparseMode {
+		s = NewEdgeSetSparse(n)
+	} else {
+		s = NewEdgeSet(n)
+	}
+	for k := 0; k < rng.Intn(2*n+1); k++ {
+		s.Add(rng.Intn(n), rng.Intn(n))
+	}
+	return s
+}
+
+// assertSame checks every observable of the two sets against each other.
+func assertSame(t *testing.T, dense, sparse *EdgeSet, rng *rand.Rand) {
+	t.Helper()
+	n := dense.N()
+	if sparse.N() != n {
+		t.Fatalf("n mismatch: %d vs %d", n, sparse.N())
+	}
+	if dl, sl := dense.Len(), sparse.Len(); dl != sl {
+		t.Errorf("Len: dense %d, sparse %d", dl, sl)
+		return
+	}
+	if !dense.Equal(sparse) || !sparse.Equal(dense) {
+		t.Error("Equal disagrees across representations")
+		return
+	}
+	mask := make([]uint64, MaskWords(n))
+	for w := range mask {
+		mask[w] = rng.Uint64()
+	}
+	if tail := n % 64; tail != 0 {
+		mask[len(mask)-1] &= (1 << uint(tail)) - 1
+	}
+	accD := make([]uint64, MaskWords(n))
+	accS := make([]uint64, MaskWords(n))
+	for v := 0; v < n; v++ {
+		if di, si := dense.InDegree(v), sparse.InDegree(v); di != si {
+			t.Errorf("InDegree(%d): dense %d, sparse %d", v, di, si)
+		}
+		if do, so := dense.OutDegree(v), sparse.OutDegree(v); do != so {
+			t.Errorf("OutDegree(%d): dense %d, sparse %d", v, do, so)
+		}
+		din := dense.InNeighborsInto(v, nil)
+		sin := sparse.InNeighborsInto(v, nil)
+		if !equalInts(din, sin) {
+			t.Errorf("InNeighbors(%d): dense %v, sparse %v", v, din, sin)
+		}
+		if !equalInts(dense.OutNeighbors(v), sparse.OutNeighbors(v)) {
+			t.Errorf("OutNeighbors(%d) differ", v)
+		}
+		if dm, sm := dense.OutMissing(v, mask), sparse.OutMissing(v, mask); dm != sm {
+			t.Errorf("OutMissing(%d): dense %d, sparse %d", v, dm, sm)
+		}
+		clear(accD)
+		clear(accS)
+		dense.InBitsInto(v, accD)
+		sparse.InBitsInto(v, accS)
+		for w := range accD {
+			if accD[w] != accS[w] {
+				t.Errorf("InBitsInto(%d) word %d: %x vs %x", v, w, accD[w], accS[w])
+			}
+		}
+		u := rng.Intn(n)
+		if dh, sh := dense.Has(u, v), sparse.Has(u, v); dh != sh {
+			t.Errorf("Has(%d,%d): dense %v, sparse %v", u, v, dh, sh)
+		}
+	}
+	// CSR views agree with the bit rows, and Edges round-trips.
+	de, se := dense.Edges(), sparse.Edges()
+	if len(de) != len(se) {
+		t.Errorf("Edges length: dense %d, sparse %d", len(de), len(se))
+		return
+	}
+	for i := range de {
+		if de[i] != se[i] {
+			t.Errorf("Edges[%d]: dense %v, sparse %v", i, de[i], se[i])
+			return
+		}
+	}
+	if sparse.IsSparse() {
+		starts, ids := sparse.InCSR()
+		for v := 0; v < n; v++ {
+			row := ids[starts[v]:starts[v+1]]
+			din := dense.InNeighborsInto(v, nil)
+			if len(row) != len(din) {
+				t.Errorf("InCSR row %d length %d, want %d", v, len(row), len(din))
+				continue
+			}
+			for i, u := range row {
+				if int(u) != din[i] {
+					t.Errorf("InCSR row %d entry %d: %d, want %d", v, i, u, din[i])
+				}
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSparseResetKeepsZeroAllocRounds pins the headroom discipline: after
+// warmup, a Reset + refill cycle at a steady edge count performs no
+// allocations, including when a later round modestly exceeds the prior
+// maximum (the log keeps 50% headroom over the high-water mark).
+func TestSparseResetKeepsZeroAllocRounds(t *testing.T) {
+	const n = 4096
+	s := NewEdgeSetSparse(n)
+	fill := func(edges int) {
+		s.Reset()
+		for k := 0; k < edges; k++ {
+			u := (k * 2654435761) % n
+			v := (u + 1 + k%(n-1)) % n
+			s.AddUnchecked(u, v)
+		}
+		_ = s.Len() // force the build
+	}
+	fill(8 * n) // warmup establishes the watermark
+	fill(8 * n)
+	avg := testing.AllocsPerRun(20, func() { fill(8*n + 100) })
+	if avg != 0 {
+		t.Errorf("steady Reset+refill allocated %g times, want 0", avg)
+	}
+}
+
+// TestFillCompleteConvertsSparse checks the representation change and
+// that the converted set behaves like Complete(n).
+func TestFillCompleteConvertsSparse(t *testing.T) {
+	s := NewEdgeSetSparse(67)
+	s.Add(1, 2)
+	s.FillComplete()
+	if s.IsSparse() {
+		t.Fatal("FillComplete should convert to dense")
+	}
+	if got, want := s.Len(), 67*66; got != want {
+		t.Fatalf("complete graph has %d links, want %d", got, want)
+	}
+	if s.Has(5, 5) {
+		t.Fatal("self-loop present after FillComplete")
+	}
+}

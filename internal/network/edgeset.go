@@ -15,19 +15,23 @@ const wordBits = 64
 // [0, n). The model has no self-loops (self-delivery is reliable and
 // modeled inside the algorithms), so Add silently drops (u, u).
 //
-// The representation is a pair of bit matrices — a row per source node
-// (out) and its transpose, a row per destination node (in) — kept in
-// sync by every mutator. n is tiny compared to round counts in every
-// experiment, and both the dynaDegree checker and the simulation
-// engines' delivery core walk neighbor sets thousands of times per run,
-// so word-wise iteration in BOTH directions matters: the delivery core
-// scans a receiver's in-row in O(n/64 + in-degree) instead of probing
-// all n possible senders.
+// Two representations share the one type. The dense default is a pair
+// of bit matrices — a row per source node (out) and its transpose, a
+// row per destination node (in) — kept in sync by every mutator, so
+// word-wise iteration works in BOTH directions: the delivery core scans
+// a receiver's in-row in O(n/64 + in-degree) instead of probing all n
+// possible senders. Past SparseThreshold nodes the bit matrices
+// outgrow the cache (and at n~10⁵ they would not fit memory at all), so
+// NewEdgeSetSparse/NewEdgeSetAuto select a sparse CSR mode instead: a
+// mutation log compacted lazily into sender-major and receiver-major
+// adjacency lists (see csr.go). Every method except InRow works in
+// either mode; IsSparse tells the engines which fused iteration to use.
 type EdgeSet struct {
 	n     int
 	words int
-	out   []uint64 // out[u*words + w]: bitmap of u's outgoing neighbors
-	in    []uint64 // in[v*words + w]: bitmap of v's incoming neighbors
+	out   []uint64  // out[u*words + w]: bitmap of u's outgoing neighbors (dense mode)
+	in    []uint64  // in[v*words + w]: bitmap of v's incoming neighbors (dense mode)
+	csr   *csrState // sparse-mode state; nil means dense
 }
 
 // NewEdgeSet returns an empty edge set over n nodes. Both matrices
@@ -57,6 +61,11 @@ func (e *EdgeSet) Add(u, v int) {
 	if u == v {
 		return
 	}
+	if c := e.csr; c != nil {
+		c.pairs = append(c.pairs, uint64(u)<<32|uint64(uint32(v)))
+		c.dirty = true
+		return
+	}
 	e.out[u*e.words+v/wordBits] |= 1 << (uint(v) % wordBits)
 	e.in[v*e.words+u/wordBits] |= 1 << (uint(u) % wordBits)
 }
@@ -67,6 +76,11 @@ func (e *EdgeSet) Add(u, v int) {
 // already establishes both invariants for every edge — revalidating per
 // edge is measurable at sparse-bench scale. Everyone else wants Add.
 func (e *EdgeSet) AddUnchecked(u, v int) {
+	if c := e.csr; c != nil {
+		c.pairs = append(c.pairs, uint64(u)<<32|uint64(uint32(v)))
+		c.dirty = true
+		return
+	}
 	e.out[u*e.words+v/wordBits] |= 1 << (uint(v) % wordBits)
 	e.in[v*e.words+u/wordBits] |= 1 << (uint(u) % wordBits)
 }
@@ -75,6 +89,10 @@ func (e *EdgeSet) AddUnchecked(u, v int) {
 func (e *EdgeSet) Remove(u, v int) {
 	e.check(u)
 	e.check(v)
+	if e.csr != nil {
+		e.sparseRemove(u, v)
+		return
+	}
 	e.out[u*e.words+v/wordBits] &^= 1 << (uint(v) % wordBits)
 	e.in[v*e.words+u/wordBits] &^= 1 << (uint(u) % wordBits)
 }
@@ -83,12 +101,23 @@ func (e *EdgeSet) Remove(u, v int) {
 func (e *EdgeSet) Has(u, v int) bool {
 	e.check(u)
 	e.check(v)
+	if e.csr != nil {
+		return e.sparseHas(u, v)
+	}
 	return e.out[u*e.words+v/wordBits]&(1<<(uint(v)%wordBits)) != 0
 }
 
 // OutNeighbors returns u's outgoing neighbors in ascending order.
 func (e *EdgeSet) OutNeighbors(u int) []int {
 	e.check(u)
+	if e.csr != nil {
+		row := e.OutList(u)
+		res := make([]int, len(row))
+		for i, v := range row {
+			res[i] = int(v)
+		}
+		return res
+	}
 	var res []int
 	base := u * e.words
 	for w := 0; w < e.words; w++ {
@@ -115,6 +144,12 @@ func (e *EdgeSet) InNeighbors(v int) []int {
 // delivery core's sender gather.
 func (e *EdgeSet) InNeighborsInto(v int, buf []int) []int {
 	e.check(v)
+	if e.csr != nil {
+		for _, u := range e.InList(v) {
+			buf = append(buf, int(u))
+		}
+		return buf
+	}
 	base := v * e.words
 	for w := 0; w < e.words; w++ {
 		bits := e.in[base+w]
@@ -130,6 +165,9 @@ func (e *EdgeSet) InNeighborsInto(v int, buf []int) []int {
 // InDegree returns the number of incoming links at v, word-wise.
 func (e *EdgeSet) InDegree(v int) int {
 	e.check(v)
+	if e.csr != nil {
+		return len(e.InList(v))
+	}
 	d := 0
 	base := v * e.words
 	for w := 0; w < e.words; w++ {
@@ -141,6 +179,9 @@ func (e *EdgeSet) InDegree(v int) int {
 // OutDegree returns the number of outgoing links at u.
 func (e *EdgeSet) OutDegree(u int) int {
 	e.check(u)
+	if e.csr != nil {
+		return len(e.OutList(u))
+	}
 	d := 0
 	base := u * e.words
 	for w := 0; w < e.words; w++ {
@@ -159,6 +200,19 @@ func (e *EdgeSet) OutMissing(u int, mask []uint64) int {
 	if len(mask) != e.words {
 		panic(fmt.Sprintf("network: mask of %d words for %d-node set (want %d)", len(mask), e.n, e.words))
 	}
+	if e.csr != nil {
+		// Nodes in the mask minus the out-neighbors that are in the mask.
+		miss := 0
+		for _, w := range mask {
+			miss += popCount(w)
+		}
+		for _, v := range e.OutList(u) {
+			if mask[int(v)/wordBits]&(1<<(uint(v)%wordBits)) != 0 {
+				miss--
+			}
+		}
+		return miss
+	}
 	base := u * e.words
 	miss := 0
 	for w := 0; w < e.words; w++ {
@@ -169,6 +223,10 @@ func (e *EdgeSet) OutMissing(u int, mask []uint64) int {
 
 // Len returns the total number of directed links.
 func (e *EdgeSet) Len() int {
+	if e.csr != nil {
+		e.build()
+		return int(e.csr.outStart[e.n])
+	}
 	total := 0
 	for _, w := range e.out {
 		total += popCount(w)
@@ -176,9 +234,14 @@ func (e *EdgeSet) Len() int {
 	return total
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy in the same representation.
 func (e *EdgeSet) Clone() *EdgeSet {
-	c := NewEdgeSet(e.n)
+	var c *EdgeSet
+	if e.csr != nil {
+		c = NewEdgeSetSparse(e.n)
+	} else {
+		c = NewEdgeSet(e.n)
+	}
 	c.CopyFrom(e)
 	return c
 }
@@ -187,25 +250,50 @@ func (e *EdgeSet) Clone() *EdgeSet {
 // engine-owned scratch set reusable round after round without
 // allocating.
 func (e *EdgeSet) Reset() {
+	if e.csr != nil {
+		e.sparseReset()
+		return
+	}
 	clear(e.out)
 	clear(e.in)
 }
 
-// CopyFrom overwrites e with other's links without allocating. Both
-// sets must share n.
+// CopyFrom overwrites e with other's links without allocating (beyond
+// log growth in sparse mode). Both sets must share n; the
+// representations may differ — e keeps its own.
 func (e *EdgeSet) CopyFrom(other *EdgeSet) {
 	if other.n != e.n {
 		panic(fmt.Sprintf("network: copy between mismatched sizes %d and %d", e.n, other.n))
 	}
-	copy(e.out, other.out)
-	copy(e.in, other.in)
+	switch {
+	case e.csr != nil && other.csr != nil:
+		e.csr.pairs = append(e.csr.pairs[:0], other.csr.pairs...)
+		e.csr.dirty = true
+	case e.csr != nil:
+		e.sparseLogFromDense(other)
+	case other.csr != nil:
+		clear(e.out)
+		clear(e.in)
+		other.forEachEdge(func(u, v int) bool {
+			e.AddUnchecked(u, v)
+			return true
+		})
+	default:
+		copy(e.out, other.out)
+		copy(e.in, other.in)
+	}
 }
 
 // FillComplete overwrites e with the complete directed graph (every
 // link except self-loops), word-wise — the zero-allocation counterpart
 // of Complete(n). The complete graph is its own transpose, so both
-// matrices get the same pattern.
+// matrices get the same pattern. A sparse set converts to dense first:
+// the complete graph IS dense, and logging n(n−1) pairs would defeat
+// the representation.
 func (e *EdgeSet) FillComplete() {
+	if e.csr != nil {
+		e.makeDense()
+	}
 	e.fillCompleteMatrix(e.out)
 	e.fillCompleteMatrix(e.in)
 }
@@ -225,16 +313,29 @@ func (e *EdgeSet) fillCompleteMatrix(m []uint64) {
 	}
 }
 
-// UnionWith merges other's links into e in place. Both sets must share n.
+// UnionWith merges other's links into e in place. Both sets must share
+// n; the representations may differ.
 func (e *EdgeSet) UnionWith(other *EdgeSet) {
 	if other.n != e.n {
 		panic(fmt.Sprintf("network: union of mismatched sizes %d and %d", e.n, other.n))
 	}
-	for i, w := range other.out {
-		e.out[i] |= w
-	}
-	for i, w := range other.in {
-		e.in[i] |= w
+	switch {
+	case e.csr != nil && other.csr != nil:
+		// The log admits duplicates (build dedups), so a union is an append.
+		e.csr.pairs = append(e.csr.pairs, other.csr.pairs...)
+		e.csr.dirty = true
+	case e.csr != nil || other.csr != nil:
+		other.forEachEdge(func(u, v int) bool {
+			e.AddUnchecked(u, v)
+			return true
+		})
+	default:
+		for i, w := range other.out {
+			e.out[i] |= w
+		}
+		for i, w := range other.in {
+			e.in[i] |= w
+		}
 	}
 }
 
@@ -243,36 +344,79 @@ func (e *EdgeSet) IntersectWith(other *EdgeSet) {
 	if other.n != e.n {
 		panic(fmt.Sprintf("network: intersection of mismatched sizes %d and %d", e.n, other.n))
 	}
-	for i, w := range other.out {
-		e.out[i] &= w
-	}
-	for i, w := range other.in {
-		e.in[i] &= w
+	switch {
+	case e.csr != nil:
+		// Filter the log through other's membership; dedup happens at build.
+		c := e.csr
+		w := 0
+		for _, p := range c.pairs {
+			if other.Has(int(p>>32), int(uint32(p))) {
+				c.pairs[w] = p
+				w++
+			}
+		}
+		c.pairs = c.pairs[:w]
+		c.dirty = true
+	case other.csr != nil:
+		for u := 0; u < e.n; u++ {
+			base := u * e.words
+			for w := 0; w < e.words; w++ {
+				bits := e.out[base+w]
+				for bits != 0 {
+					v := w*wordBits + trailingZeros(bits)
+					bits &= bits - 1
+					if !other.Has(u, v) {
+						e.Remove(u, v)
+					}
+				}
+			}
+		}
+	default:
+		for i, w := range other.out {
+			e.out[i] &= w
+		}
+		for i, w := range other.in {
+			e.in[i] &= w
+		}
 	}
 }
 
-// Equal reports structural equality.
+// Equal reports structural equality, regardless of representation.
 func (e *EdgeSet) Equal(other *EdgeSet) bool {
 	if other == nil || other.n != e.n {
 		return false
 	}
-	for i, w := range other.out {
-		if e.out[i] != w {
+	if e.csr == nil && other.csr == nil {
+		for i, w := range other.out {
+			if e.out[i] != w {
+				return false
+			}
+		}
+		return true
+	}
+	// Mixed or sparse: same link count plus containment one way.
+	if e.Len() != other.Len() {
+		return false
+	}
+	equal := true
+	e.forEachEdge(func(u, v int) bool {
+		if !other.Has(u, v) {
+			equal = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return equal
 }
 
 // Edges returns all directed links as (from, to) pairs in row order,
 // useful for traces and tests.
 func (e *EdgeSet) Edges() [][2]int {
 	res := make([][2]int, 0, e.Len())
-	for u := 0; u < e.n; u++ {
-		for _, v := range e.OutNeighbors(u) {
-			res = append(res, [2]int{u, v})
-		}
-	}
+	e.forEachEdge(func(u, v int) bool {
+		res = append(res, [2]int{u, v})
+		return true
+	})
 	return res
 }
 
@@ -282,8 +426,12 @@ func (e *EdgeSet) Edges() [][2]int {
 // only until the next mutation; callers must treat it as read-only.
 // It exists for the simulation engines' fused gather, which turns the
 // row's bits straight into deliveries without an intermediate neighbor
-// list.
+// list. Dense mode only — sparse callers use InList, the CSR row with
+// the same ascending-sender iteration order.
 func (e *EdgeSet) InRow(v int) []uint64 {
+	if e.csr != nil {
+		panic("network: InRow on a sparse EdgeSet (use InList)")
+	}
 	e.check(v)
 	base := v * e.words
 	return e.in[base : base+e.words : base+e.words]
@@ -294,6 +442,12 @@ func (e *EdgeSet) InRow(v int) []uint64 {
 // Used by the dynaDegree checker to union windows without allocating.
 func (e *EdgeSet) InBitsInto(v int, acc []uint64) {
 	e.check(v)
+	if e.csr != nil {
+		for _, u := range e.InList(v) {
+			acc[int(u)/wordBits] |= 1 << (uint(u) % wordBits)
+		}
+		return
+	}
 	base := v * e.words
 	for w := 0; w < e.words; w++ {
 		acc[w] |= e.in[base+w]

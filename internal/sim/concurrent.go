@@ -28,6 +28,7 @@ type ConcurrentEngine struct {
 	cfg       Config
 	maxRounds int
 	ports     network.Ports
+	ownPorts  bool // ports were engine-built identity numberings (reusable)
 
 	round int
 	view  *execView
@@ -107,40 +108,84 @@ type nodeReply struct {
 // goroutine-per-node execution. Call Close (or finish Run) to release
 // the workers.
 func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
-	maxRounds, err := cfg.validate()
-	if err != nil {
+	e := &ConcurrentEngine{}
+	if err := e.Reset(cfg); err != nil {
 		return nil, err
 	}
-	ports := cfg.Ports
-	if ports == nil {
-		ports = network.IdentityPorts(cfg.N)
+	return e, nil
+}
+
+// Reset reconfigures the engine to execute cfg from round zero,
+// recycling the previous execution's allocations whenever the network
+// size matches — the same discipline as the sequential Engine, so batch
+// drivers can reuse one instance across seeds. Workers of a previous
+// execution are shut down first (they own the old run's processes);
+// Run or Step spawns fresh ones.
+func (e *ConcurrentEngine) Reset(cfg Config) error {
+	maxRounds, err := cfg.validate()
+	if err != nil {
+		return err
 	}
+	e.Close()
 	n := cfg.N
-	e := &ConcurrentEngine{
-		cfg:         cfg,
-		maxRounds:   maxRounds,
-		ports:       ports,
-		snaps:       make([]core.Snapshot, n),
-		isByz:       make([]bool, n),
-		decided:     make([]bool, n),
-		outputs:     make([]float64, n),
-		decideRound: make([]int, n),
-		inputs:      make([]float64, n),
-		broadcasts:  make([]core.Message, n),
-		hasBcast:    make([]bool, n),
-		bcastSize:   make([]int, n),
-		byzMsgs:     make([][]*core.Message, n),
-		delivBufs:   make([][]core.Delivery, n),
-		replyBufs:   make([]nodeReply, n),
-		hasReply:    make([]bool, n),
-		inbuf:       make([]int, 0, n),
-		recvMask:    make([]uint64, network.MaskWords(n)),
-		rvValues:    make([]float64, n),
-		rvRunning:   make([]bool, n),
-		crashRound:  make([]int, n),
-		crashInfo:   make([]fault.Crash, n),
-		replies:     make(chan nodeReply, n),
-		cmds:        make([]chan nodeCmd, n),
+	sameN := e.broadcasts != nil && len(e.broadcasts) == n
+	e.cfg = cfg
+	e.maxRounds = maxRounds
+	e.round = 0
+	e.result = Result{}
+
+	switch {
+	case cfg.Ports != nil:
+		e.ports = cfg.Ports
+		e.ownPorts = false
+	case sameN && e.ownPorts:
+		// keep the identity numberings built for the previous run
+	default:
+		e.ports = network.IdentityPorts(n)
+		e.ownPorts = true
+	}
+
+	if sameN {
+		for i := 0; i < n; i++ {
+			e.snaps[i] = core.Snapshot{}
+			e.isByz[i] = false
+			e.decided[i] = false
+			e.outputs[i] = 0
+			e.decideRound[i] = 0
+			e.inputs[i] = 0
+			e.hasBcast[i] = false
+			e.bcastSize[i] = 0
+			e.byzMsgs[i] = nil // drop last run's slices: nothing stale survives
+			e.replyBufs[i] = nodeReply{}
+			e.hasReply[i] = false
+			if e.delivBufs[i] != nil {
+				e.delivBufs[i] = e.delivBufs[i][:0] // keep the backing arrays
+			}
+		}
+	} else {
+		e.snaps = make([]core.Snapshot, n)
+		e.isByz = make([]bool, n)
+		e.decided = make([]bool, n)
+		e.outputs = make([]float64, n)
+		e.decideRound = make([]int, n)
+		e.inputs = make([]float64, n)
+		e.broadcasts = make([]core.Message, n)
+		e.hasBcast = make([]bool, n)
+		e.bcastSize = make([]int, n)
+		e.byzMsgs = make([][]*core.Message, n)
+		e.delivBufs = make([][]core.Delivery, n)
+		e.replyBufs = make([]nodeReply, n)
+		e.hasReply = make([]bool, n)
+		e.inbuf = make([]int, 0, n)
+		e.recvMask = make([]uint64, network.MaskWords(n))
+		e.rvValues = make([]float64, n)
+		e.rvRunning = make([]bool, n)
+		e.crashRound = make([]int, n)
+		e.crashInfo = make([]fault.Crash, n)
+		e.replies = make(chan nodeReply, n)
+		e.cmds = make([]chan nodeCmd, n)
+		e.edges = nil
+		e.view = nil
 	}
 	fillCrashState(e.crashRound, e.crashInfo, cfg.Crashes)
 	for i := range cfg.Byzantine {
@@ -148,14 +193,29 @@ func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
 	}
 	if ip, ok := cfg.Adversary.(adversary.InPlace); ok {
 		e.inPlace = ip
-		e.edges = network.NewEdgeSet(n)
+		// Same density-regime scratch choice as the sequential engine:
+		// CSR past the size threshold or when forced, bit-matrix below.
+		wantSparse := cfg.ForceCSR || n >= network.SparseThreshold
+		if e.edges == nil || e.edges.IsSparse() != wantSparse {
+			if wantSparse {
+				e.edges = network.NewEdgeSetSparse(n)
+			} else {
+				e.edges = network.NewEdgeSet(n)
+			}
+		}
+	} else {
+		e.inPlace = nil
 	}
 	e.needSize = cfg.AccountBandwidth || cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
 	e.hasCap = cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
 	e.viewSkip = adversary.IsOblivious(cfg.Adversary) && len(cfg.Byzantine) == 0
 	e.lostFast = len(cfg.Byzantine) == 0 && len(cfg.Crashes) == 0 && !e.hasCap
 	e.trackPhases = cfg.Observer != nil || cfg.Recorder != nil
-	e.view = newExecView(&e.cfg, e.isByz)
+	if e.view == nil {
+		e.view = newExecView(&e.cfg, e.isByz)
+	} else {
+		e.view.reset(&e.cfg, e.isByz)
+	}
 	e.faultFree = cfg.FaultFree()
 	for i, p := range cfg.Procs {
 		if p == nil {
@@ -167,7 +227,7 @@ func NewConcurrentEngine(cfg Config) (*ConcurrentEngine, error) {
 			e.noteDecision(i, v, 0)
 		}
 	}
-	return e, nil
+	return nil
 }
 
 // Run executes rounds until all fault-free nodes decide or the budget is
@@ -181,6 +241,17 @@ func (e *ConcurrentEngine) Run() *Result {
 	e.Close()
 	return e.finish()
 }
+
+// Step executes one synchronous round, spawning the node workers on
+// first use. Callers driving rounds manually (steady-state probes,
+// alloc-budget tests) should Close the engine when done.
+func (e *ConcurrentEngine) Step() {
+	e.start()
+	e.step()
+}
+
+// Round returns the number of rounds executed so far.
+func (e *ConcurrentEngine) Round() int { return e.round }
 
 // finish mirrors Engine.finish: one map materialization per run.
 func (e *ConcurrentEngine) finish() *Result {

@@ -174,6 +174,23 @@ type Config struct {
 	// KeepTrace retains the per-round edge sets in the Result for
 	// offline dynaDegree verification.
 	KeepTrace bool
+
+	// RoundWorkers shards the sequential engine's receiver loop across a
+	// persistent worker pool: 0 (or 1) keeps the loop sequential, -1
+	// resolves to GOMAXPROCS, any other positive count is honored as
+	// given (capped at N). Delivery order, observer semantics and every
+	// Result field are bit-for-bit identical to the sequential loop —
+	// receivers are independent within a round, so contiguous receiver
+	// ranges run concurrently with engine-owned per-worker scratch.
+	// Configurations with an Observer or Recorder run sequentially
+	// regardless (their callbacks are ordered streams).
+	RoundWorkers int
+
+	// ForceCSR forces the engine-owned per-round edge scratch into the
+	// sparse CSR representation regardless of N (the default switches at
+	// network.SparseThreshold). Representation never affects results —
+	// the equivalence property tests flip this flag to prove it.
+	ForceCSR bool
 }
 
 // validate checks the invariants shared by both engines and returns the

@@ -41,15 +41,20 @@ func TestDeliveryEquivalenceProperty(t *testing.T) {
 
 		wwCfg, wwRec := cfg(), trace.NewRecorder()
 		wwCfg.Recorder = wwRec
+		// Half the trials force the CSR scratch: the sparse gather paths
+		// (InList fast branch, CSR-backed InNeighborsInto, sparse
+		// OutMissing lost count) must match the reference byte-for-byte
+		// in the faulted/ported/shuffled regime too. The Recorder keeps
+		// these runs sequential, so the parallel loop is pinned by the
+		// bare pair below.
+		wwCfg.ForceCSR = trial%2 == 0
 		wwEng, err := NewEngine(wwCfg)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		ww := wwEng.RunRounds(25)
 
-		if !reflect.DeepEqual(ref, ww) {
-			t.Fatalf("trial %d (n=%d, seed=%d): Results diverge\nref %+v\nww  %+v", trial, n, seed, ref, ww)
-		}
+		assertEqualResults(t, ref, ww, "trial %d (n=%d, seed=%d) recorded pair", trial, n, seed)
 		refEvents, wwEvents := refRec.Events(), wwRec.Events()
 		if !reflect.DeepEqual(refEvents, wwEvents) {
 			for i := range refEvents {
@@ -75,14 +80,42 @@ func TestDeliveryEquivalenceProperty(t *testing.T) {
 		bareRefEng.referenceRound = true
 		bareWW := cfg()
 		bareWW.AccountBandwidth = false
+		// Random CSR/parallel knobs: in this shape the direct-deliver
+		// core, the sequential CSR scatter round and the receiver-
+		// parallel round all arm (depending on the drawn faults, ports
+		// and shuffling), each of which must reproduce the reference
+		// delivery stream exactly.
+		bareWW.ForceCSR = rng.Intn(2) == 0
+		bareWW.RoundWorkers = []int{0, -1, 2, 3, 5}[rng.Intn(5)]
 		bareWWEng, err := NewEngine(bareWW)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if rr, ww := bareRefEng.RunRounds(25), bareWWEng.RunRounds(25); !reflect.DeepEqual(rr, ww) {
-			t.Fatalf("trial %d (n=%d, seed=%d): bare-config Results diverge\nref %+v\nww  %+v",
-				trial, n, seed, rr, ww)
+		rr, ww := bareRefEng.RunRounds(25), bareWWEng.RunRounds(25)
+		assertEqualResults(t, rr, ww, "trial %d (n=%d, seed=%d, csr=%v, workers=%d) bare pair",
+			trial, n, seed, bareWW.ForceCSR, bareWW.RoundWorkers)
+		bareWWEng.Close()
+	}
+}
+
+// assertEqualResults compares two Results for byte-identity, comparing
+// the kept traces through EdgeSet.Equal first: the same round graph may
+// legitimately live in different representations (dense vs CSR), which
+// reflect.DeepEqual on the internals would misreport as divergence.
+func assertEqualResults(t *testing.T, ref, got *Result, format string, args ...any) {
+	t.Helper()
+	if len(ref.Trace) != len(got.Trace) {
+		t.Fatalf(format+": trace length %d vs %d", append(args, len(ref.Trace), len(got.Trace))...)
+	}
+	for i := range ref.Trace {
+		if !ref.Trace[i].Equal(got.Trace[i]) || !got.Trace[i].Equal(ref.Trace[i]) {
+			t.Fatalf(format+": round %d edge sets differ", append(args, i)...)
 		}
+	}
+	refBody, gotBody := *ref, *got
+	refBody.Trace, gotBody.Trace = nil, nil
+	if !reflect.DeepEqual(&refBody, &gotBody) {
+		t.Fatalf(format+": Results diverge\nref %+v\ngot %+v", append(args, &refBody, &gotBody)...)
 	}
 }
 
@@ -268,6 +301,11 @@ func TestDeliveryEquivalenceAcrossReset(t *testing.T) {
 		n := []int{5, 9, 70}[rng.Intn(3)]
 		seed := rng.Int63()
 		refCfg, wwCfg := randomDeliveryConfig(t, n, seed), randomDeliveryConfig(t, n, seed)
+		// Flip representation and worker count across Resets on the SAME
+		// engine: a recycled scratch in the wrong representation must be
+		// rebuilt, a resized worker pool re-created, with no state leak.
+		wwCfg.ForceCSR = rng.Intn(2) == 0
+		wwCfg.RoundWorkers = []int{0, 2, 4}[rng.Intn(3)]
 		var err error
 		if refEng == nil {
 			if refEng, err = NewEngine(refCfg); err != nil {
@@ -286,8 +324,8 @@ func TestDeliveryEquivalenceAcrossReset(t *testing.T) {
 			}
 		}
 		ref, ww := refEng.RunRounds(20), wwEng.RunRounds(20)
-		if !reflect.DeepEqual(ref, ww) {
-			t.Fatalf("trial %d (n=%d, seed=%d): recycled Results diverge", trial, n, seed)
-		}
+		assertEqualResults(t, ref, ww, "trial %d (n=%d, seed=%d, csr=%v, workers=%d) recycled pair",
+			trial, n, seed, wwCfg.ForceCSR, wwCfg.RoundWorkers)
 	}
+	wwEng.Close()
 }

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math/bits"
+	"runtime"
+	"sync"
 
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
@@ -48,14 +50,23 @@ type Engine struct {
 	hasBcast   []bool
 	bcastSize  []int // wire.Size per broadcast, computed once per round
 	byzMsgs    [][]*core.Message
-	deliveries []core.Delivery
-	inbuf      []int             // in-neighbor gather buffer (delivery core)
-	recvMask   []uint64          // word-wise mask of round-t-eligible receivers
-	edges      *network.EdgeSet  // engine-owned E(t) for InPlace adversaries
-	inPlace    adversary.InPlace // non-nil when the adversary has the fast path
-	roundObs   RoundObserver     // cfg.Observer's optional round hook, cached
-	needSize   bool              // any consumer of wire sizes configured
-	hasCap     bool              // any per-link byte budget configured
+	scratch    []recvScratch        // per-worker receiver scratch; scratch[0] serves the sequential loop
+	seq        [1]recvScratch       // fixed backing for the sequential scratch — no slice-header alloc per build
+	flat       []core.Delivery      // sender-major scatter buffer (sequential CSR direct rounds)
+	cursor     []int32              // per-receiver write cursor over flat, seeded from the in-CSR starts
+	bulk       []core.BulkDeliverer // per-node DeliverAll seam, probed once per Reset (nil: plain Deliver)
+	recvMask   []uint64             // word-wise mask of round-t-eligible receivers
+	edges      *network.EdgeSet     // engine-owned E(t) for InPlace adversaries
+	inPlace    adversary.InPlace    // non-nil when the adversary has the fast path
+	roundObs   RoundObserver        // cfg.Observer's optional round hook, cached
+	needSize   bool                 // any consumer of wire sizes configured
+	hasCap     bool                 // any per-link byte budget configured
+
+	// receiver-parallel round state (see parallel.go)
+	workers   int        // resolved Config.RoundWorkers for this run
+	parRounds bool       // shard the receiver loop across the pool
+	pool      *roundPool // persistent pool; created on the first parallel round
+	wg        sync.WaitGroup
 
 	// dense RoundObserver scratch, reused across rounds
 	rvValues  []float64
@@ -165,7 +176,6 @@ func (e *Engine) Reset(cfg Config) error {
 			e.bcastSize[i] = 0
 			e.byzMsgs[i] = nil // drop last run's slices: nothing stale survives
 		}
-		e.deliveries = e.deliveries[:0]
 		e.crashSched = e.crashSched[:0]
 	} else {
 		e.isByz = make([]bool, n)
@@ -180,11 +190,19 @@ func (e *Engine) Reset(cfg Config) error {
 		e.byzMsgs = make([][]*core.Message, n)
 		e.crashRound = make([]int, n)
 		e.crashInfo = make([]fault.Crash, n)
-		// Max in-degree is n−1: sized up front so a later record-degree
-		// round can never regrow it (steady rounds stay at 0 allocs).
-		e.deliveries = make([]core.Delivery, 0, n)
+		// Max in-degree is n−1: buffers sized up front so a later
+		// record-degree round can never regrow them (steady rounds stay
+		// at 0 allocs). scratch[0] serves the sequential loop; ensurePool
+		// extends the slice for parallel rounds.
+		e.seq[0] = recvScratch{
+			deliveries: make([]core.Delivery, 0, n),
+			inbuf:      make([]int, 0, n),
+		}
+		e.scratch = e.seq[:]
+		e.flat = nil
+		e.cursor = nil
+		e.bulk = make([]core.BulkDeliverer, n)
 		e.crashSched = nil
-		e.inbuf = make([]int, 0, n) // max in-degree is n−1; no growth in the round loop
 		e.recvMask = make([]uint64, network.MaskWords(n))
 		e.rvValues = make([]float64, n)
 		e.rvRunning = make([]bool, n)
@@ -216,11 +234,41 @@ func (e *Engine) Reset(cfg Config) error {
 	}
 	e.directDeliver = e.fastGather && e.allIdentity &&
 		!cfg.ShuffleDelivery && !e.trackPhases
+	// Probe each Process for the DeliverAll seam once per run, never per
+	// round: the delivery loops hand a receiver its whole in-edge batch
+	// in one dynamic call when its algorithm supports it.
+	for i, p := range cfg.Procs {
+		if p != nil {
+			e.bulk[i], _ = p.(core.BulkDeliverer)
+		} else {
+			e.bulk[i] = nil
+		}
+	}
+	workers := cfg.RoundWorkers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	e.workers = workers
+	// Observer/Recorder callbacks are ordered streams; those
+	// configurations keep the sequential loop regardless of the knob.
+	e.parRounds = workers > 1 && !e.trackPhases
 
 	if ip, ok := cfg.Adversary.(adversary.InPlace); ok {
 		e.inPlace = ip
-		if e.edges == nil {
-			e.edges = network.NewEdgeSet(n)
+		// The engine-owned scratch follows the density regime: CSR past
+		// the size threshold (or when forced), the bit-matrix below it. A
+		// recycled scratch in the wrong representation — including one a
+		// FillComplete converted to dense mid-run — is rebuilt.
+		wantSparse := cfg.ForceCSR || n >= network.SparseThreshold
+		if e.edges == nil || e.edges.IsSparse() != wantSparse {
+			if wantSparse {
+				e.edges = network.NewEdgeSetSparse(n)
+			} else {
+				e.edges = network.NewEdgeSet(n)
+			}
 		}
 	} else {
 		e.inPlace = nil
@@ -389,76 +437,30 @@ func (e *Engine) Step() {
 
 	// (3) Deliveries, per receiver in node order, per sender in the
 	// receiver's port order — fully deterministic. The gather walks the
-	// edge set's in-neighbor bitmap, so its cost scales with the
-	// receiver's actual in-degree, not n.
-	roundDelivered := 0
+	// edge set's in-neighbor structure (bitmap or CSR row), so its cost
+	// scales with the receiver's actual in-degree, not n. Three
+	// executions of the same per-receiver semantics: the parallel round
+	// shards contiguous receiver ranges over the pool, the sequential
+	// CSR direct round scatters sender-major into per-receiver slices,
+	// and everything else runs deliverRange over the full range.
 	liveView := !e.viewSkip && !e.referenceRound
-	direct := e.directDeliver && !e.referenceRound
-	for v := 0; v < e.cfg.N; v++ {
-		if e.isByz[v] {
-			continue
-		}
-		// A node receives in round t only if it survives the whole
-		// round: its crash round delivers nothing to it.
-		if t >= e.crashRound[v] {
-			continue
-		}
-		proc := e.cfg.Procs[v]
-		if direct {
-			// Fully fused core: each in-row bit becomes a Deliver call
-			// on the spot — same senders, same ascending order as the
-			// buffered path, with no intermediate Delivery written.
-			base := 0
-			for _, w := range edges.InRow(v) {
-				for w != 0 {
-					u := base + bits.TrailingZeros64(w)
-					w &= w - 1
-					proc.Deliver(core.Delivery{Port: u, Msg: e.broadcasts[u]})
-					roundDelivered++
-				}
-				base += 64
-			}
-		} else {
-			e.deliveries = e.deliveries[:0]
-			if e.referenceRound {
-				e.gatherPortLoop(t, v, edges)
-			} else {
-				e.gatherInNeighbors(t, v, edges)
-			}
-			if e.cfg.ShuffleDelivery {
-				shuffleDeliveries(e.deliveries, e.cfg.ShuffleSeed, t, v)
-			}
-			roundDelivered += len(e.deliveries)
-			if e.trackPhases {
-				for _, d := range e.deliveries {
-					if e.cfg.Recorder != nil {
-						e.cfg.Recorder.Record(trace.Event{
-							Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
-							Value: d.Msg.Value, Phase: d.Msg.Phase,
-						})
-					}
-					before := proc.Phase()
-					proc.Deliver(d)
-					if after := proc.Phase(); after != before {
-						e.notePhase(v, before, after, proc.Value(), t)
-					}
-				}
-			} else {
-				// No Observer, no Recorder: phase transitions have no
-				// consumer, so the before/after Phase() probes (pure
-				// reads) are skipped wholesale.
-				for _, d := range e.deliveries {
-					proc.Deliver(d)
-				}
-			}
-		}
-		proc.EndRound()
-		e.noteDecision(v, proc, t)
-		if liveView {
-			// End-of-round state IS the start-of-next-round snapshot:
-			// nothing mutates the process until its next Deliver.
-			e.view.snaps[v] = core.Snap(proc)
-		}
+	sparse := edges.IsSparse()
+	var roundDelivered int
+	switch {
+	case e.parRounds && !e.referenceRound:
+		var bytes, oversized int
+		roundDelivered, bytes, oversized = e.parallelRound(t, edges, liveView, sparse)
+		e.result.BytesDelivered += bytes
+		e.result.MessagesOversized += oversized
+	case sparse && e.directDeliver && !e.referenceRound && edges.Len() <= scatterMaxEdges:
+		roundDelivered = e.scatterRound(t, edges, liveView)
+	default:
+		s := &e.scratch[0]
+		s.delivered, s.bytes, s.oversized = 0, 0, 0
+		e.deliverRange(t, 0, e.cfg.N, edges, s, liveView, sparse)
+		roundDelivered = s.delivered
+		e.result.BytesDelivered += s.bytes
+		e.result.MessagesOversized += s.oversized
 	}
 	e.result.MessagesDelivered += roundDelivered
 
@@ -480,52 +482,238 @@ func (e *Engine) Step() {
 	e.round++
 }
 
+// deliverRange processes receivers [lo, hi): gather (or fused direct
+// delivery), algorithm calls, end-of-round bookkeeping. It is the
+// shared round core of the sequential loop (the full range) and the
+// parallel round (contiguous sub-ranges on pool workers): receivers
+// are independent within a round — everything cross-receiver it
+// touches is either frozen for the round (edges, broadcasts, byzMsgs,
+// crash state) or indexed by the receiver (decided/outputs/
+// decideRound, view snapshots) — so disjoint ranges compose to exactly
+// the sequential result, in the same per-receiver delivery order.
+// Counters accumulate into the range's own scratch; the caller folds
+// them into the Result.
+func (e *Engine) deliverRange(t, lo, hi int, edges *network.EdgeSet, s *recvScratch, liveView, sparse bool) {
+	direct := e.directDeliver && !e.referenceRound
+	delivered := 0
+	for v := lo; v < hi; v++ {
+		if e.isByz[v] {
+			continue
+		}
+		// A node receives in round t only if it survives the whole
+		// round: its crash round delivers nothing to it.
+		if t >= e.crashRound[v] {
+			continue
+		}
+		proc := e.cfg.Procs[v]
+		switch {
+		case direct && e.bulk[v] != nil:
+			// Fused core with the DeliverAll seam: batch the receiver's
+			// whole in-edge slice and hand it over in ONE dynamic call —
+			// the fold inside dispatches statically. Same senders, same
+			// ascending order as the per-edge path.
+			ds := s.deliveries[:0]
+			if sparse {
+				for _, u := range edges.InList(v) {
+					ds = append(ds, core.Delivery{Port: int(u), Msg: e.broadcasts[u]})
+				}
+			} else {
+				base := 0
+				for _, w := range edges.InRow(v) {
+					for w != 0 {
+						u := base + bits.TrailingZeros64(w)
+						w &= w - 1
+						ds = append(ds, core.Delivery{Port: u, Msg: e.broadcasts[u]})
+					}
+					base += 64
+				}
+			}
+			s.deliveries = ds
+			delivered += len(ds)
+			e.bulk[v].DeliverAll(ds)
+		case direct:
+			// Fused per-edge core for algorithms without the seam: each
+			// in-edge becomes a Deliver call on the spot, with no
+			// intermediate Delivery written.
+			if sparse {
+				for _, u := range edges.InList(v) {
+					proc.Deliver(core.Delivery{Port: int(u), Msg: e.broadcasts[u]})
+					delivered++
+				}
+			} else {
+				base := 0
+				for _, w := range edges.InRow(v) {
+					for w != 0 {
+						u := base + bits.TrailingZeros64(w)
+						w &= w - 1
+						proc.Deliver(core.Delivery{Port: u, Msg: e.broadcasts[u]})
+						delivered++
+					}
+					base += 64
+				}
+			}
+		default:
+			s.deliveries = s.deliveries[:0]
+			if e.referenceRound {
+				e.gatherPortLoop(t, v, edges, s)
+			} else {
+				e.gatherInNeighbors(t, v, edges, s, sparse)
+			}
+			if e.cfg.ShuffleDelivery {
+				shuffleDeliveries(s.deliveries, e.cfg.ShuffleSeed, t, v)
+			}
+			delivered += len(s.deliveries)
+			if e.trackPhases {
+				// Observer/Recorder configured: sequential-only (parRounds
+				// excludes it), per-delivery probes interleaved.
+				for _, d := range s.deliveries {
+					if e.cfg.Recorder != nil {
+						e.cfg.Recorder.Record(trace.Event{
+							Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
+							Value: d.Msg.Value, Phase: d.Msg.Phase,
+						})
+					}
+					before := proc.Phase()
+					proc.Deliver(d)
+					if after := proc.Phase(); after != before {
+						e.notePhase(v, before, after, proc.Value(), t)
+					}
+				}
+			} else if b := e.bulk[v]; b != nil {
+				b.DeliverAll(s.deliveries)
+			} else {
+				for _, d := range s.deliveries {
+					proc.Deliver(d)
+				}
+			}
+		}
+		proc.EndRound()
+		e.noteDecision(v, proc, t)
+		if liveView {
+			// End-of-round state IS the start-of-next-round snapshot:
+			// nothing mutates the process until its next Deliver.
+			e.view.snaps[v] = core.Snap(proc)
+		}
+	}
+	s.delivered += delivered
+}
+
+// scatterMaxEdges bounds the rounds that take the sender-major scatter:
+// the flat buffer holds one Delivery (48 B) per edge, and past roughly
+// a quarter-million edges it outgrows the last-level cache — the
+// scatter's random writes then cost more than the per-receiver gather's
+// random broadcast reads (measured: the crossover sits between the
+// n=16385 and n=65537 er2 rows of BenchmarkEngineRound). Above the
+// bound the direct CSR round falls back to deliverRange's per-receiver
+// InList gather, which touches only a receiver-sized buffer.
+const scatterMaxEdges = 1 << 18
+
+// scatterRound is the sequential CSR direct round: instead of gathering
+// per receiver (one random broadcast read per edge), it walks the
+// senders once and scatters each broadcast down its out-row into a
+// flat sender-major delivery buffer partitioned by the in-CSR row
+// starts — then hands every receiver its contiguous in-edge slice in
+// one DeliverAll (or a per-edge fold for algorithms without the seam).
+// Reachable only under directDeliver (no faults, identity ports, no
+// shuffle, no observers), so every node is alive and Port == sender ID;
+// each receiver's slice comes out in ascending sender order because the
+// scatter's outer loop ascends, matching the gather paths bit-for-bit.
+func (e *Engine) scatterRound(t int, edges *network.EdgeSet, liveView bool) int {
+	n := e.cfg.N
+	inStarts, _ := edges.InCSR()
+	outStarts, outIDs := edges.OutCSR()
+	total := int(outStarts[n])
+	if cap(e.flat) < total {
+		// Same headroom discipline as the sparse edge log: a later
+		// record-edge round within 25% of the high-water mark keeps
+		// steady rounds allocation-free.
+		e.flat = make([]core.Delivery, 0, total+total/4)
+	}
+	flat := e.flat[:total]
+	if cap(e.cursor) < n {
+		e.cursor = make([]int32, n)
+	}
+	cursor := e.cursor[:n]
+	copy(cursor, inStarts[:n])
+	for u := 0; u < n; u++ {
+		m := e.broadcasts[u]
+		for _, v := range outIDs[outStarts[u]:outStarts[u+1]] {
+			c := cursor[v]
+			flat[c] = core.Delivery{Port: u, Msg: m}
+			cursor[v] = c + 1
+		}
+	}
+	for v := 0; v < n; v++ {
+		proc := e.cfg.Procs[v]
+		ds := flat[inStarts[v]:inStarts[v+1]]
+		if b := e.bulk[v]; b != nil {
+			b.DeliverAll(ds)
+		} else {
+			for i := range ds {
+				proc.Deliver(ds[i])
+			}
+		}
+		proc.EndRound()
+		e.noteDecision(v, proc, t)
+		if liveView {
+			e.view.snaps[v] = core.Snap(proc)
+		}
+	}
+	e.flat = flat
+	return total
+}
+
 // gatherInNeighbors is the delivery core: it iterates only v's actual
-// in-neighbors off the edge set's transposed bitmap (O(in-degree)),
-// maps each sender to v's local port in O(1), and restores the
-// documented ascending-port delivery order — bit-for-bit the order the
-// reference port loop produces, because ports are a bijection. Under
-// the default identity numbering ascending node order already IS
-// ascending port order and the sort is skipped entirely.
-func (e *Engine) gatherInNeighbors(t, v int, edges *network.EdgeSet) {
+// in-neighbors off the edge set's transposed structure — the bitmap
+// in-row dense, the CSR in-list sparse, both O(in-degree) — maps each
+// sender to v's local port in O(1), and restores the documented
+// ascending-port delivery order — bit-for-bit the order the reference
+// port loop produces, because ports are a bijection. Under the default
+// identity numbering ascending node order already IS ascending port
+// order and the sort is skipped entirely.
+func (e *Engine) gatherInNeighbors(t, v int, edges *network.EdgeSet, s *recvScratch, sparse bool) {
 	if e.fastGather && e.allIdentity {
 		// No Byzantine senders, no crashes, no caps, no bandwidth
 		// accounting, identity ports: every in-neighbor delivers its
 		// broadcast at port == node ID, already in ascending order —
-		// outgoing()'s per-sender checks are all statically true. The
-		// in-row bits turn straight into deliveries, with no
-		// intermediate neighbor list.
+		// outgoing()'s per-sender checks are all statically true.
+		if sparse {
+			for _, u := range edges.InList(v) {
+				s.deliveries = append(s.deliveries, core.Delivery{Port: int(u), Msg: e.broadcasts[u]})
+			}
+			return
+		}
 		base := 0
 		for _, w := range edges.InRow(v) {
 			for w != 0 {
 				u := base + bits.TrailingZeros64(w)
 				w &= w - 1
-				e.deliveries = append(e.deliveries, core.Delivery{Port: u, Msg: e.broadcasts[u]})
+				s.deliveries = append(s.deliveries, core.Delivery{Port: u, Msg: e.broadcasts[u]})
 			}
 			base += 64
 		}
 		return
 	}
 	numbering := e.ports[v]
-	e.inbuf = edges.InNeighborsInto(v, e.inbuf[:0])
-	for _, u := range e.inbuf {
+	s.inbuf = edges.InNeighborsInto(v, s.inbuf[:0])
+	for _, u := range s.inbuf {
 		m, size, ok := e.outgoing(t, u, v)
 		if !ok {
 			continue // sender silent towards v (crashed, partial, or Byzantine nil)
 		}
 		if e.hasCap {
 			if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
-				e.result.MessagesOversized++
+				s.oversized++
 				continue // the link cannot carry a message this large
 			}
 		}
-		e.deliveries = append(e.deliveries, core.Delivery{Port: numbering.PortOf(u), Msg: *m})
+		s.deliveries = append(s.deliveries, core.Delivery{Port: numbering.PortOf(u), Msg: *m})
 		if e.cfg.AccountBandwidth {
-			e.result.BytesDelivered += size
+			s.bytes += size
 		}
 	}
 	if !numbering.IsIdentity() {
-		sortDeliveriesByPort(e.deliveries)
+		sortDeliveriesByPort(s.deliveries)
 	}
 }
 
@@ -533,7 +721,7 @@ func (e *Engine) gatherInNeighbors(t, v int, edges *network.EdgeSet) {
 // ports in ascending order and probe the edge set per sender. Kept
 // solely as the equivalence oracle for the word-wise path (see
 // referenceRound); it is not reachable in production configurations.
-func (e *Engine) gatherPortLoop(t, v int, edges *network.EdgeSet) {
+func (e *Engine) gatherPortLoop(t, v int, edges *network.EdgeSet, s *recvScratch) {
 	numbering := e.ports[v]
 	for port := 0; port < e.cfg.N; port++ {
 		u := numbering.Node(port)
@@ -545,12 +733,12 @@ func (e *Engine) gatherPortLoop(t, v int, edges *network.EdgeSet) {
 			continue
 		}
 		if limit := e.cfg.linkCap(u, v); limit > 0 && size > limit {
-			e.result.MessagesOversized++
+			s.oversized++
 			continue
 		}
-		e.deliveries = append(e.deliveries, core.Delivery{Port: port, Msg: *m})
+		s.deliveries = append(s.deliveries, core.Delivery{Port: port, Msg: *m})
 		if e.cfg.AccountBandwidth {
-			e.result.BytesDelivered += size
+			s.bytes += size
 		}
 	}
 }

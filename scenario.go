@@ -77,6 +77,16 @@ type Scenario struct {
 	// sequential one (identical results, parallel execution).
 	Concurrent bool
 
+	// RoundWorkers shards the sequential engine's receiver loop across
+	// a persistent worker pool (0/1: sequential, -1: GOMAXPROCS);
+	// results are bit-for-bit identical. See sim.Config.RoundWorkers.
+	RoundWorkers int
+
+	// ForceCSR forces the engine's per-round edge scratch into the
+	// sparse CSR representation below the automatic size threshold;
+	// results are bit-for-bit identical. See sim.Config.ForceCSR.
+	ForceCSR bool
+
 	// Tracker, when non-nil, reconstructs the V(p) multisets during the
 	// run (it is seeded with the inputs automatically).
 	Tracker *PhaseTracker
@@ -103,29 +113,34 @@ func (s Scenario) Run() (*Result, error) {
 	return s.runOn(&engineBox{})
 }
 
-// engineBox carries a recyclable sequential engine between runs. The
-// batch harness gives every worker one box, so a thousand-seed batch
-// builds the engine's views and scratch once per worker instead of once
-// per seed.
+// engineBox carries a recyclable engine between runs (sequential and
+// concurrent each have their own slot). The batch harness gives every
+// worker one box, so a thousand-seed batch builds the engine's views
+// and scratch once per worker instead of once per seed.
 type engineBox struct {
-	eng *sim.Engine
+	eng  *sim.Engine
+	ceng *sim.ConcurrentEngine
 }
 
 // runOn executes the scenario, recycling the box's engine when one is
 // already there (a Reset engine is indistinguishable from a fresh one —
-// asserted by the recycle tests). Concurrent scenarios always build a
-// fresh engine: goroutine pools are torn down at the end of each run.
+// asserted by the recycle tests). Concurrent engines recycle their
+// buffers the same way; only the per-run goroutines are rebuilt.
 func (s Scenario) runOn(box *engineBox) (*Result, error) {
 	cfg, err := s.build()
 	if err != nil {
 		return nil, err
 	}
 	if s.Concurrent {
-		eng, err := sim.NewConcurrentEngine(*cfg)
-		if err != nil {
+		if box.ceng == nil {
+			box.ceng, err = sim.NewConcurrentEngine(*cfg)
+			if err != nil {
+				return nil, err
+			}
+		} else if err := box.ceng.Reset(*cfg); err != nil {
 			return nil, err
 		}
-		return eng.Run(), nil
+		return box.ceng.Run(), nil
 	}
 	if box.eng == nil {
 		box.eng, err = sim.NewEngine(*cfg)
@@ -240,6 +255,8 @@ func (s Scenario) config(procs []core.Process, ports network.Ports, byz map[int]
 		LinkBandwidth:    s.LinkBandwidth,
 		ShuffleDelivery:  s.ShuffleDelivery,
 		ShuffleSeed:      seed,
+		RoundWorkers:     s.RoundWorkers,
+		ForceCSR:         s.ForceCSR,
 	}
 }
 
