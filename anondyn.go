@@ -31,6 +31,7 @@ import (
 	"anondyn/internal/adversary"
 	"anondyn/internal/analysis"
 	"anondyn/internal/fault"
+	"anondyn/internal/metrics"
 	"anondyn/internal/network"
 	"anondyn/internal/sim"
 	"anondyn/internal/trace"
@@ -164,6 +165,17 @@ type (
 	EdgeSet = network.EdgeSet
 	// Trace is a finite dynamic-graph prefix, E(0), E(1), ….
 	Trace = network.Trace
+	// MetricsSink receives live metrics emissions (one sample per engine
+	// round, one per completed batch run). Pass as Scenario.Metrics or
+	// BatchOptions.Metrics; attaching a sink never changes results.
+	MetricsSink = metrics.Sink
+	// MetricsCollector is the lock-cheap aggregating MetricsSink:
+	// atomics on the hot path, snapshots on demand, NDJSON streaming via
+	// the metrics package.
+	MetricsCollector = metrics.Collector
+	// MetricsSnapshot is one point-in-time aggregate of a collector;
+	// every wall-clock-derived field lives in its Timing sub-struct.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // Crash-fault constructors (re-exports).
@@ -186,6 +198,11 @@ func NewRangeSeries() *RangeSeries { return analysis.NewRangeSeries() }
 
 // NewRecorder returns an event recorder to pass as Scenario.Recorder.
 func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// NewMetricsCollector returns a collector to pass as Scenario.Metrics
+// or BatchOptions.Metrics. One collector may be shared by any number of
+// concurrent runs and pools.
+func NewMetricsCollector() *MetricsCollector { return metrics.NewCollector() }
 
 // Replay wraps a recorded execution's edge sets as an adversary: re-run
 // the same deterministic algorithm with the same inputs and ports

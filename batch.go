@@ -5,6 +5,7 @@ import (
 
 	"anondyn/internal/analysis"
 	"anondyn/internal/harness"
+	"anondyn/internal/metrics"
 )
 
 // ResultSink consumes the results of a seeded batch as they complete.
@@ -32,16 +33,41 @@ type BatchOptions struct {
 	// size. 0 = unbounded; values below the worker count are raised to
 	// it.
 	MaxPending int
+	// Metrics, when non-nil, watches the whole batch live: it is
+	// attached to every run's engine (unless the scenario sets its own
+	// sink), receives one RunSample per completed run in batch order,
+	// and — when it also implements the pool-observer methods, as
+	// MetricsCollector does — tracks pool size and worker utilization.
+	// Purely observational: results are bit-identical with or without
+	// it.
+	Metrics MetricsSink
 }
 
 // harness converts the options to the harness layer's form.
 func (o BatchOptions) harness() harness.Options {
-	return harness.Options{
+	h := harness.Options{
 		Workers:    o.Workers,
 		Retries:    o.Retries,
 		OnProgress: o.OnProgress,
 		MaxPending: o.MaxPending,
 	}
+	if po, ok := o.Metrics.(harness.PoolObserver); ok {
+		h.Observer = po
+	}
+	return h
+}
+
+// runDone emits one RunSample for a completed run, in batch order.
+func (o BatchOptions) runDone(res *Result) {
+	if o.Metrics == nil {
+		return
+	}
+	o.Metrics.RunDone(metrics.RunSample{
+		Decided:   res.Decided,
+		Rounds:    res.Rounds,
+		Delivered: res.MessagesDelivered,
+		Lost:      res.MessagesLost,
+	})
 }
 
 // RunManyStream executes the scenario produced by mk(seed) for each
@@ -63,14 +89,22 @@ func RunManyStream(seeds []int64, mk func(seed int64) Scenario, sink ResultSink,
 	return harness.RunPooled(len(seeds),
 		func() (*engineBox, error) { return &engineBox{}, nil },
 		func(box *engineBox, i int) (*Result, error) {
-			res, err := mk(seeds[i]).runOn(box)
+			s := mk(seeds[i])
+			if s.Metrics == nil {
+				s.Metrics = opts.Metrics
+			}
+			res, err := s.runOn(box)
 			if err != nil {
 				return nil, fmt.Errorf("anondyn: seed %d: %w", seeds[i], err)
 			}
 			return res, nil
 		},
 		func(i int, res *Result) error {
-			return sink.Consume(i, seeds[i], res)
+			if err := sink.Consume(i, seeds[i], res); err != nil {
+				return err
+			}
+			opts.runDone(res)
+			return nil
 		},
 		opts.harness())
 }
@@ -95,7 +129,13 @@ func RunManyCompiled(family func() Scenario, seeds []int64, inputs func(seed int
 		return fmt.Errorf("anondyn: compile: %w", err)
 	}
 	return harness.RunPooled(len(seeds),
-		func() (*CompiledScenario, error) { return family().Compile() },
+		func() (*CompiledScenario, error) {
+			tpl := family()
+			if tpl.Metrics == nil {
+				tpl.Metrics = opts.Metrics
+			}
+			return tpl.Compile()
+		},
 		func(cs *CompiledScenario, i int) (*Result, error) {
 			var in []float64
 			if inputs != nil {
@@ -108,7 +148,11 @@ func RunManyCompiled(family func() Scenario, seeds []int64, inputs func(seed int
 			return res, nil
 		},
 		func(i int, res *Result) error {
-			return sink.Consume(i, seeds[i], res)
+			if err := sink.Consume(i, seeds[i], res); err != nil {
+				return err
+			}
+			opts.runDone(res)
+			return nil
 		},
 		opts.harness())
 }

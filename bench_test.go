@@ -15,6 +15,7 @@ import (
 	"anondyn"
 	"anondyn/internal/core"
 	"anondyn/internal/experiments"
+	"anondyn/internal/metrics"
 	"anondyn/internal/sim"
 )
 
@@ -285,6 +286,49 @@ func TestSteadyRoundAllocBudget(t *testing.T) {
 			t.Errorf("steady-state concurrent round allocated %g times per round, want 0", avg)
 		}
 	})
+}
+
+// TestSteadyRoundAllocBudgetMetrics holds the same budget with a live
+// Collector attached: the engine's emitRound builds its RoundSample on
+// the stack and the Collector's hot path is all atomics, so enabling
+// metrics must not add a single amortized allocation to the steady
+// round — on the dense path, the forced-CSR path, and receiver-parallel
+// rounds alike.
+func TestSteadyRoundAllocBudgetMetrics(t *testing.T) {
+	attach := func(coll *metrics.Collector) func(*sim.Config) {
+		return func(cfg *sim.Config) { cfg.Hooks.Metrics = coll }
+	}
+	for name, mk := range steadyAdversaries() {
+		t.Run(name, func(t *testing.T) {
+			coll := metrics.NewCollector()
+			eng := steadyEngine(t, 9, mk(), attach(coll))
+			if avg := testing.AllocsPerRun(200, eng.Step); avg != 0 {
+				t.Errorf("metrics-enabled round allocated %g times per round, want 0", avg)
+			}
+			if snap := coll.Snapshot(); snap.Rounds == 0 {
+				t.Error("collector saw no rounds")
+			}
+		})
+	}
+	for _, sub := range []struct {
+		name    string
+		csr     bool
+		workers int
+	}{{"er2/n=1025/csr", true, 0}, {"er2/n=1025/par", false, 2}} {
+		t.Run(sub.name, func(t *testing.T) {
+			coll := metrics.NewCollector()
+			eng := steadyEngine(t, 1025, anondyn.SparseProbabilistic(8.0/1025, 1),
+				func(cfg *sim.Config) { cfg.ForceCSR = sub.csr; cfg.RoundWorkers = sub.workers },
+				attach(coll))
+			defer eng.Close()
+			if avg := testing.AllocsPerRun(50, eng.Step); avg != 0 {
+				t.Errorf("metrics-enabled round allocated %g times per round, want 0", avg)
+			}
+			if snap := coll.Snapshot(); snap.Rounds == 0 || snap.Delivered == 0 {
+				t.Errorf("collector saw nothing: rounds=%d delivered=%d", snap.Rounds, snap.Delivered)
+			}
+		})
+	}
 }
 
 // steadyConcurrentEngine mirrors steadyEngine for the goroutine-per-

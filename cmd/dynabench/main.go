@@ -33,7 +33,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +45,8 @@ import (
 	"anondyn/internal/analysis"
 	"anondyn/internal/experiments"
 	"anondyn/internal/harness"
+	"anondyn/internal/metrics"
+	"anondyn/internal/report"
 	"anondyn/internal/shard"
 	"anondyn/internal/spec"
 )
@@ -60,24 +61,25 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dynabench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "", "run only this experiment (e.g. E3)")
-		list      = fs.Bool("list", false, "list available experiments and exit")
-		csvDir    = fs.String("csv", "", "directory to write per-experiment CSV files into")
-		workers   = fs.Int("workers", 0, "worker-pool size for experiments (outer and inner pools) and sweeps (0 = GOMAXPROCS)")
-		sweep     = fs.Bool("sweep", false, "run a scenario-matrix sweep instead of the experiment registry")
-		nsSpec    = fs.String("ns", "5,7,9,11", "sweep axis: network sizes")
-		fsSpec    = fs.String("fs", "0", "sweep axis: fault bounds")
-		epsSpec   = fs.String("epss", "1e-3", "sweep axis: ε values")
-		algoSpec  = fs.String("algos", "dac", "sweep axis: algorithms (dac,dbac,…)")
-		advSpec   = fs.String("advs", "complete", "sweep axis: adversaries (complete | halves | chasemin | fig1 | isolate:<v> | rotating:<d> | clustered:<T> | starve:<d> | er:<p>[,<seed>] | random:<B>,<D>[,<extra>[,<seed>]] | starveperiod:<T>; degrees accept crashdeg/byzdeg)")
-		seedsN    = fs.Int("seeds", 20, "sweep: Monte-Carlo runs per cell (with -spec/-spec-dir: override the file's seeds_per_cell)")
-		baseSeed  = fs.Int64("seed", 0, "sweep: base seed")
-		maxRounds = fs.Int("rounds", 20000, "sweep: round budget per run")
-		reportOut = fs.String("report", "", "sweep: write the aggregate rows as JSON to this file")
-		specFile  = fs.String("spec", "", "run the sweep defined in this YAML/JSON scenario file")
-		specDir   = fs.String("spec-dir", "", "run every scenario file (*.yaml, *.yml, *.json) in this directory")
-		saveSpec  = fs.String("save-spec", "", "with -sweep: additionally write the sweep as a spec file")
-		serveAddr = fs.String("serve", "", "run as a distributed sweep worker on this address (shards arrive from dynagrid; -workers sizes the per-shard pool)")
+		exp        = fs.String("exp", "", "run only this experiment (e.g. E3)")
+		list       = fs.Bool("list", false, "list available experiments and exit")
+		csvDir     = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		workers    = fs.Int("workers", 0, "worker-pool size for experiments (outer and inner pools) and sweeps (0 = GOMAXPROCS)")
+		sweep      = fs.Bool("sweep", false, "run a scenario-matrix sweep instead of the experiment registry")
+		nsSpec     = fs.String("ns", "5,7,9,11", "sweep axis: network sizes")
+		fsSpec     = fs.String("fs", "0", "sweep axis: fault bounds")
+		epsSpec    = fs.String("epss", "1e-3", "sweep axis: ε values")
+		algoSpec   = fs.String("algos", "dac", "sweep axis: algorithms (dac,dbac,…)")
+		advSpec    = fs.String("advs", "complete", "sweep axis: adversaries (complete | halves | chasemin | fig1 | isolate:<v> | rotating:<d> | clustered:<T> | starve:<d> | er:<p>[,<seed>] | random:<B>,<D>[,<extra>[,<seed>]] | starveperiod:<T>; degrees accept crashdeg/byzdeg)")
+		seedsN     = fs.Int("seeds", 20, "sweep: Monte-Carlo runs per cell (with -spec/-spec-dir: override the file's seeds_per_cell)")
+		baseSeed   = fs.Int64("seed", 0, "sweep: base seed")
+		maxRounds  = fs.Int("rounds", 20000, "sweep: round budget per run")
+		reportOut  = fs.String("report", "", `sweep: "csv"/"json"/"html" for stdout, or a path (.csv/.html → that format, else JSON); with -spec-dir, one file per spec`)
+		metricsOut = fs.String("metrics", "", "stream live metrics snapshots as NDJSON to this file or host:port address")
+		specFile   = fs.String("spec", "", "run the sweep defined in this YAML/JSON scenario file")
+		specDir    = fs.String("spec-dir", "", "run every scenario file (*.yaml, *.yml, *.json) in this directory")
+		saveSpec   = fs.String("save-spec", "", "with -sweep: additionally write the sweep as a spec file")
+		serveAddr  = fs.String("serve", "", "run as a distributed sweep worker on this address (shards arrive from dynagrid; -workers sizes the per-shard pool)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,16 +87,26 @@ func run(args []string) error {
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
+	coll, closeMetrics, err := metrics.Start(*metricsOut, 0)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics() //nolint:errcheck // final snapshot write; fate shared with stdout
+
 	if *serveAddr != "" {
 		if *sweep || *specFile != "" || *specDir != "" {
 			return fmt.Errorf("-serve is a worker mode; the sweep arrives from the dynagrid coordinator")
 		}
-		w, err := shard.NewWorker(*serveAddr, shard.WorkerOptions{
+		wopts := shard.WorkerOptions{
 			Workers: *workers,
 			Log: func(format string, a ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", a...)
 			},
-		})
+		}
+		if coll != nil {
+			wopts.Metrics = coll
+		}
+		w, err := shard.NewWorker(*serveAddr, wopts)
 		if err != nil {
 			return err
 		}
@@ -113,16 +125,14 @@ func run(args []string) error {
 		if explicit["seeds"] {
 			seedsOverride = *seedsN
 		}
+		target := report.ParseTarget(*reportOut)
 		if *specDir != "" {
 			if *specFile != "" {
 				return fmt.Errorf("-spec and -spec-dir are mutually exclusive")
 			}
-			if *reportOut != "" {
-				return fmt.Errorf("-report wants a single -spec sweep")
-			}
-			return runSpecDir(*specDir, seedsOverride, *workers)
+			return runSpecDir(*specDir, seedsOverride, *workers, target, coll)
 		}
-		return runSpecFile(*specFile, seedsOverride, *workers, *reportOut, true)
+		return runSpecFile(*specFile, seedsOverride, *workers, target, coll, true)
 	}
 
 	if *sweep {
@@ -130,7 +140,7 @@ func run(args []string) error {
 			ns: *nsSpec, fs: *fsSpec, epss: *epsSpec, algos: *algoSpec, advs: *advSpec,
 			seeds: *seedsN, baseSeed: *baseSeed, maxRounds: *maxRounds,
 			workers: *workers, reportOut: *reportOut, saveSpec: *saveSpec,
-		})
+		}, coll)
 	}
 	if *saveSpec != "" {
 		return fmt.Errorf("-save-spec wants -sweep (it captures the sweep flags)")
@@ -214,19 +224,10 @@ type sweepFlags struct {
 	saveSpec                  string
 }
 
-// sweepReport is the JSON envelope of one sweep.
-type sweepReport struct {
-	Spec         string               `json:"spec,omitempty"`
-	SeedsPerCell int                  `json:"seeds_per_cell"`
-	BaseSeed     int64                `json:"base_seed"`
-	Workers      int                  `json:"workers"`
-	Cells        []anondyn.CellResult `json:"cells"`
-}
-
 // runSweep builds the Grid from the axis flags, optionally saves it as
 // a spec file, runs it on the worker pool, prints one aggregate row
-// per cell, and optionally writes JSON.
-func runSweep(sf sweepFlags) error {
+// per cell, and optionally writes the report.
+func runSweep(sf sweepFlags, coll *metrics.Collector) error {
 	grid, err := sf.grid()
 	if err != nil {
 		return err
@@ -238,7 +239,7 @@ func runSweep(sf sweepFlags) error {
 		fmt.Printf("(spec written to %s)\n", sf.saveSpec)
 	}
 	title := fmt.Sprintf("sweep: %d cells × %d seeds", len(grid.Cells()), max(sf.seeds, 1))
-	return printSweep(grid, title, "", sf.workers, sf.reportOut)
+	return printSweep(grid, title, "", sf.workers, report.ParseTarget(sf.reportOut), coll)
 }
 
 // grid assembles the sweep Grid from the axis flags.
@@ -320,42 +321,51 @@ func writeGridSpec(grid anondyn.Grid, path string) error {
 	return os.WriteFile(path, sw.Encode(), 0o644)
 }
 
-// printSweep runs one grid, prints the aggregate table, and optionally
-// writes the JSON report.
-func printSweep(grid anondyn.Grid, title, specName string, workers int, reportOut string) error {
-	rows, err := grid.Run(anondyn.BatchOptions{Workers: workers})
+// printSweep runs one grid, prints the aggregate table (unless a
+// stdout report mode replaces it), and writes the requested report.
+// The HTML format additionally runs one extra seed per cell to chart
+// its convergence curve.
+func printSweep(grid anondyn.Grid, title, specName string, workers int, target report.Target, coll *metrics.Collector) error {
+	opts := anondyn.BatchOptions{Workers: workers}
+	if coll != nil {
+		opts.Metrics = coll
+	}
+	rows, err := grid.Run(opts)
 	if err != nil {
 		return err
+	}
+	doc := &report.Sweep{
+		Spec:         specName,
+		SeedsPerCell: max(grid.SeedsPerCell, 1),
+		BaseSeed:     grid.BaseSeed,
+		Workers:      workers,
+		Cells:        rows,
+		Title:        title,
+	}
+	if target.Format == report.FormatHTML {
+		if doc.Series, err = grid.SeriesPerCell(); err != nil {
+			return err
+		}
+	}
+	if target.Stdout() {
+		// Machine output replaces the human table.
+		return target.Write(doc)
 	}
 	if err := spec.Table(title, rows).Fprint(os.Stdout); err != nil {
 		return err
 	}
-	if reportOut != "" {
-		per := grid.SeedsPerCell
-		if per < 1 {
-			per = 1
-		}
-		data, err := json.MarshalIndent(sweepReport{
-			Spec:         specName,
-			SeedsPerCell: per,
-			BaseSeed:     grid.BaseSeed,
-			Workers:      workers,
-			Cells:        rows,
-		}, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(reportOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("(report written to %s)\n", reportOut)
+	if err := target.Write(doc); err != nil {
+		return err
+	}
+	if target.Enabled() {
+		fmt.Printf("(report written to %s)\n", target.Path)
 	}
 	return nil
 }
 
 // runSpecFile runs one declarative sweep file. seedsOverride > 0
 // replaces the file's seeds_per_cell (the CI one-seed smoke).
-func runSpecFile(path string, seedsOverride, workers int, reportOut string, banner bool) error {
+func runSpecFile(path string, seedsOverride, workers int, target report.Target, coll *metrics.Collector, banner bool) error {
 	sw, grid, err := spec.Load(path, seedsOverride)
 	if err != nil {
 		return err
@@ -363,11 +373,12 @@ func runSpecFile(path string, seedsOverride, workers int, reportOut string, bann
 	if banner && sw.Description != "" {
 		fmt.Printf("# %s\n", sw.Description)
 	}
-	return printSweep(grid, sw.RunTitle(path, len(grid.Cells())), sw.Name, workers, reportOut)
+	return printSweep(grid, sw.RunTitle(path, len(grid.Cells())), sw.Name, workers, target, coll)
 }
 
 // runSpecDir runs every scenario file in a directory, sorted by name.
-func runSpecDir(dir string, seedsOverride, workers int) error {
+// A file report target fans out to one derived file per spec.
+func runSpecDir(dir string, seedsOverride, workers int, target report.Target, coll *metrics.Collector) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -390,7 +401,7 @@ func runSpecDir(dir string, seedsOverride, workers int) error {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := runSpecFile(path, seedsOverride, workers, "", true); err != nil {
+		if err := runSpecFile(path, seedsOverride, workers, target.ForSpec(path), coll, true); err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"anondyn/internal/report"
 )
 
 func TestRunList(t *testing.T) {
@@ -47,20 +49,20 @@ func TestRunSweepWithReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("report not written: %v", err)
 	}
-	var report sweepReport
-	if err := json.Unmarshal(data, &report); err != nil {
+	var rep report.Sweep
+	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report not valid JSON: %v", err)
 	}
 	// 2 sizes × 1 algorithm × 2 adversaries (random:2,3 spans the comma).
-	if len(report.Cells) != 4 {
-		t.Fatalf("%d cells, want 4", len(report.Cells))
+	if len(rep.Cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(rep.Cells))
 	}
-	if report.SeedsPerCell != 4 || report.Cells[0].Runs != 4 {
+	if rep.SeedsPerCell != 4 || rep.Cells[0].Runs != 4 {
 		t.Errorf("seeds per cell = %d, first cell runs = %d",
-			report.SeedsPerCell, report.Cells[0].Runs)
+			rep.SeedsPerCell, rep.Cells[0].Runs)
 	}
-	if report.Cells[1].Adversary != "random:2,3" {
-		t.Errorf("adversary label = %q", report.Cells[1].Adversary)
+	if rep.Cells[1].Adversary != "random:2,3" {
+		t.Errorf("adversary label = %q", rep.Cells[1].Adversary)
 	}
 }
 
@@ -108,8 +110,8 @@ max_rounds: 20000
 		t.Fatalf("spec sweep: %v", err)
 	}
 
-	var flagReport, specReport sweepReport
-	for path, dst := range map[string]*sweepReport{flagOut: &flagReport, specOut: &specReport} {
+	var flagReport, specReport report.Sweep
+	for path, dst := range map[string]*report.Sweep{flagOut: &flagReport, specOut: &specReport} {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
@@ -140,8 +142,8 @@ func TestSaveSpecRoundTrip(t *testing.T) {
 	if err := run([]string{"-spec", saved, "-report", specOut}); err != nil {
 		t.Fatalf("saved spec failed to run: %v", err)
 	}
-	var flagReport, specReport sweepReport
-	for path, dst := range map[string]*sweepReport{flagOut: &flagReport, specOut: &specReport} {
+	var flagReport, specReport report.Sweep
+	for path, dst := range map[string]*report.Sweep{flagOut: &flagReport, specOut: &specReport} {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
@@ -192,15 +194,15 @@ func TestAdvsSymbolicDegrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var report sweepReport
-	if err := json.Unmarshal(data, &report); err != nil {
+	var rep report.Sweep
+	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Cells) != 2 {
-		t.Fatalf("%d cells, want 2 (random spec spans its commas)", len(report.Cells))
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d cells, want 2 (random spec spans its commas)", len(rep.Cells))
 	}
-	if report.Cells[0].Adversary != "random:4,crashdeg,0.05" || report.Cells[1].Adversary != "rotating:crashdeg" {
-		t.Errorf("adversary labels = %q, %q", report.Cells[0].Adversary, report.Cells[1].Adversary)
+	if rep.Cells[0].Adversary != "random:4,crashdeg,0.05" || rep.Cells[1].Adversary != "rotating:crashdeg" {
+		t.Errorf("adversary labels = %q, %q", rep.Cells[0].Adversary, rep.Cells[1].Adversary)
 	}
 }
 

@@ -21,22 +21,25 @@
 // workers stay up across sweeps, so one worker fleet serves the whole
 // directory).
 //
-// -report csv / -report json stream the rows to stdout in that format;
-// a path writes a file (.csv for CSV, anything else JSON with the same
-// envelope as dynabench -report, so the two are directly diffable).
+// -report csv / -report json / -report html stream the rows to stdout
+// in that format; a path writes a file (.csv for CSV, .html for a
+// self-contained HTML report, anything else JSON with the same envelope
+// as dynabench -report, so the two are directly diffable). With
+// -spec-dir a file target fans out to one derived file per spec.
+// -metrics streams live aggregate telemetry — including the workers'
+// per-shard progress frames — as NDJSON to a file or TCP address.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
-	"anondyn"
+	"anondyn/internal/metrics"
+	"anondyn/internal/report"
 	"anondyn/internal/shard"
 	"anondyn/internal/spec"
 )
@@ -58,7 +61,8 @@ func run(args []string) error {
 		seedsN     = fs.Int("seeds", 0, "override the spec's seeds_per_cell (0 = use the file's)")
 		maxPending = fs.Int("maxpending", 0, "per-shard reorder window on the workers (0 = unbounded)")
 		timeout    = fs.Duration("timeout", shard.DefaultIOTimeout, "per-frame I/O bound (for a record stream: the gap between records)")
-		reportOut  = fs.String("report", "", `"csv"/"json" for stdout, or a path (.csv → CSV, else JSON)`)
+		reportOut  = fs.String("report", "", `"csv"/"json"/"html" for stdout, or a path (.csv/.html → that format, else JSON); with -spec-dir, one file per spec`)
+		metricsOut = fs.String("metrics", "", "stream live metrics snapshots (incl. per-shard worker telemetry) as NDJSON to this file or host:port address")
 		quiet      = fs.Bool("quiet", false, "suppress the banner and dispatch summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,18 +89,22 @@ func run(args []string) error {
 	if !*quiet {
 		opts.Log = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	}
-
-	if *specDir != "" {
-		if *reportOut != "" {
-			return fmt.Errorf("-report wants a single -spec sweep")
-		}
-		return runSpecDir(*specDir, opts, *quiet)
+	coll, closeMetrics, err := metrics.Start(*metricsOut, 0)
+	if err != nil {
+		return err
 	}
-	return runSpecFile(*specFile, opts, *reportOut, *quiet)
+	defer closeMetrics() //nolint:errcheck // final snapshot write; fate shared with stdout
+	opts.Metrics = coll
+
+	target := report.ParseTarget(*reportOut)
+	if *specDir != "" {
+		return runSpecDir(*specDir, opts, target, *quiet)
+	}
+	return runSpecFile(*specFile, opts, target, *quiet)
 }
 
 // runSpecFile shards one scenario file across the workers and reports.
-func runSpecFile(path string, opts shard.Options, reportOut string, quiet bool) error {
+func runSpecFile(path string, opts shard.Options, target report.Target, quiet bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -105,14 +113,23 @@ func runSpecFile(path string, opts shard.Options, reportOut string, quiet bool) 
 	if err != nil {
 		return err
 	}
+	doc := envelope(res, path, len(opts.Workers))
+	if target.Format == report.FormatHTML {
+		// The charts come from a local sequential pass: one extra run per
+		// cell, next to nothing beside the distributed Monte-Carlo.
+		_, grid, err := spec.Compile(data, opts.SeedsPerCell)
+		if err != nil {
+			return err
+		}
+		if doc.Series, err = grid.SeriesPerCell(); err != nil {
+			return err
+		}
+	}
 
-	// Stdout report modes replace the human table so the output stays
-	// machine-readable.
-	switch reportOut {
-	case "csv":
-		return spec.Table(title(res, path), res.Rows).WriteCSV(os.Stdout)
-	case "json":
-		return writeJSON(os.Stdout, res, len(opts.Workers))
+	if target.Stdout() {
+		// Stdout report modes replace the human table so the output
+		// stays machine-readable.
+		return target.Write(doc)
 	}
 
 	if !quiet && res.Sweep.Description != "" {
@@ -127,26 +144,11 @@ func runSpecFile(path string, opts shard.Options, reportOut string, quiet bool) 
 			fmt.Printf("  %s: %d runs\n", addr, res.RunsByWorker[addr])
 		}
 	}
-	if reportOut == "" {
-		return nil
-	}
-	write := func(w io.Writer) error { return writeJSON(w, res, len(opts.Workers)) }
-	if filepath.Ext(reportOut) == ".csv" {
-		write = spec.Table(title(res, path), res.Rows).WriteCSV
-	}
-	f, err := os.Create(reportOut)
-	if err != nil {
+	if err := target.Write(doc); err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return fmt.Errorf("write %s: %w", reportOut, err)
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if !quiet {
-		fmt.Printf("(report written to %s)\n", reportOut)
+	if target.Enabled() && !quiet {
+		fmt.Printf("(report written to %s)\n", target.Path)
 	}
 	return nil
 }
@@ -156,7 +158,7 @@ func runSpecFile(path string, opts shard.Options, reportOut string, quiet bool) 
 // dynabench -spec-dir. The workers are dynabench -serve processes that
 // outlive individual sweeps, so the whole directory runs without
 // restarting anything.
-func runSpecDir(dir string, opts shard.Options, quiet bool) error {
+func runSpecDir(dir string, opts shard.Options, target report.Target, quiet bool) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -179,7 +181,7 @@ func runSpecDir(dir string, opts shard.Options, quiet bool) error {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := runSpecFile(path, opts, "", quiet); err != nil {
+		if err := runSpecFile(path, opts, target.ForSpec(path), quiet); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 	}
@@ -190,36 +192,24 @@ func title(res *shard.Result, path string) string {
 	return res.Sweep.RunTitle(path, len(res.Rows))
 }
 
-// sweepReport mirrors dynabench's JSON envelope shape. The cells array
-// is the determinism contract — byte-identical to the local run's —
-// while the envelope records run metadata ("workers" here counts
-// worker processes; dynabench records its pool size), so parity checks
-// compare .cells, as the CI distributed-smoke job does.
-type sweepReport struct {
-	Spec         string               `json:"spec,omitempty"`
-	SeedsPerCell int                  `json:"seeds_per_cell"`
-	BaseSeed     int64                `json:"base_seed"`
-	Workers      int                  `json:"workers"`
-	Cells        []anondyn.CellResult `json:"cells"`
-}
-
-func writeJSON(w io.Writer, res *shard.Result, workers int) error {
+// envelope builds the shared report.Sweep document. The cells array is
+// the determinism contract — byte-identical to the local run's — while
+// the envelope records run metadata ("workers" here counts worker
+// processes; dynabench records its pool size), so parity checks compare
+// .cells, as the CI distributed-smoke job does.
+func envelope(res *shard.Result, path string, workers int) *report.Sweep {
 	per := res.Sweep.SeedsPerCell
 	if per < 1 {
 		per = 1
 	}
-	data, err := json.MarshalIndent(sweepReport{
+	return &report.Sweep{
 		Spec:         res.Sweep.Name,
 		SeedsPerCell: per,
 		BaseSeed:     res.Sweep.BaseSeed,
 		Workers:      workers,
 		Cells:        res.Rows,
-	}, "", "  ")
-	if err != nil {
-		return err
+		Title:        title(res, path),
 	}
-	_, err = w.Write(append(data, '\n'))
-	return err
 }
 
 func splitAddrs(list string) []string {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"anondyn"
+	"anondyn/internal/report"
 	"anondyn/internal/shard"
 	"anondyn/internal/spec"
 )
@@ -32,10 +33,6 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-spec", specPath, "-spec-dir", ".", "-workers", "h:1"}); err == nil ||
 		!strings.Contains(err.Error(), "mutually exclusive") {
 		t.Errorf("-spec with -spec-dir: %v", err)
-	}
-	if err := run([]string{"-spec-dir", ".", "-workers", "h:1", "-report", "out.json"}); err == nil ||
-		!strings.Contains(err.Error(), "-report") {
-		t.Errorf("-spec-dir with -report: %v", err)
 	}
 	if err := run([]string{"-spec-dir", t.TempDir(), "-workers", "h:1"}); err == nil ||
 		!strings.Contains(err.Error(), "no scenario files") {
@@ -78,7 +75,7 @@ func TestRunEndToEndJSONReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rep sweepReport
+	var rep report.Sweep
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not JSON: %v", err)
 	}
@@ -144,12 +141,29 @@ func TestRunSpecDirBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	workers := startWorkers(t, 2)
+	// A file report target fans out to one derived file per spec
+	// (out.json → out-a-first.json, out-b-second.json).
+	repBase := filepath.Join(t.TempDir(), "out.json")
 	err := run([]string{
 		"-spec-dir", dir, "-workers", workers, "-seeds", "2",
-		"-timeout", (10 * time.Second).String(), "-quiet",
+		"-timeout", (10 * time.Second).String(), "-quiet", "-report", repBase,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, stem := range []string{"a-first", "b-second"} {
+		path := strings.TrimSuffix(repBase, ".json") + "-" + stem + ".json"
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("per-spec report missing: %v", err)
+		}
+		var rep report.Sweep
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("%s is not JSON: %v", path, err)
+		}
+		if len(rep.Cells) == 0 {
+			t.Errorf("%s has no cells", path)
+		}
 	}
 	// The same fleet then serves a follow-up single-spec run: worker
 	// processes survive the whole batch.

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"anondyn"
+	"anondyn/internal/metrics"
 	"anondyn/internal/network"
 	"anondyn/internal/transport"
 )
@@ -39,18 +40,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dynahub", flag.ContinueOnError)
 	var (
-		n         = fs.Int("n", 5, "number of nodes to wait for")
-		f         = fs.Int("f", 0, "fault bound for symbolic adversary degrees (crashdeg/byzdeg)")
-		addr      = fs.String("addr", "127.0.0.1:7000", "listen address")
-		advSpec   = fs.String("adversary", "complete", "adversary (complete | halves | chasemin | fig1 | isolate:<v> | rotating:<d> | clustered:<T> | starve:<d> | er:<p>[,<seed>] | random:<B>,<D>[,<extra>[,<seed>]] | starveperiod:<T>; degrees accept crashdeg/byzdeg) — the grammar shared with dynabench/dynasim")
-		maxRounds = fs.Int("rounds", 10000, "round budget")
-		seed      = fs.Int64("seed", 1, "seed for randomized adversaries / ports")
-		randPorts = fs.Bool("randports", false, "random per-node port numberings")
-		timeout   = fs.Duration("timeout", 30*time.Second, "per-node I/O timeout")
+		n          = fs.Int("n", 5, "number of nodes to wait for")
+		f          = fs.Int("f", 0, "fault bound for symbolic adversary degrees (crashdeg/byzdeg)")
+		addr       = fs.String("addr", "127.0.0.1:7000", "listen address")
+		advSpec    = fs.String("adversary", "complete", "adversary (complete | halves | chasemin | fig1 | isolate:<v> | rotating:<d> | clustered:<T> | starve:<d> | er:<p>[,<seed>] | random:<B>,<D>[,<extra>[,<seed>]] | starveperiod:<T>; degrees accept crashdeg/byzdeg) — the grammar shared with dynabench/dynasim")
+		maxRounds  = fs.Int("rounds", 10000, "round budget")
+		seed       = fs.Int64("seed", 1, "seed for randomized adversaries / ports")
+		randPorts  = fs.Bool("randports", false, "random per-node port numberings")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-node I/O timeout")
+		metricsOut = fs.String("metrics", "", "stream live per-round metrics snapshots as NDJSON to this file or host:port address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	coll, closeMetrics, err := metrics.Start(*metricsOut, 0)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics() //nolint:errcheck // final snapshot write; fate shared with stdout
 	// The live hub resolves its adversary through the same registry as
 	// the sweep CLIs and the spec files — one grammar everywhere.
 	factory, err := anondyn.ParseAdversaryFactory(*advSpec)
@@ -68,7 +75,7 @@ func run(args []string) error {
 	if *randPorts {
 		ports = network.RandomPorts(*n, rand.New(rand.NewSource(*seed)))
 	}
-	hub, err := transport.NewHub(*addr, transport.HubConfig{
+	cfg := transport.HubConfig{
 		N:         *n,
 		Adversary: adv,
 		Ports:     ports,
@@ -77,7 +84,11 @@ func run(args []string) error {
 		Log: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
-	})
+	}
+	if coll != nil {
+		cfg.Metrics = coll
+	}
+	hub, err := transport.NewHub(*addr, cfg)
 	if err != nil {
 		return err
 	}

@@ -3,7 +3,10 @@
 // checks of Definition 3, and the dynaDegree the adversary actually
 // provided. With -seeds > 1 it runs a seeded Monte-Carlo batch of the
 // same scenario on a worker pool and reports streaming aggregates
-// instead; -report writes the batch as JSON.
+// instead; -report writes the batch report ("csv"/"json"/"html" stream
+// to stdout, a path picks the format from its extension — .csv, .html
+// for a self-contained HTML page, anything else JSON). -metrics streams
+// live telemetry snapshots as NDJSON to a file or TCP address.
 //
 // -save-spec writes the flag configuration out as a declarative sweep
 // file (a 1-cell matrix), and -spec runs such a file — the same format
@@ -21,9 +24,11 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,6 +36,8 @@ import (
 	"strings"
 
 	"anondyn"
+	"anondyn/internal/metrics"
+	"anondyn/internal/report"
 	"anondyn/internal/spec"
 	"anondyn/internal/trace"
 )
@@ -66,13 +73,20 @@ func run(args []string) error {
 		shuffle    = fs.Bool("shuffle", false, "randomize intra-round delivery order (seeded)")
 		seedsN     = fs.Int("seeds", 1, "number of seeded runs; > 1 switches to Monte-Carlo batch mode (with -spec: override the file's seeds_per_cell)")
 		workers    = fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
-		reportOut  = fs.String("report", "", "write the batch aggregate as JSON to this file (implies batch mode)")
+		reportOut  = fs.String("report", "", `batch report (implies batch mode): "csv"/"json"/"html" for stdout, or a path (.csv/.html → that format, else JSON)`)
+		metricsOut = fs.String("metrics", "", "stream live metrics snapshots as NDJSON to this file or host:port address")
 		specFile   = fs.String("spec", "", "run the sweep defined in this YAML/JSON scenario file instead of the flag scenario")
 		saveSpec   = fs.String("save-spec", "", "write the flag scenario as a declarative spec file before running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	coll, closeMetrics, err := metrics.Start(*metricsOut, 0)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics() //nolint:errcheck // final snapshot write; fate shared with stdout
 
 	if *specFile != "" {
 		if *traceOut != "" || *showSeries || *reportOut != "" {
@@ -87,7 +101,7 @@ func run(args []string) error {
 				seedsOverride = *seedsN
 			}
 		})
-		return runSpec(*specFile, seedsOverride, *workers)
+		return runSpec(*specFile, seedsOverride, *workers, coll)
 	}
 
 	adv, err := parseAdversary(*advSpec, *n, *f, *seed)
@@ -148,7 +162,9 @@ func run(args []string) error {
 			maxRounds: *maxRounds, maxBytes: *maxBytes,
 			randPorts: *randPorts, shuffle: *shuffle, concurrent: *concurrent,
 			seeds:   anondyn.Seeds(*seedsN, *seed),
-			workers: *workers, reportOut: *reportOut,
+			workers: *workers,
+			target:  report.ParseTarget(*reportOut),
+			coll:    coll,
 		}
 		return runBatch(cfg)
 	}
@@ -162,8 +178,13 @@ func run(args []string) error {
 	if *traceOut != "" {
 		rec = anondyn.NewRecorder()
 	}
+	var sink anondyn.MetricsSink
+	if coll != nil {
+		sink = coll
+	}
 	s := anondyn.Scenario{
-		N: *n, F: *f, Eps: *eps,
+		Metrics: sink,
+		N:       *n, F: *f, Eps: *eps,
 		Algorithm:       algo,
 		PiggybackWindow: *window,
 		MegaT:           *megaT,
@@ -270,9 +291,10 @@ type batchConfig struct {
 	shuffle    bool
 	concurrent bool
 
-	seeds     []int64
-	workers   int
-	reportOut string
+	seeds   []int64
+	workers int
+	target  report.Target
+	coll    *metrics.Collector
 }
 
 // scenario builds one seeded run of the family. The specs were
@@ -310,7 +332,8 @@ type seedRow struct {
 	Range   float64 `json:"output_range"`
 }
 
-// batchReport is the JSON report of one Monte-Carlo batch.
+// batchReport is the report document of one Monte-Carlo batch. It
+// implements report.Document, keeping the historical JSON shape.
 type batchReport struct {
 	Algorithm string              `json:"algorithm"`
 	N         int                 `json:"n"`
@@ -322,6 +345,80 @@ type batchReport struct {
 	BaseSeed  int64               `json:"base_seed"`
 	Aggregate anondyn.BatchReport `json:"aggregate"`
 	Runs      []seedRow           `json:"runs"`
+	// Series is the first seed's range-per-round curve, recorded only
+	// for the HTML report's convergence chart; not part of the JSON.
+	Series []float64 `json:"-"`
+}
+
+// WriteJSON implements report.Document with the historical shape.
+func (r *batchReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteCSV implements report.Document: one row per seeded run.
+func (r *batchReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seed", "decided", "rounds", "output_range"}); err != nil {
+		return err
+	}
+	for _, row := range r.Runs {
+		if err := cw.Write([]string{
+			strconv.FormatInt(row.Seed, 10),
+			strconv.FormatBool(row.Decided),
+			strconv.Itoa(row.Rounds),
+			strconv.FormatFloat(row.Range, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHTML implements report.Document: one self-contained page with
+// the aggregate summary, the convergence chart of the first seed, and
+// the per-seed table.
+func (r *batchReport) WriteHTML(w io.Writer) error {
+	agg := report.HTMLTable{
+		Caption: "aggregate",
+		Header:  []string{"decided", "violations", "rounds mean", "rounds p95", "range max"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d/%d", r.Aggregate.Decided, r.Aggregate.Runs),
+			fmt.Sprint(r.Aggregate.Violations),
+			fmt.Sprintf("%.1f", r.Aggregate.Rounds.Mean),
+			fmt.Sprintf("%.0f", r.Aggregate.Rounds.P95),
+			fmt.Sprintf("%.3g", r.Aggregate.OutputRange.Max),
+		}},
+	}
+	runs := report.HTMLTable{
+		Caption: "runs",
+		Header:  []string{"seed", "decided", "rounds", "output range"},
+	}
+	for _, row := range r.Runs {
+		runs.Rows = append(runs.Rows, []string{
+			strconv.FormatInt(row.Seed, 10),
+			strconv.FormatBool(row.Decided),
+			strconv.Itoa(row.Rounds),
+			fmt.Sprintf("%.3g", row.Range),
+		})
+	}
+	blocks := []any{agg}
+	if len(r.Series) > 0 {
+		blocks = append(blocks, report.HTMLChart{
+			Caption: fmt.Sprintf("convergence (seed %d)", r.BaseSeed),
+			Series:  r.Series,
+			Eps:     r.Eps,
+		})
+	}
+	blocks = append(blocks, runs)
+	title := fmt.Sprintf("%s n=%d f=%d — %s", r.Algorithm, r.N, r.F, r.Adversary)
+	sub := fmt.Sprintf("%d seeds · base seed %d · ε=%g · inputs %s", len(r.Runs), r.BaseSeed, r.Eps, r.Inputs)
+	return report.WriteHTMLPage(w, title, sub, blocks...)
 }
 
 // runBatch executes the scenario family over the seed batch on the
@@ -336,11 +433,40 @@ func runBatch(cfg batchConfig) error {
 		})
 		return nil
 	})
-	err := anondyn.RunManyStream(cfg.seeds, cfg.scenario,
-		anondyn.Sinks(stats, rowSink),
-		anondyn.BatchOptions{Workers: cfg.workers, Retries: 0})
+	opts := anondyn.BatchOptions{Workers: cfg.workers, Retries: 0}
+	if cfg.coll != nil {
+		opts.Metrics = cfg.coll
+	}
+	err := anondyn.RunManyStream(cfg.seeds, cfg.scenario, anondyn.Sinks(stats, rowSink), opts)
 	if err != nil {
 		return err
+	}
+
+	doc := &batchReport{
+		Algorithm: cfg.algoName,
+		N:         cfg.n, F: cfg.f, Eps: cfg.eps,
+		Adversary: cfg.advSpec,
+		Inputs:    cfg.inputSpec,
+		Workers:   cfg.workers,
+		BaseSeed:  cfg.seeds[0],
+		Aggregate: stats.Report(),
+		Runs:      rows,
+	}
+	if cfg.target.Format == report.FormatHTML {
+		// One extra sequential run of the first seed records the
+		// convergence curve for the chart — noise beside the batch.
+		series := anondyn.NewRangeSeries()
+		s := cfg.scenario(cfg.seeds[0])
+		s.Series = series
+		if _, err := s.Run(); err != nil {
+			return err
+		}
+		doc.Series = series.Series()
+	}
+	if cfg.target.Stdout() {
+		// Stdout report modes replace the human summary so the output
+		// stays machine-readable.
+		return cfg.target.Write(doc)
 	}
 
 	fmt.Printf("%s  n=%d f=%d ε=%g  adversary=%s  batch of %d seeds (base %d)\n",
@@ -358,25 +484,11 @@ func runBatch(cfg batchConfig) error {
 		fmt.Printf("bytes:   mean %.0f per run\n", b.Mean)
 	}
 
-	if cfg.reportOut != "" {
-		report := batchReport{
-			Algorithm: cfg.algoName,
-			N:         cfg.n, F: cfg.f, Eps: cfg.eps,
-			Adversary: cfg.advSpec,
-			Inputs:    cfg.inputSpec,
-			Workers:   cfg.workers,
-			BaseSeed:  cfg.seeds[0],
-			Aggregate: stats.Report(),
-			Runs:      rows,
-		}
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(cfg.reportOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("report written to %s\n", cfg.reportOut)
+	if err := cfg.target.Write(doc); err != nil {
+		return err
+	}
+	if cfg.target.Enabled() {
+		fmt.Printf("report written to %s\n", cfg.target.Path)
 	}
 	return nil
 }
@@ -404,12 +516,16 @@ func parseAdversary(advSpec string, n, f int, seed int64) (anondyn.Adversary, er
 
 // runSpec runs a declarative sweep file, printing one aggregate row
 // per cell — dynasim's window onto the same artifacts dynabench runs.
-func runSpec(path string, seedsOverride, workers int) error {
+func runSpec(path string, seedsOverride, workers int, coll *metrics.Collector) error {
 	sw, grid, err := spec.Load(path, seedsOverride)
 	if err != nil {
 		return err
 	}
-	rows, err := grid.Run(anondyn.BatchOptions{Workers: workers})
+	opts := anondyn.BatchOptions{Workers: workers}
+	if coll != nil {
+		opts.Metrics = coll
+	}
+	rows, err := grid.Run(opts)
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,19 @@ import (
 // verbatim; beyond it, only the count is reported.
 const maxCollectedErrors = 16
 
+// PoolObserver watches the lifecycle of one batch's worker pool — the
+// utilization half of the metrics layer. Implementations must be safe
+// for concurrent use: WorkerBusy fires from every worker goroutine.
+// metrics.Collector satisfies it structurally; the harness declares its
+// own copy so it depends on no other package.
+type PoolObserver interface {
+	// PoolStart reports the resolved pool size before any task runs.
+	PoolStart(workers int)
+	// WorkerBusy adjusts the busy-worker count: +1 as a worker picks up
+	// a task, −1 as it finishes one.
+	WorkerBusy(delta int)
+}
+
 // Options configures one batch.
 type Options struct {
 	// Workers is the pool size; values < 1 mean GOMAXPROCS. The pool
@@ -48,6 +61,10 @@ type Options struct {
 	// below the worker count are raised to it, so bounding the window
 	// never idles the pool.
 	MaxPending int
+	// Observer, when non-nil, receives pool-size and busy-worker
+	// telemetry. Purely observational: it never affects scheduling,
+	// ordering, or results.
+	Observer PoolObserver
 }
 
 // workers resolves the effective pool size for n tasks.
@@ -105,6 +122,9 @@ func RunPooled[S, T any](n int, newState func() (S, error), task func(state S, i
 		err error
 	}
 	workers := opts.workers(n)
+	if opts.Observer != nil {
+		opts.Observer.PoolStart(workers)
+	}
 	indices := make(chan int)
 	done := make(chan item, workers)
 	stop := make(chan struct{}) // closed on sink error: halt dispatch
@@ -133,7 +153,13 @@ func RunPooled[S, T any](n int, newState func() (S, error), task func(state S, i
 					done <- item{i: i, v: zero, err: fmt.Errorf("worker state: %w", stateErr)}
 					continue
 				}
+				if opts.Observer != nil {
+					opts.Observer.WorkerBusy(1)
+				}
 				v, err := attempt(state, i, task, opts.Retries)
+				if opts.Observer != nil {
+					opts.Observer.WorkerBusy(-1)
+				}
 				done <- item{i: i, v: v, err: err}
 			}
 		}()

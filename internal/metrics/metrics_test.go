@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.RoundDone(RoundSample{Delivered: 3})
+	c.RunDone(RunSample{Decided: true})
+	c.PoolStart(4)
+	c.WorkerBusy(1)
+	c.ShardProgress(ShardStat{Shard: 1})
+	if snap := c.Snapshot(); !reflect.DeepEqual(snap, Snapshot{}) {
+		t.Errorf("nil collector snapshot = %+v, want zero", snap)
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	c.RoundDone(RoundSample{Round: 0, Delivered: 10, Lost: 2, Running: 9, Decided: 0, Range: 1})
+	c.RoundDone(RoundSample{Round: 1, Delivered: 8, Lost: 4, Running: 9, Decided: 3, Range: 0.25})
+	c.RunDone(RunSample{Decided: true, Rounds: 12})
+	c.RunDone(RunSample{Decided: false, Rounds: 40})
+	c.PoolStart(4)
+	c.WorkerBusy(1)
+	c.WorkerBusy(1)
+	c.WorkerBusy(-1)
+
+	s := c.Snapshot()
+	if s.Rounds != 2 || s.Delivered != 18 || s.Lost != 6 {
+		t.Errorf("round counters = %d/%d/%d, want 2/18/6", s.Rounds, s.Delivered, s.Lost)
+	}
+	if s.Runs != 2 || s.RunsDecided != 1 || s.RunRounds != 52 {
+		t.Errorf("run counters = %d/%d/%d, want 2/1/52", s.Runs, s.RunsDecided, s.RunRounds)
+	}
+	// Gauges carry the latest sample.
+	if s.Range != 0.25 || s.Running != 9 || s.Decided != 3 {
+		t.Errorf("gauges = %g/%d/%d, want 0.25/9/3", s.Range, s.Running, s.Decided)
+	}
+	if s.Workers != 4 || s.Busy != 1 {
+		t.Errorf("pool = %d busy of %d, want 1 of 4", s.Busy, s.Workers)
+	}
+	if u := s.Timing.Utilization; u != 0.25 {
+		t.Errorf("utilization = %g, want 0.25", u)
+	}
+}
+
+// TestShardProgressIdempotent: frames carry absolute values, so
+// replaying one must not change the fold, and the snapshot's shard
+// table is sorted by index.
+func TestShardProgressIdempotent(t *testing.T) {
+	c := NewCollector()
+	c.ShardProgress(ShardStat{Shard: 2, Runs: 5, Rounds: 100})
+	c.ShardProgress(ShardStat{Shard: 0, Runs: 3})
+	c.ShardProgress(ShardStat{Shard: 2, Runs: 5, Rounds: 100}) // replayed
+	c.ShardProgress(ShardStat{Shard: 2, Runs: 7, Rounds: 140}) // progressed
+
+	got := c.Snapshot().Shards
+	want := []ShardStat{{Shard: 0, Runs: 3}, {Shard: 2, Runs: 7, Rounds: 140}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("shards = %+v, want %+v", got, want)
+	}
+}
+
+// TestTee: nil sinks are filtered (0 live → nil, 1 live → the sink
+// itself), fan-out reaches every sink, and the pool-observer methods
+// forward through the tee so a teed Collector still tracks its pool.
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Error("all-nil tee is not nil")
+	}
+	c := NewCollector()
+	if got := Tee(nil, c); got != Sink(c) {
+		t.Errorf("single-sink tee = %T, want the collector itself", got)
+	}
+
+	ss := &SeriesSink{}
+	teed := Tee(ss, c)
+	teed.RoundDone(RoundSample{Delivered: 5})
+	teed.RunDone(RunSample{Rounds: 9})
+	if len(ss.RoundSamples) != 1 || len(ss.RunSamples) != 1 {
+		t.Errorf("series sink missed emissions: %d/%d", len(ss.RoundSamples), len(ss.RunSamples))
+	}
+	if s := c.Snapshot(); s.Delivered != 5 || s.RunRounds != 9 {
+		t.Errorf("collector missed emissions: %+v", s)
+	}
+
+	po, ok := teed.(interface {
+		PoolStart(int)
+		WorkerBusy(int)
+	})
+	if !ok {
+		t.Fatal("tee does not forward pool observations")
+	}
+	po.PoolStart(3)
+	po.WorkerBusy(2)
+	if s := c.Snapshot(); s.Workers != 3 || s.Busy != 2 {
+		t.Errorf("pool gauges = %d/%d, want 3/2", s.Workers, s.Busy)
+	}
+}
+
+func TestIsAddr(t *testing.T) {
+	for target, want := range map[string]bool{
+		"127.0.0.1:9000":  true,
+		"[::1]:9000":      true,
+		"host:0":          true,
+		"metrics.ndjson":  false,
+		"out/m.json":      false,
+		`out\m.json`:      false,
+		"host:port":       false, // non-numeric port → a file name
+		"localhost:":      false,
+		"plainfile":       false,
+		"127.0.0.1:90:00": false,
+	} {
+		if got := isAddr(target); got != want {
+			t.Errorf("isAddr(%q) = %v, want %v", target, got, want)
+		}
+	}
+}
+
+type nopCloser struct{ *bytes.Buffer }
+
+func (nopCloser) Close() error { return nil }
+
+// TestStreamerFinalSnapshot: Close always writes one final NDJSON line,
+// so even a run shorter than the interval produces output.
+func TestStreamerFinalSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.RoundDone(RoundSample{Delivered: 7})
+	var buf bytes.Buffer
+	s := StreamNDJSON(c, nopCloser{&buf}, time.Hour)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("stream line is not JSON: %v (%q)", err, buf.String())
+	}
+	if snap.Delivered != 7 {
+		t.Errorf("final snapshot delivered = %d, want 7", snap.Delivered)
+	}
+}
+
+// TestStartFile: the CLI assembly writes NDJSON snapshots to a file
+// target; an empty target is a no-op nil collector.
+func TestStartFile(t *testing.T) {
+	coll, closer, err := Start("", 0)
+	if err != nil || coll != nil {
+		t.Fatalf("empty target: coll=%v err=%v, want nil/nil", coll, err)
+	}
+	if err := closer(); err != nil {
+		t.Fatalf("no-op closer: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	coll, closer, err = Start(path, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll.RunDone(RunSample{Decided: true, Rounds: 4})
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not one JSON line: %v", err)
+	}
+	if snap.Runs != 1 || snap.RunsDecided != 1 {
+		t.Errorf("snapshot = %+v, want 1 decided run", snap)
+	}
+}
+
+// TestStartTCP: a host:port target dials and streams to the socket.
+func TestStartTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	lines := make(chan string, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		sc := bufio.NewScanner(conn)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default:
+			}
+		}
+	}()
+
+	coll, closer, err := Start(ln.Addr().String(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll.RoundDone(RoundSample{Delivered: 11})
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case line := <-lines:
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(line), &snap); err != nil {
+			t.Fatalf("socket line is not JSON: %v", err)
+		}
+		if snap.Delivered != 11 {
+			t.Errorf("snapshot delivered = %d, want 11", snap.Delivered)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no snapshot arrived on the socket")
+	}
+}

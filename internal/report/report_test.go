@@ -1,0 +1,166 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+
+	"anondyn"
+)
+
+func TestParseTarget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Target
+	}{
+		{"", Target{}},
+		{"csv", Target{Format: FormatCSV}},
+		{"json", Target{Format: FormatJSON}},
+		{"HTML", Target{Format: FormatHTML}},
+		{"out.csv", Target{Format: FormatCSV, Path: "out.csv"}},
+		{"out.html", Target{Format: FormatHTML, Path: "out.html"}},
+		{"out.HTM", Target{Format: FormatHTML, Path: "out.HTM"}},
+		{"out.json", Target{Format: FormatJSON, Path: "out.json"}},
+		{"report", Target{Format: FormatJSON, Path: "report"}},
+		{"dir/out.txt", Target{Format: FormatJSON, Path: "dir/out.txt"}},
+	}
+	for _, c := range cases {
+		if got := ParseTarget(c.in); got != c.want {
+			t.Errorf("ParseTarget(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if ParseTarget("").Enabled() {
+		t.Error("empty target enabled")
+	}
+	if !ParseTarget("csv").Stdout() || ParseTarget("out.csv").Stdout() {
+		t.Error("Stdout misclassifies keyword vs path targets")
+	}
+}
+
+func TestForSpec(t *testing.T) {
+	got := ParseTarget("out.html").ForSpec("examples/specs/e3-resilience.yaml")
+	want := Target{Format: FormatHTML, Path: "out-e3-resilience.html"}
+	if got != want {
+		t.Errorf("ForSpec = %+v, want %+v", got, want)
+	}
+	// Stdout and disabled targets pass through unchanged.
+	for _, in := range []string{"", "json"} {
+		if got := ParseTarget(in).ForSpec("a.yaml"); got != ParseTarget(in) {
+			t.Errorf("ForSpec(%q) = %+v, want unchanged", in, got)
+		}
+	}
+}
+
+func fixtureSweep() *Sweep {
+	return &Sweep{
+		Spec:         "fixture",
+		SeedsPerCell: 3,
+		BaseSeed:     42,
+		Workers:      2,
+		Cells: []anondyn.CellResult{{
+			N: 9, F: 2, Eps: 1e-3,
+			Algorithm:   "dac",
+			Adversary:   "er:0.5",
+			BatchReport: anondyn.BatchReport{Runs: 3, Decided: 3},
+		}},
+		Series: [][]float64{{1, 0.5, 0.1, 0.01, 0.0005}},
+		Title:  "fixture sweep",
+	}
+}
+
+// TestSweepJSONEnvelope pins the envelope keys the CI distributed-smoke
+// job diffs on (and Series/Title staying out of it when unset).
+func TestSweepJSONEnvelope(t *testing.T) {
+	s := fixtureSweep()
+	s.Series = nil
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"spec", "seeds_per_cell", "base_seed", "workers", "cells"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("envelope missing %q", key)
+		}
+	}
+	for _, key := range []string{"series", "Title", "title", "Eps", "eps"} {
+		if _, ok := raw[key]; ok {
+			t.Errorf("envelope leaks %q", key)
+		}
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("}\n")) {
+		t.Error("envelope missing trailing newline")
+	}
+}
+
+// externalRef matches anything that would make the HTML artifact fetch
+// a remote or local resource — the self-containment contract CI greps
+// for.
+var externalRef = regexp.MustCompile(`src=|href=|<script|<link|<img|url\(|https?://`)
+
+// TestHTMLSelfContained: the rendered page carries everything inline —
+// no scripts, stylesheets, images, or fetches of any kind — and still
+// contains the table and per-cell chart content.
+func TestHTMLSelfContained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureSweep().WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if m := externalRef.FindString(page); m != "" {
+		t.Errorf("HTML report references external resources (%q)", m)
+	}
+	for _, want := range []string{"<!doctype html>", "<style>", "<table>", "<svg", "polyline", "fixture sweep", "er:0.5"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	// The title is escaped.
+	var esc bytes.Buffer
+	s := fixtureSweep()
+	s.Title = `<script>alert(1)</script>`
+	if err := s.WriteHTML(&esc); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(esc.String(), "<script>") {
+		t.Error("HTML report does not escape the title")
+	}
+}
+
+// TestHTMLChartDegenerateSeries: flat, empty and zero-valued series
+// must render without NaN coordinates.
+func TestHTMLChartDegenerateSeries(t *testing.T) {
+	for name, series := range map[string][]float64{
+		"empty":  {},
+		"single": {0.5},
+		"zeros":  {0, 0, 0},
+		"flat":   {1, 1, 1},
+	} {
+		var b strings.Builder
+		writeChart(&b, HTMLChart{Caption: name, Series: series, Eps: 1e-3})
+		if strings.Contains(b.String(), "NaN") {
+			t.Errorf("%s series renders NaN coordinates:\n%s", name, b.String())
+		}
+	}
+}
+
+// TestTargetWriteFile: Write renders through the extension-dispatched
+// format into the file.
+func TestTargetWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	doc := fixtureSweep()
+	for _, name := range []string{"out.json", "out.csv", "out.html"} {
+		target := ParseTarget(dir + "/" + name)
+		if err := target.Write(doc); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if err := (Target{}).Write(doc); err != nil {
+		t.Errorf("disabled target: %v", err)
+	}
+}

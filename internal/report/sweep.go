@@ -1,0 +1,108 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"anondyn"
+	"anondyn/internal/spec"
+)
+
+// Sweep is the JSON envelope of one completed sweep — the exact shape
+// dynabench and dynagrid used to assemble by hand, so existing
+// consumers (notably the CI distributed-smoke job's `.cells` diff) keep
+// working. Series is the one addition: per-cell convergence curves for
+// the HTML report, omitted from JSON when absent.
+type Sweep struct {
+	Spec         string               `json:"spec,omitempty"`
+	SeedsPerCell int                  `json:"seeds_per_cell"`
+	BaseSeed     int64                `json:"base_seed"`
+	Workers      int                  `json:"workers"`
+	Cells        []anondyn.CellResult `json:"cells"`
+	// Series holds cell i's range-per-round curve at Series[i] (first
+	// seed of the cell; see Grid.SeriesPerCell). Populated only when the
+	// target format wants it.
+	Series [][]float64 `json:"series,omitempty"`
+	// Title is the human heading (table caption, HTML page title); not
+	// part of the JSON envelope.
+	Title string `json:"-"`
+	// Eps annotates the charts with the smallest ε of the sweep; not
+	// part of the JSON envelope.
+	Eps float64 `json:"-"`
+}
+
+// WriteJSON implements Document with the historical envelope bytes:
+// two-space indent, trailing newline.
+func (s *Sweep) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteCSV implements Document via the standard sweep table layout.
+func (s *Sweep) WriteCSV(w io.Writer) error {
+	return spec.Table(s.Title, s.Cells).WriteCSV(w)
+}
+
+// WriteHTML implements Document: one self-contained page with the
+// aggregate table and, when Series is populated, one convergence chart
+// per cell.
+func (s *Sweep) WriteHTML(w io.Writer) error {
+	blocks := []any{s.summaryTable()}
+	for i, series := range s.Series {
+		if i >= len(s.Cells) || len(series) == 0 {
+			continue
+		}
+		c := s.Cells[i]
+		caption := fmt.Sprintf("cell %d — n=%d f=%d ε=%g %s / %s", i, c.N, c.F, c.Eps, c.Algorithm, c.Adversary)
+		if c.Variant != "" {
+			caption += " / " + c.Variant
+		}
+		blocks = append(blocks, HTMLChart{Caption: caption, Series: series, Eps: c.Eps})
+	}
+	title := s.Title
+	if title == "" {
+		title = "sweep report"
+	}
+	sub := fmt.Sprintf("%d cells · %d seeds/cell · base seed %d", len(s.Cells), max(s.SeedsPerCell, 1), s.BaseSeed)
+	return WriteHTMLPage(w, title, sub, blocks...)
+}
+
+// summaryTable mirrors spec.Table's column layout.
+func (s *Sweep) summaryTable() HTMLTable {
+	withVariants := false
+	for _, r := range s.Cells {
+		if r.Variant != "" {
+			withVariants = true
+			break
+		}
+	}
+	header := []string{"n", "f", "eps", "algorithm", "adversary"}
+	if withVariants {
+		header = append(header, "variant")
+	}
+	header = append(header, "decided", "violations", "rounds mean", "rounds p95", "range max")
+	tb := HTMLTable{Caption: "sweep summary", Header: header}
+	for _, r := range s.Cells {
+		row := []string{
+			fmt.Sprint(r.N), fmt.Sprint(r.F), fmt.Sprintf("%g", r.Eps),
+			r.Algorithm, r.Adversary,
+		}
+		if withVariants {
+			row = append(row, r.Variant)
+		}
+		row = append(row,
+			fmt.Sprintf("%d/%d", r.Decided, r.Runs),
+			fmt.Sprint(r.Violations),
+			fmt.Sprintf("%.1f", r.Rounds.Mean),
+			fmt.Sprintf("%.0f", r.Rounds.P95),
+			fmt.Sprintf("%.3g", r.OutputRange.Max),
+		)
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"anondyn"
+	"anondyn/internal/metrics"
 	"anondyn/internal/spec"
 	"anondyn/internal/transport"
 )
@@ -37,6 +38,16 @@ type Options struct {
 	RetryDelay time.Duration
 	// Log, when non-nil, receives progress lines (Printf-style).
 	Log func(format string, args ...any)
+	// Metrics, when non-nil, aggregates the sweep's live telemetry: one
+	// RunDone per record as it arrives off the wire, plus the workers'
+	// interleaved per-shard progress frames (folded via ShardProgress).
+	// Requeued shards may double-count their partial runs — this is
+	// telemetry, not the merge, which stays all-or-nothing per shard.
+	Metrics *metrics.Collector
+	// MetricsEveryRuns is the telemetry cadence asked of each worker
+	// (one frame per that many completed runs); < 1 with Metrics set
+	// defaults to 16. Ignored when Metrics is nil.
+	MetricsEveryRuns int
 }
 
 func (o *Options) fill() error {
@@ -57,6 +68,9 @@ func (o *Options) fill() error {
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
+	}
+	if o.Metrics != nil && o.MetricsEveryRuns < 1 {
+		o.MetricsEveryRuns = 16
 	}
 	return nil
 }
@@ -190,11 +204,24 @@ func (c *coordinator) workerLoop(addr string) {
 			MaxPending:   c.opts.MaxPending,
 			Spec:         c.spec,
 		}
+		var onMetrics func(transport.ShardMetrics)
+		if c.opts.Metrics != nil {
+			task.MetricsEveryRuns = c.opts.MetricsEveryRuns
+			onMetrics = func(m transport.ShardMetrics) {
+				c.opts.Metrics.ShardProgress(metrics.ShardStat{
+					Shard:     m.Shard,
+					Runs:      m.Runs,
+					Rounds:    m.Rounds,
+					Delivered: m.Delivered,
+				})
+			}
+		}
 		recs := make([]transport.ShardRecord, 0, sh.Runs())
 		err := cl.RunShard(task, func(r transport.ShardRecord) error {
 			recs = append(recs, r)
+			c.opts.Metrics.RunDone(metrics.RunSample{Decided: r.Decided, Rounds: r.Rounds})
 			return nil
-		})
+		}, onMetrics)
 		var shardErr *transport.ShardError
 		switch {
 		case err == nil:

@@ -10,6 +10,7 @@ import (
 
 	"anondyn"
 	"anondyn/examples/specs"
+	"anondyn/internal/metrics"
 	"anondyn/internal/spec"
 )
 
@@ -180,6 +181,105 @@ func TestDistributedParityUnderWorkerRestart(t *testing.T) {
 	})
 	if res.Requeues < 1 {
 		t.Errorf("requeues = %d, want ≥ 1 after induced worker drop", res.Requeues)
+	}
+}
+
+// TestDropBeforeDoneRequeues pins the protocol's one genuinely
+// ambiguous disconnect: the worker has shipped every record but the
+// connection dies before the done frame arrives. The coordinator must
+// treat the shard as incomplete and requeue it — never fold a
+// done-less stream into the results — and parityCase's row comparison
+// proves the rerun leaves no trace.
+func TestDropBeforeDoneRequeues(t *testing.T) {
+	res := parityCase(t, 6, 2, 4, func(ws []*Worker) {
+		ws[0].failBeforeDone()
+	})
+	if res.Requeues < 1 {
+		t.Errorf("requeues = %d, want ≥ 1 after drop between records and done", res.Requeues)
+	}
+}
+
+// TestCoordinatorLiveTelemetry: with Metrics set, the coordinator folds
+// worker-side telemetry frames into the collector while the sweep runs,
+// and the final per-shard Runs cover the whole run space.
+func TestCoordinatorLiveTelemetry(t *testing.T) {
+	data, err := specs.Read("er-crash-sweep.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := spec.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.SeedsPerCell = 6
+	grid, err := sw.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := make([]*Worker, 2)
+	addrs := make([]string, len(workers))
+	var wg sync.WaitGroup
+	for i := range workers {
+		w, err := NewWorker("127.0.0.1:0", WorkerOptions{Workers: 2, Log: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		addrs[i] = w.Addr()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Serve(); err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		}()
+	}
+	defer wg.Wait()
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+
+	coll := metrics.NewCollector()
+	res, err := Run(data, Options{
+		Workers:          addrs,
+		Shards:           4,
+		SeedsPerCell:     6,
+		IOTimeout:        10 * time.Second,
+		RetryDelay:       20 * time.Millisecond,
+		Metrics:          coll,
+		MetricsEveryRuns: 2,
+		Log:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := coll.Snapshot()
+	total := grid.Runs()
+	if int(snap.Runs) != total {
+		t.Errorf("collector runs = %d, want %d", snap.Runs, total)
+	}
+	if len(snap.Shards) != len(res.Shards) {
+		t.Errorf("telemetry covers %d shards, want %d", len(snap.Shards), len(res.Shards))
+	}
+	var shardRuns uint64
+	for _, st := range snap.Shards {
+		if st.Runs == 0 {
+			t.Errorf("shard %d reported no runs", st.Shard)
+		}
+		if st.Rounds == 0 {
+			t.Errorf("shard %d reported no rounds", st.Shard)
+		}
+		shardRuns += st.Runs
+	}
+	if int(shardRuns) != total {
+		t.Errorf("per-shard runs sum to %d, want %d", shardRuns, total)
+	}
+	if snap.RunRounds == 0 {
+		t.Error("collector saw no aggregate rounds")
 	}
 }
 

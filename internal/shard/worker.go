@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"anondyn"
+	"anondyn/internal/metrics"
 	"anondyn/internal/spec"
 	"anondyn/internal/transport"
 )
@@ -24,6 +25,10 @@ type WorkerOptions struct {
 	IOTimeout time.Duration
 	// Log, when non-nil, receives progress lines (Printf-style).
 	Log func(format string, args ...any)
+	// Metrics, when non-nil, observes every shard this worker executes
+	// (teed with the per-task telemetry collector) — the hook behind
+	// `dynabench -serve -metrics`. Purely observational.
+	Metrics metrics.Sink
 }
 
 // DefaultIOTimeout is the per-frame bound both ends of the shard
@@ -46,6 +51,11 @@ type Worker struct {
 	// "worker restart mid-shard" the requeue path must survive. It
 	// disarms after firing.
 	dropAfter int
+	// dropBeforeDone is a test knob: the connection serving the current
+	// task is severed after its record stream completes but before the
+	// done frame — the ambiguous ordering a coordinator must requeue,
+	// never treat as a clean finish. It disarms after firing.
+	dropBeforeDone bool
 }
 
 // NewWorker starts listening on addr (e.g. "127.0.0.1:0"); call Serve
@@ -156,6 +166,13 @@ func (w *Worker) handle(raw net.Conn) {
 // out-of-range slice, run error) is reported with a fail frame and the
 // session continues; a transport failure returns an error and ends the
 // session so the coordinator requeues.
+//
+// The record stream is gap-checked worker-side: a run that errors out
+// of the harness is skipped by the ordered sink, so without the check
+// the next record's index would jump and the coordinator would see a
+// malformed stream — a transport-looking failure that requeues a
+// deterministic error forever. Detecting the gap here turns it into a
+// fail frame carrying the run's actual error.
 func (w *Worker) runTask(raw net.Conn, srv *transport.ShardServer, task transport.ShardTask) error {
 	_, grid, err := spec.Compile(task.Spec, task.SeedsPerCell)
 	if err != nil {
@@ -164,11 +181,42 @@ func (w *Worker) runTask(raw net.Conn, srv *transport.ShardServer, task transpor
 	if task.Hi > grid.Runs() {
 		return srv.Fail(task.Shard, fmt.Sprintf("slice [%d,%d) out of range for %d runs", task.Lo, task.Hi, grid.Runs()))
 	}
+	// The per-task collector feeds the coordinator's live telemetry; the
+	// worker process's own sink (if any) rides along on the tee.
+	var coll *metrics.Collector
+	if task.MetricsEveryRuns > 0 {
+		coll = metrics.NewCollector()
+	}
+	var batchSink metrics.Sink
+	if coll != nil {
+		batchSink = metrics.Tee(coll, w.opts.Metrics)
+	} else {
+		batchSink = w.opts.Metrics
+	}
+	// done is the records-shipped count — exact at frame time, unlike
+	// the collector's own run counter, which increments after the
+	// ordered sink (this callback) returns.
+	telemetry := func(done int) transport.ShardMetrics {
+		snap := coll.Snapshot()
+		return transport.ShardMetrics{
+			Shard:     task.Shard,
+			Runs:      uint64(done),
+			Rounds:    snap.Rounds,
+			Delivered: snap.Delivered,
+			Busy:      snap.Busy,
+			Workers:   snap.Workers,
+		}
+	}
 	var sendErr error
 	count := 0
+	next := task.Lo
 	runErr := grid.RunSlice(task.Lo, task.Hi,
-		anondyn.BatchOptions{Workers: w.opts.Workers, MaxPending: task.MaxPending},
+		anondyn.BatchOptions{Workers: w.opts.Workers, MaxPending: task.MaxPending, Metrics: batchSink},
 		func(c anondyn.Cell, _, run int, _ int64, res *anondyn.Result) error {
+			if run != next {
+				return fmt.Errorf("record stream gap at run %d (want %d): an earlier run failed", run, next)
+			}
+			next++
 			w.maybeDrop(raw)
 			rec := anondyn.Record(res, c.Eps)
 			if err := srv.WriteRecord(transport.ShardRecord{
@@ -183,6 +231,12 @@ func (w *Worker) runTask(raw net.Conn, srv *transport.ShardServer, task transpor
 				return err
 			}
 			count++
+			if coll != nil && count%task.MetricsEveryRuns == 0 && count < task.Runs() {
+				if err := srv.WriteMetrics(telemetry(count)); err != nil {
+					sendErr = err
+					return err
+				}
+			}
 			return nil
 		})
 	if sendErr != nil {
@@ -190,6 +244,16 @@ func (w *Worker) runTask(raw net.Conn, srv *transport.ShardServer, task transpor
 	}
 	if runErr != nil {
 		return srv.Fail(task.Shard, runErr.Error())
+	}
+	if coll != nil {
+		// Final sample so every task ships at least one telemetry frame.
+		if err := srv.WriteMetrics(telemetry(count)); err != nil {
+			return err
+		}
+	}
+	if w.takeDropBeforeDone() {
+		raw.Close()
+		return errors.New("shard: dropped before done frame (test knob)")
 	}
 	return srv.Done(task.Shard, count)
 }
@@ -200,6 +264,22 @@ func (w *Worker) failAfterRecords(n int) {
 	w.mu.Lock()
 	w.dropAfter = n
 	w.mu.Unlock()
+}
+
+// failBeforeDone arms the test knob: the connection serving the current
+// task is severed between its last record and the done frame.
+func (w *Worker) failBeforeDone() {
+	w.mu.Lock()
+	w.dropBeforeDone = true
+	w.mu.Unlock()
+}
+
+func (w *Worker) takeDropBeforeDone() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fire := w.dropBeforeDone
+	w.dropBeforeDone = false
+	return fire
 }
 
 func (w *Worker) maybeDrop(raw net.Conn) {

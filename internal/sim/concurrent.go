@@ -6,6 +6,7 @@ import (
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
 	"anondyn/internal/fault"
+	"anondyn/internal/metrics"
 	"anondyn/internal/network"
 	"anondyn/internal/trace"
 	"anondyn/internal/wire"
@@ -56,6 +57,7 @@ type ConcurrentEngine struct {
 	recvMask   []uint64 // word-wise mask of round-t-eligible receivers
 	edges      *network.EdgeSet
 	inPlace    adversary.InPlace
+	hooks      Hooks // effective hooks: cfg.Hooks with the deprecated fields folded in
 	needSize   bool
 	hasCap     bool
 	viewSkip   bool // oblivious adversary, no byz: snapshots never read
@@ -210,7 +212,10 @@ func (e *ConcurrentEngine) Reset(cfg Config) error {
 	e.hasCap = cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
 	e.viewSkip = adversary.IsOblivious(cfg.Adversary) && len(cfg.Byzantine) == 0
 	e.lostFast = len(cfg.Byzantine) == 0 && len(cfg.Crashes) == 0 && !e.hasCap
-	e.trackPhases = cfg.Observer != nil || cfg.Recorder != nil
+	// Metrics stay out of the gate — same no-perturbation rule as the
+	// sequential engine.
+	e.hooks = cfg.Hooks.merged(&e.cfg)
+	e.trackPhases = e.hooks.Observer != nil || e.hooks.Recorder != nil
 	if e.view == nil {
 		e.view = newExecView(&e.cfg, e.isByz)
 	} else {
@@ -373,8 +378,8 @@ func (e *ConcurrentEngine) step() {
 	} else {
 		edges = e.cfg.Adversary.Edges(t, e.view)
 	}
-	if e.cfg.Recorder != nil {
-		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindRound, Round: t, Edges: edges.Edges()})
+	if e.hooks.Recorder != nil {
+		e.hooks.Recorder.Record(trace.Event{Kind: trace.KindRound, Round: t, Edges: edges.Edges()})
 	}
 	if e.cfg.KeepTrace {
 		e.result.Trace = append(e.result.Trace, edges.Clone())
@@ -402,16 +407,16 @@ func (e *ConcurrentEngine) step() {
 			e.bcastSize[r.node] = wire.Size(r.msg)
 		}
 	}
-	if e.cfg.Recorder != nil {
+	if e.hooks.Recorder != nil {
 		for i := 0; i < e.cfg.N; i++ {
 			if e.hasBcast[i] {
-				e.cfg.Recorder.Record(trace.Event{
+				e.hooks.Recorder.Record(trace.Event{
 					Kind: trace.KindBroadcast, Round: t, Node: i,
 					Value: e.broadcasts[i].Value, Phase: e.broadcasts[i].Phase,
 				})
 			}
 			if c, ok := e.cfg.Crashes[i]; ok && c.Round == t {
-				e.cfg.Recorder.Record(trace.Event{Kind: trace.KindCrash, Round: t, Node: i})
+				e.hooks.Recorder.Record(trace.Event{Kind: trace.KindCrash, Round: t, Node: i})
 			}
 		}
 	}
@@ -471,9 +476,9 @@ func (e *ConcurrentEngine) step() {
 		}
 		e.delivBufs[v] = ds
 		roundDelivered += len(ds)
-		if e.cfg.Recorder != nil {
+		if e.hooks.Recorder != nil {
 			for _, d := range ds {
-				e.cfg.Recorder.Record(trace.Event{
+				e.hooks.Recorder.Record(trace.Event{
 					Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
 					Value: d.Msg.Value, Phase: d.Msg.Phase,
 				})
@@ -500,11 +505,11 @@ func (e *ConcurrentEngine) step() {
 		r := &e.replyBufs[v]
 		e.snaps[v] = r.snap
 		for _, tr := range r.transitions {
-			if e.cfg.Observer != nil {
-				e.cfg.Observer.OnPhaseEnter(v, tr.from, tr.to, tr.value, t)
+			if e.hooks.Observer != nil {
+				e.hooks.Observer.OnPhaseEnter(v, tr.from, tr.to, tr.value, t)
 			}
-			if e.cfg.Recorder != nil {
-				e.cfg.Recorder.Record(trace.Event{
+			if e.hooks.Recorder != nil {
+				e.hooks.Recorder.Record(trace.Event{
 					Kind: trace.KindPhase, Round: t, Node: v,
 					FromPhase: tr.from, Phase: tr.to, Value: tr.value,
 				})
@@ -520,13 +525,15 @@ func (e *ConcurrentEngine) step() {
 	// word-wise mask fold as the sequential engine, so both report
 	// identical counts.
 	e.result.MessagesDelivered += roundDelivered
+	var roundLost int
 	if e.lostFast {
-		e.result.MessagesLost += e.cfg.N*(e.cfg.N-1) - roundDelivered
+		roundLost = e.cfg.N*(e.cfg.N-1) - roundDelivered
 	} else {
-		e.result.MessagesLost += countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
+		roundLost = countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
 	}
+	e.result.MessagesLost += roundLost
 
-	if ro, ok := e.cfg.Observer.(RoundObserver); ok {
+	if ro, ok := e.hooks.Observer.(RoundObserver); ok {
 		for i := 0; i < e.cfg.N; i++ {
 			running := e.cmds[i] != nil && t+1 <= e.crashRound[i]
 			e.rvRunning[i] = running
@@ -539,7 +546,45 @@ func (e *ConcurrentEngine) step() {
 		ro.OnRoundEnd(t, RoundValues{values: e.rvValues, running: e.rvRunning})
 	}
 
+	if e.hooks.Metrics != nil {
+		e.emitRound(t, roundDelivered, roundLost)
+	}
 	e.round++
+}
+
+// emitRound mirrors Engine.emitRound over the end-of-round snapshots:
+// same sample semantics, so both engines feed a sink identical series
+// for identical configurations.
+func (e *ConcurrentEngine) emitRound(t, delivered, lost int) {
+	s := metrics.RoundSample{Round: t, Delivered: delivered, Lost: lost}
+	var lo, hi float64
+	for i := 0; i < e.cfg.N; i++ {
+		if e.cfg.Procs[i] == nil {
+			continue
+		}
+		if e.decided[i] {
+			s.Decided++
+		}
+		if t+1 > e.crashRound[i] {
+			continue
+		}
+		v := e.snaps[i].Value
+		if s.Running == 0 {
+			lo, hi = v, v
+		} else {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		s.Running++
+	}
+	if s.Running > 0 {
+		s.Range = hi - lo
+	}
+	e.hooks.Metrics.RoundDone(s)
 }
 
 func (e *ConcurrentEngine) noteDecision(node int, v float64, round int) {
@@ -549,11 +594,11 @@ func (e *ConcurrentEngine) noteDecision(node int, v float64, round int) {
 	e.decided[node] = true
 	e.outputs[node] = v
 	e.decideRound[node] = round
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.OnDecide(node, v, round)
+	if e.hooks.Observer != nil {
+		e.hooks.Observer.OnDecide(node, v, round)
 	}
-	if e.cfg.Recorder != nil {
-		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindDecide, Round: round, Node: node, Value: v})
+	if e.hooks.Recorder != nil {
+		e.hooks.Recorder.Record(trace.Event{Kind: trace.KindDecide, Round: round, Node: node, Value: v})
 	}
 }
 

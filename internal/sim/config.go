@@ -13,6 +13,7 @@ import (
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
 	"anondyn/internal/fault"
+	"anondyn/internal/metrics"
 	"anondyn/internal/network"
 	"anondyn/internal/trace"
 )
@@ -105,6 +106,38 @@ func (rv RoundValues) Range(fn func(node int, value float64)) {
 	}
 }
 
+// Hooks is the single registration surface for everything that watches
+// an execution. Each field is independently optional and nil-safe: the
+// zero value observes nothing and costs nothing on the hot path.
+//
+// Dispatch is by optional interface: an Observer that also implements
+// RoundObserver additionally receives OnRoundEnd. The Metrics sink is
+// deliberately NOT part of the trackPhases gating — attaching it never
+// changes which code path the engines select, so enabling metrics can
+// never perturb results (pinned by the parity property tests).
+type Hooks struct {
+	// Observer receives phase/decide callbacks (and OnRoundEnd when it
+	// also implements RoundObserver).
+	Observer Observer
+	// Recorder receives the execution event log.
+	Recorder *trace.Recorder
+	// Metrics receives one RoundSample per round, at the end of the
+	// round, from whichever engine runs the execution.
+	Metrics metrics.Sink
+}
+
+// merged folds the deprecated top-level Config fields into h, with the
+// Hooks fields winning when both are set.
+func (h Hooks) merged(c *Config) Hooks {
+	if h.Observer == nil {
+		h.Observer = c.Observer
+	}
+	if h.Recorder == nil {
+		h.Recorder = c.Recorder
+	}
+	return h
+}
+
 // Config describes one execution.
 type Config struct {
 	// N is the network size; F the declared fault bound (used only for
@@ -136,10 +169,20 @@ type Config struct {
 	// MaxRounds caps the run; 0 means DefaultMaxRounds.
 	MaxRounds int
 
+	// Hooks registers everything that watches the execution: observer,
+	// recorder, and metrics sink. See Hooks.
+	Hooks Hooks
+
 	// Recorder, when non-nil, receives the execution event log.
+	//
+	// Deprecated: set Hooks.Recorder. This alias is honored for one more
+	// PR (Hooks.Recorder wins when both are set) and then removed.
 	Recorder *trace.Recorder
 
 	// Observer, when non-nil, receives phase/decide callbacks.
+	//
+	// Deprecated: set Hooks.Observer. This alias is honored for one more
+	// PR (Hooks.Observer wins when both are set) and then removed.
 	Observer Observer
 
 	// AccountBandwidth enables wire-format byte accounting for delivered

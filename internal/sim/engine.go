@@ -8,6 +8,7 @@ import (
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
 	"anondyn/internal/fault"
+	"anondyn/internal/metrics"
 	"anondyn/internal/network"
 	"anondyn/internal/trace"
 	"anondyn/internal/wire"
@@ -58,7 +59,8 @@ type Engine struct {
 	recvMask   []uint64             // word-wise mask of round-t-eligible receivers
 	edges      *network.EdgeSet     // engine-owned E(t) for InPlace adversaries
 	inPlace    adversary.InPlace    // non-nil when the adversary has the fast path
-	roundObs   RoundObserver        // cfg.Observer's optional round hook, cached
+	hooks      Hooks                // effective hooks: cfg.Hooks with the deprecated fields folded in
+	roundObs   RoundObserver        // the effective Observer's optional round hook, cached
 	needSize   bool                 // any consumer of wire sizes configured
 	hasCap     bool                 // any per-link byte budget configured
 
@@ -224,7 +226,12 @@ func (e *Engine) Reset(cfg Config) error {
 	e.lostFast = len(cfg.Byzantine) == 0 && len(cfg.Crashes) == 0 &&
 		cfg.MaxMessageBytes == 0 && cfg.LinkBandwidth == nil
 	e.fastGather = e.lostFast && !cfg.AccountBandwidth
-	e.trackPhases = cfg.Observer != nil || cfg.Recorder != nil
+	// The Metrics sink deliberately does not join this gate: metrics tap
+	// the round from outside and must never change path selection, so a
+	// metrics-enabled run takes bit-for-bit the same route as a disabled
+	// one (pinned by the parity property tests).
+	e.hooks = cfg.Hooks.merged(&e.cfg)
+	e.trackPhases = e.hooks.Observer != nil || e.hooks.Recorder != nil
 	e.allIdentity = true
 	for _, numbering := range e.ports {
 		if !numbering.IsIdentity() {
@@ -273,7 +280,7 @@ func (e *Engine) Reset(cfg Config) error {
 	} else {
 		e.inPlace = nil
 	}
-	e.roundObs, _ = cfg.Observer.(RoundObserver)
+	e.roundObs, _ = e.hooks.Observer.(RoundObserver)
 	e.needSize = cfg.AccountBandwidth || cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
 	e.hasCap = cfg.MaxMessageBytes > 0 || cfg.LinkBandwidth != nil
 
@@ -398,8 +405,8 @@ func (e *Engine) Step() {
 
 	// (1) The adversary chooses E(t) (it may read start-of-round state).
 	edges := e.roundEdges(t)
-	if e.cfg.Recorder != nil {
-		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindRound, Round: t, Edges: edges.Edges()})
+	if e.hooks.Recorder != nil {
+		e.hooks.Recorder.Record(trace.Event{Kind: trace.KindRound, Round: t, Edges: edges.Edges()})
 	}
 	if e.cfg.KeepTrace {
 		e.result.Trace = append(e.result.Trace, edges.Clone())
@@ -425,13 +432,13 @@ func (e *Engine) Step() {
 			// One Size per broadcast per round; deliveries reuse it.
 			e.bcastSize[i] = wire.Size(m)
 		}
-		if e.cfg.Recorder != nil {
-			e.cfg.Recorder.Record(trace.Event{
+		if e.hooks.Recorder != nil {
+			e.hooks.Recorder.Record(trace.Event{
 				Kind: trace.KindBroadcast, Round: t, Node: i, Value: m.Value, Phase: m.Phase,
 			})
 		}
-		if e.cfg.Recorder != nil && e.crashRound[i] == t {
-			e.cfg.Recorder.Record(trace.Event{Kind: trace.KindCrash, Round: t, Node: i})
+		if e.hooks.Recorder != nil && e.crashRound[i] == t {
+			e.hooks.Recorder.Record(trace.Event{Kind: trace.KindCrash, Round: t, Node: i})
 		}
 	}
 
@@ -472,14 +479,57 @@ func (e *Engine) Step() {
 	// n(n−1) potential messages either delivered or was suppressed, so
 	// the count is a subtraction; otherwise one word-wise mask of the
 	// eligible receivers replaces the former O(n²) faulted fallback.
+	var roundLost int
 	if e.lostFast && !e.referenceRound {
-		e.result.MessagesLost += e.cfg.N*(e.cfg.N-1) - roundDelivered
+		roundLost = e.cfg.N*(e.cfg.N-1) - roundDelivered
 	} else {
-		e.result.MessagesLost += countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
+		roundLost = countLost(t, e.cfg.N, e.isByz, e.crashRound, edges, e.recvMask)
 	}
+	e.result.MessagesLost += roundLost
 
 	e.notifyRoundEnd(t)
+	if e.hooks.Metrics != nil {
+		e.emitRound(t, roundDelivered, roundLost)
+	}
 	e.round++
+}
+
+// emitRound feeds the metrics sink one RoundSample: counters from the
+// round just executed plus an O(n) convergence scan (running nodes,
+// decided count, value range). The scan runs only when a sink is
+// attached, and the sample is a stack value handed to the interface by
+// value — a metrics-enabled round still allocates nothing (asserted by
+// TestSteadyRoundAllocBudgetMetrics).
+func (e *Engine) emitRound(t, delivered, lost int) {
+	s := metrics.RoundSample{Round: t, Delivered: delivered, Lost: lost}
+	var lo, hi float64
+	for i, p := range e.cfg.Procs {
+		if p == nil {
+			continue
+		}
+		if e.decided[i] {
+			s.Decided++
+		}
+		if t+1 > e.crashRound[i] {
+			continue
+		}
+		v := p.Value()
+		if s.Running == 0 {
+			lo, hi = v, v
+		} else {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		s.Running++
+	}
+	if s.Running > 0 {
+		s.Range = hi - lo
+	}
+	e.hooks.Metrics.RoundDone(s)
 }
 
 // deliverRange processes receivers [lo, hi): gather (or fused direct
@@ -567,8 +617,8 @@ func (e *Engine) deliverRange(t, lo, hi int, edges *network.EdgeSet, s *recvScra
 				// Observer/Recorder configured: sequential-only (parRounds
 				// excludes it), per-delivery probes interleaved.
 				for _, d := range s.deliveries {
-					if e.cfg.Recorder != nil {
-						e.cfg.Recorder.Record(trace.Event{
+					if e.hooks.Recorder != nil {
+						e.hooks.Recorder.Record(trace.Event{
 							Kind: trace.KindDeliver, Round: t, Node: v, Port: d.Port,
 							Value: d.Msg.Value, Phase: d.Msg.Phase,
 						})
@@ -792,11 +842,11 @@ func (e *Engine) outgoing(t, u, v int) (m *core.Message, size int, ok bool) {
 }
 
 func (e *Engine) notePhase(node, from, to int, value float64, round int) {
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.OnPhaseEnter(node, from, to, value, round)
+	if e.hooks.Observer != nil {
+		e.hooks.Observer.OnPhaseEnter(node, from, to, value, round)
 	}
-	if e.cfg.Recorder != nil {
-		e.cfg.Recorder.Record(trace.Event{
+	if e.hooks.Recorder != nil {
+		e.hooks.Recorder.Record(trace.Event{
 			Kind: trace.KindPhase, Round: round, Node: node,
 			FromPhase: from, Phase: to, Value: value,
 		})
@@ -814,11 +864,11 @@ func (e *Engine) noteDecision(node int, proc core.Process, round int) {
 	e.decided[node] = true
 	e.outputs[node] = v
 	e.decideRound[node] = round
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.OnDecide(node, v, round)
+	if e.hooks.Observer != nil {
+		e.hooks.Observer.OnDecide(node, v, round)
 	}
-	if e.cfg.Recorder != nil {
-		e.cfg.Recorder.Record(trace.Event{Kind: trace.KindDecide, Round: round, Node: node, Value: v})
+	if e.hooks.Recorder != nil {
+		e.hooks.Recorder.Record(trace.Event{Kind: trace.KindDecide, Round: round, Node: node, Value: v})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
+	"anondyn/internal/metrics"
 	"anondyn/internal/network"
 	"anondyn/internal/wire"
 )
@@ -43,6 +44,10 @@ type HubConfig struct {
 	// notably rejected handshakes, which release their slot and would
 	// otherwise be invisible while the hub keeps waiting.
 	Log func(format string, args ...any)
+	// Metrics, when non-nil, receives one RoundDone per hub round — the
+	// same sample semantics as the simulation engines, so a Collector
+	// serves both. Purely observational.
+	Metrics metrics.Sink
 }
 
 // DefaultMaxRounds caps hub executions without an explicit bound.
@@ -286,6 +291,7 @@ func (h *Hub) runRound(round int, edges *network.EdgeSet, res *HubResult) error 
 	// engines, only the receiver's actual in-neighbors are walked and
 	// the gather is re-sorted into port order when the numbering is not
 	// the identity.
+	delivered := 0
 	for _, hc := range h.conns {
 		numbering := h.cfg.Ports[hc.id]
 		h.entries = h.entries[:0]
@@ -311,6 +317,7 @@ func (h *Hub) runRound(round int, edges *network.EdgeSet, res *HubResult) error 
 		if err := hc.c.flush(); err != nil {
 			return fmt.Errorf("node %d: %w", hc.id, err)
 		}
+		delivered += len(h.entries)
 	}
 
 	// (3) Status barrier.
@@ -335,7 +342,39 @@ func (h *Hub) runRound(round int, edges *network.EdgeSet, res *HubResult) error 
 			}
 		}
 	}
+	if h.cfg.Metrics != nil {
+		h.emitRound(round, delivered, res)
+	}
 	return nil
+}
+
+// emitRound mirrors the engines' per-round sample: the hub has no
+// crashes (every connected node runs), so Running is n, Lost is the
+// adversary-suppressed remainder of the n(n−1) possible links (no
+// self-loops in the model), and Range spans the end-of-round status
+// values.
+func (h *Hub) emitRound(round, delivered int, res *HubResult) {
+	s := metrics.RoundSample{
+		Round:     round,
+		Delivered: delivered,
+		Lost:      h.cfg.N*(h.cfg.N-1) - delivered,
+		Running:   h.cfg.N,
+		Decided:   len(res.Outputs),
+	}
+	var lo, hi float64
+	for i, hc := range h.conns {
+		v := hc.snap.Value
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	if h.cfg.N > 0 {
+		s.Range = hi - lo
+	}
+	h.cfg.Metrics.RoundDone(s)
 }
 
 func (h *Hub) broadcastStop() {

@@ -24,8 +24,10 @@ import (
 )
 
 // Protocol version, sent in the hello/config handshake. v2 added the
-// shard frames (0x08–0x0D) for coordinator↔worker sweep dispatch.
-const protocolVersion = 2
+// shard frames (0x08–0x0D) for coordinator↔worker sweep dispatch; v3
+// added live worker telemetry (the 0x0E metrics frame and the task's
+// metrics cadence field).
+const protocolVersion = 3
 
 // Frame types.
 const (
@@ -46,6 +48,10 @@ const (
 	frameShardRecord byte = 0x0b // worker → coordinator: run, decided, rounds, bytes, outbits, violation
 	frameShardDone   byte = 0x0c // worker → coordinator: shard, count
 	frameShardErr    byte = 0x0d // worker → coordinator: shard, message
+
+	// v3: live telemetry, interleaved with the record stream at the
+	// cadence the task requests (ShardTask.MetricsEveryRuns).
+	frameShardMetrics byte = 0x0e // worker → coordinator: shard, runs, rounds, delivered, busy, workers
 )
 
 // Errors surfaced by the protocol layer.

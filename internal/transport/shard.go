@@ -39,6 +39,12 @@ type ShardTask struct {
 	// MaxPending bounds the worker's reorder window for this shard
 	// (harness.Options.MaxPending; 0 = unbounded).
 	MaxPending int
+	// MetricsEveryRuns, when > 0, asks the worker to interleave one
+	// telemetry frame into the record stream every that-many completed
+	// runs (plus one final frame before done). 0 = no telemetry (v2
+	// behavior). Telemetry frames never carry result data, so the
+	// coordinator's merge is unaffected by the cadence.
+	MetricsEveryRuns int
 	// Spec is the sweep document (YAML or JSON), shipped verbatim so
 	// workers need no filesystem access.
 	Spec []byte
@@ -67,6 +73,23 @@ type ShardRecord struct {
 	// Violation reports a validity or ε-agreement break, evaluated
 	// worker-side against the cell's ε.
 	Violation bool
+}
+
+// ShardMetrics is one live telemetry sample from a worker (v3): the
+// worker's cumulative progress on the shard plus a point-in-time view
+// of its pool. Purely observational — the coordinator folds it into a
+// metrics collector and never lets it influence the merge.
+type ShardMetrics struct {
+	// Shard is the task the sample belongs to.
+	Shard int
+	// Runs and Rounds are the worker's cumulative completed runs and
+	// simulated rounds for this shard.
+	Runs, Rounds uint64
+	// Delivered is the cumulative delivered-message count.
+	Delivered uint64
+	// Busy and Workers are the worker pool's busy count and size at
+	// sample time.
+	Busy, Workers int
 }
 
 // ShardError is a worker's deterministic rejection of a task (bad spec,
@@ -152,17 +175,20 @@ func (s *ShardClient) deadline() {
 
 // RunShard ships one task and streams its records — validated to be in
 // strict run order and complete — to onRecord, returning once the
-// worker's done frame arrives. A *ShardError return means the worker
-// rejected the task deterministically; any other error is a transport
-// failure and the shard may be requeued elsewhere.
-func (s *ShardClient) RunShard(task ShardTask, onRecord func(ShardRecord) error) error {
+// worker's done frame arrives. onMetrics, when non-nil, receives any
+// telemetry frames the worker interleaves (nil drains them silently);
+// telemetry never advances the record cursor. A *ShardError return
+// means the worker rejected the task deterministically; any other
+// error is a transport failure and the shard may be requeued elsewhere.
+func (s *ShardClient) RunShard(task ShardTask, onRecord func(ShardRecord) error, onMetrics func(ShardMetrics)) error {
 	if len(task.Spec) > maxSpecBytes {
 		return fmt.Errorf("transport: spec of %d bytes exceeds limit %d", len(task.Spec), maxSpecBytes)
 	}
 	s.deadline()
 	if err := s.c.writeFrame(frameShardTask,
 		uint64(task.Shard), uint64(task.Lo), uint64(task.Hi),
-		uint64(task.SeedsPerCell), uint64(task.MaxPending)); err != nil {
+		uint64(task.SeedsPerCell), uint64(task.MaxPending),
+		uint64(task.MetricsEveryRuns)); err != nil {
 		return err
 	}
 	if err := s.c.writeBytes(task.Spec); err != nil {
@@ -215,6 +241,14 @@ func (s *ShardClient) RunShard(task ShardTask, onRecord func(ShardRecord) error)
 				return err
 			}
 			return &ShardError{Shard: int(idx), Msg: string(msg)}
+		case frameShardMetrics:
+			m, err := s.readMetricsBody()
+			if err != nil {
+				return err
+			}
+			if onMetrics != nil {
+				onMetrics(m)
+			}
 		default:
 			return fmt.Errorf("%w: 0x%02x during shard %d", ErrBadType, ft, task.Shard)
 		}
@@ -237,6 +271,25 @@ func (s *ShardClient) readRecordBody() (ShardRecord, error) {
 		Bytes:        int(fields[3]),
 		OutRangeBits: fields[4],
 		Violation:    fields[5] == 1,
+	}, nil
+}
+
+func (s *ShardClient) readMetricsBody() (ShardMetrics, error) {
+	var fields [6]uint64
+	for i := range fields {
+		v, err := s.c.readUvarint()
+		if err != nil {
+			return ShardMetrics{}, err
+		}
+		fields[i] = v
+	}
+	return ShardMetrics{
+		Shard:     int(fields[0]),
+		Runs:      fields[1],
+		Rounds:    fields[2],
+		Delivered: fields[3],
+		Busy:      int(fields[4]),
+		Workers:   int(fields[5]),
 	}, nil
 }
 
@@ -310,7 +363,7 @@ func (s *ShardServer) Next() (ShardTask, error) {
 		return ShardTask{}, fmt.Errorf("%w: got 0x%02x, want shard task", ErrBadType, ft)
 	}
 	s.deadline()
-	var fields [5]uint64
+	var fields [6]uint64
 	for i := range fields {
 		v, err := s.c.readUvarint()
 		if err != nil {
@@ -323,12 +376,13 @@ func (s *ShardServer) Next() (ShardTask, error) {
 		return ShardTask{}, err
 	}
 	task := ShardTask{
-		Shard:        int(fields[0]),
-		Lo:           int(fields[1]),
-		Hi:           int(fields[2]),
-		SeedsPerCell: int(fields[3]),
-		MaxPending:   int(fields[4]),
-		Spec:         specData,
+		Shard:            int(fields[0]),
+		Lo:               int(fields[1]),
+		Hi:               int(fields[2]),
+		SeedsPerCell:     int(fields[3]),
+		MaxPending:       int(fields[4]),
+		MetricsEveryRuns: int(fields[5]),
+		Spec:             specData,
 	}
 	if task.Lo > task.Hi {
 		return ShardTask{}, fmt.Errorf("%w: shard range [%d,%d)", ErrBadFrame, task.Lo, task.Hi)
@@ -343,6 +397,19 @@ func (s *ShardServer) WriteRecord(rec ShardRecord) error {
 	if err := s.c.writeFrame(frameShardRecord,
 		uint64(rec.Run), b2u(rec.Decided), uint64(rec.Rounds),
 		uint64(rec.Bytes), rec.OutRangeBits, b2u(rec.Violation)); err != nil {
+		return err
+	}
+	return s.c.flush()
+}
+
+// WriteMetrics interleaves one telemetry frame into the record stream.
+// Safe at any point of a task exchange before Done/Fail; the cadence is
+// the task's MetricsEveryRuns and callers should not exceed it.
+func (s *ShardServer) WriteMetrics(m ShardMetrics) error {
+	s.deadline()
+	if err := s.c.writeFrame(frameShardMetrics,
+		uint64(m.Shard), m.Runs, m.Rounds, m.Delivered,
+		uint64(m.Busy), uint64(m.Workers)); err != nil {
 		return err
 	}
 	return s.c.flush()

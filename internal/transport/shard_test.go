@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -88,7 +89,7 @@ func TestShardProtocolRoundTrip(t *testing.T) {
 		if err := cl.RunShard(task, func(r ShardRecord) error {
 			got = append(got, r)
 			return nil
-		}); err != nil {
+		}, nil); err != nil {
 			t.Fatalf("shard %d: %v", task.Shard, err)
 		}
 		if len(got) != task.Runs() {
@@ -107,6 +108,138 @@ func TestShardProtocolRoundTrip(t *testing.T) {
 	}
 	cl.Stop()
 	wg.Wait()
+}
+
+// TestShardMetricsFramesRoundTrip: v3 telemetry frames interleave with
+// the record stream without perturbing it, the task's cadence field
+// round-trips, and a client that passes a nil onMetrics skips the
+// frames silently.
+func TestShardMetricsFramesRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serve := func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer raw.Close()
+		srv, err := AcceptShard(raw, 2, 5*time.Second)
+		if err != nil {
+			t.Errorf("worker handshake: %v", err)
+			return
+		}
+		task, err := srv.Next()
+		if err != nil {
+			return
+		}
+		if task.MetricsEveryRuns != 2 {
+			t.Errorf("task cadence = %d, want 2", task.MetricsEveryRuns)
+		}
+		for i := task.Lo; i < task.Hi; i++ {
+			if err := srv.WriteRecord(ShardRecord{Run: i, Rounds: i}); err != nil {
+				t.Errorf("worker record: %v", err)
+				return
+			}
+			done := i - task.Lo + 1
+			if done%task.MetricsEveryRuns == 0 {
+				if err := srv.WriteMetrics(ShardMetrics{
+					Shard: task.Shard, Runs: uint64(done), Rounds: uint64(100 * done),
+					Delivered: 7, Busy: 1, Workers: 2,
+				}); err != nil {
+					t.Errorf("worker metrics: %v", err)
+					return
+				}
+			}
+		}
+		if err := srv.Done(task.Shard, task.Runs()); err != nil {
+			t.Errorf("worker done: %v", err)
+		}
+	}
+	go serve()
+
+	cl, err := DialShard(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	task := ShardTask{Shard: 3, Lo: 0, Hi: 5, MetricsEveryRuns: 2, Spec: []byte("ns: [3]")}
+	var recs []ShardRecord
+	var frames []ShardMetrics
+	err = cl.RunShard(task, func(r ShardRecord) error {
+		recs = append(recs, r)
+		return nil
+	}, func(m ShardMetrics) { frames = append(frames, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("%d records, want 5 (metrics frames must not consume run indices)", len(recs))
+	}
+	want := []ShardMetrics{
+		{Shard: 3, Runs: 2, Rounds: 200, Delivered: 7, Busy: 1, Workers: 2},
+		{Shard: 3, Runs: 4, Rounds: 400, Delivered: 7, Busy: 1, Workers: 2},
+	}
+	if !reflect.DeepEqual(frames, want) {
+		t.Errorf("metrics frames = %+v, want %+v", frames, want)
+	}
+
+	// Same exchange with a nil onMetrics: the frames are read and
+	// discarded, the record stream is untouched.
+	go serve()
+	cl2, err := DialShard(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	n := 0
+	if err := cl2.RunShard(task, func(ShardRecord) error { n++; return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("%d records with nil onMetrics, want 5", n)
+	}
+}
+
+// TestShardRecordGapRejected: the coordinator's record stream is
+// strictly sequential — a worker that skips a run index (the symptom of
+// a silently dropped run) is a malformed stream, never a clean merge.
+func TestShardRecordGapRejected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer raw.Close()
+		srv, err := AcceptShard(raw, 1, 5*time.Second)
+		if err != nil {
+			return
+		}
+		task, err := srv.Next()
+		if err != nil {
+			return
+		}
+		srv.WriteRecord(ShardRecord{Run: task.Lo})     //nolint:errcheck
+		srv.WriteRecord(ShardRecord{Run: task.Lo + 2}) //nolint:errcheck // the gap
+		srv.Done(task.Shard, task.Runs())              //nolint:errcheck
+	}()
+	cl, err := DialShard(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.RunShard(ShardTask{Shard: 0, Lo: 0, Hi: 3, Spec: []byte("ns: [3]")},
+		func(ShardRecord) error { return nil }, nil)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame for a gapped record stream", err)
+	}
 }
 
 func TestShardServerRejectsVersionMismatch(t *testing.T) {
@@ -170,7 +303,7 @@ func TestShardFailReportsDeterministicError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	err = cl.RunShard(ShardTask{Shard: 7, Lo: 0, Hi: 3, Spec: []byte("")}, func(ShardRecord) error { return nil })
+	err = cl.RunShard(ShardTask{Shard: 7, Lo: 0, Hi: 3, Spec: []byte("")}, func(ShardRecord) error { return nil }, nil)
 	var se *ShardError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %v, want *ShardError", err)

@@ -87,6 +87,12 @@ type Scenario struct {
 	// results are bit-for-bit identical. See sim.Config.ForceCSR.
 	ForceCSR bool
 
+	// Metrics, when non-nil, receives one sample per round from the
+	// engine (see sim.Hooks.Metrics). Attaching it never changes results
+	// or engine code paths — pinned by the metrics-parity property
+	// tests — so a shared MetricsCollector can watch a whole batch live.
+	Metrics MetricsSink
+
 	// Tracker, when non-nil, reconstructs the V(p) multisets during the
 	// run (it is seeded with the inputs automatically).
 	Tracker *PhaseTracker
@@ -239,16 +245,19 @@ func (s Scenario) config(procs []core.Process, ports network.Ports, byz map[int]
 		f = len(byz) + len(crashes) // pass validation for f-unset scenarios
 	}
 	return &sim.Config{
-		N:                s.N,
-		F:                f,
-		Procs:            procs,
-		Byzantine:        byz,
-		Crashes:          crashes,
-		Adversary:        s.Adversary,
-		Ports:            ports,
-		MaxRounds:        s.MaxRounds,
-		Recorder:         s.Recorder,
-		Observer:         s.observer(),
+		N:         s.N,
+		F:         f,
+		Procs:     procs,
+		Byzantine: byz,
+		Crashes:   crashes,
+		Adversary: s.Adversary,
+		Ports:     ports,
+		MaxRounds: s.MaxRounds,
+		Hooks: sim.Hooks{
+			Observer: s.observer(),
+			Recorder: s.Recorder,
+			Metrics:  s.Metrics,
+		},
 		KeepTrace:        s.KeepTrace,
 		AccountBandwidth: s.AccountBandwidth,
 		MaxMessageBytes:  s.MaxMessageBytes,

@@ -248,6 +248,34 @@ func (g Grid) RunSlice(lo, hi int, opts BatchOptions, each func(c Cell, cell, ru
 	return nil
 }
 
+// SeriesPerCell runs the first seed of every cell once with a
+// RangeSeries attached and returns each cell's per-round convergence
+// curve (range after each round), in Cells() order — the data behind
+// the HTML report's per-cell charts. It is a separate sequential pass
+// so the sweep's own Monte-Carlo runs stay observer-free and keep their
+// fused fast paths; one extra run per cell is cheap next to
+// SeedsPerCell runs. Any Series a Mutate hook installs is replaced for
+// this pass.
+func (g Grid) SeriesPerCell() ([][]float64, error) {
+	cells := g.Cells()
+	per := g.SeedsPerCell
+	if per < 1 {
+		per = 1
+	}
+	out := make([][]float64, len(cells))
+	for i, c := range cells {
+		seed := g.BaseSeed + int64(i*per)
+		s := g.scenario(c, seed)
+		series := NewRangeSeries()
+		s.Series = series
+		if _, err := s.Run(); err != nil {
+			return nil, fmt.Errorf("anondyn: sweep series cell %d: %w", i, err)
+		}
+		out[i] = series.Series()
+	}
+	return out, nil
+}
+
 // Run executes the sweep: every cell's runs stream into the cell's
 // BatchStats and the returned rows are in Cells() order, bit-identical
 // across worker counts.
