@@ -16,7 +16,11 @@
 // -serve turns the process into a distributed sweep worker: it listens
 // for a dynagrid coordinator and executes the shards it is sent —
 // (spec, run-range) slices of a scenario matrix — on the local
-// harness pool, streaming per-run records back in run order.
+// harness pool, streaming per-run records back in run order. -join
+// instead dials into a resident dynagrid -serve-coordinator control
+// plane (reconnecting until shutdown); SIGINT/SIGTERM drains
+// gracefully — finish the shard in flight, announce the leave, exit.
+// -token carries the shared secret of the shard handshake.
 //
 // Usage:
 //
@@ -36,10 +40,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"anondyn"
 	"anondyn/internal/analysis"
@@ -80,6 +86,8 @@ func run(args []string) error {
 		specDir    = fs.String("spec-dir", "", "run every scenario file (*.yaml, *.yml, *.json) in this directory")
 		saveSpec   = fs.String("save-spec", "", "with -sweep: additionally write the sweep as a spec file")
 		serveAddr  = fs.String("serve", "", "run as a distributed sweep worker on this address (shards arrive from dynagrid; -workers sizes the per-shard pool)")
+		joinAddr   = fs.String("join", "", "worker mode: dial into a dynagrid -serve-coordinator control plane at this address (reconnects until shutdown; combines with or replaces -serve)")
+		token      = fs.String("token", "", "worker mode: shared secret for the shard handshake (must match the coordinator's -token; empty disables auth)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,12 +101,13 @@ func run(args []string) error {
 	}
 	defer closeMetrics() //nolint:errcheck // final snapshot write; fate shared with stdout
 
-	if *serveAddr != "" {
+	if *serveAddr != "" || *joinAddr != "" {
 		if *sweep || *specFile != "" || *specDir != "" {
-			return fmt.Errorf("-serve is a worker mode; the sweep arrives from the dynagrid coordinator")
+			return fmt.Errorf("-serve/-join is a worker mode; the sweep arrives from the dynagrid coordinator")
 		}
 		wopts := shard.WorkerOptions{
 			Workers: *workers,
+			Token:   *token,
 			Log: func(format string, a ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", a...)
 			},
@@ -110,8 +119,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("sweep worker listening on %s\n", w.Addr())
-		return w.Serve()
+		if *joinAddr == "" {
+			fmt.Printf("sweep worker listening on %s\n", w.Addr())
+			return w.Serve()
+		}
+		return serveJoined(w, *serveAddr != "", *joinAddr)
 	}
 
 	if *specFile != "" || *specDir != "" {
@@ -191,6 +203,40 @@ func run(args []string) error {
 			return nil
 		},
 		harness.Options{Workers: *workers})
+}
+
+// serveJoined runs the worker against a resident control plane — and,
+// when listen is set, the legacy listener alongside — until SIGINT or
+// SIGTERM, which drains gracefully: the shard in flight finishes, the
+// leave frame goes out (so the control plane requeues nothing), and
+// only then does the process exit.
+func serveJoined(w *shard.Worker, listen bool, cpAddr string) error {
+	errc := make(chan error, 1)
+	if listen {
+		fmt.Printf("sweep worker listening on %s\n", w.Addr())
+		go func() { errc <- w.Serve() }()
+	}
+	fmt.Printf("joining control plane at %s\n", cpAddr)
+	joined := make(chan struct{})
+	go func() {
+		w.JoinLoop(cpAddr)
+		close(joined)
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		w.Close()
+		<-joined
+		return err
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "dynabench: draining (current shard finishes, then leave)")
+		w.Drain()
+		<-joined
+		w.Close()
+		return nil
+	}
 }
 
 func writeCSV(dir, id string, tb *analysis.Table) error {

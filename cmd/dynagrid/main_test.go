@@ -175,6 +175,181 @@ func TestRunSpecDirBatch(t *testing.T) {
 	}
 }
 
+// TestServiceModeFlagValidation: the service flags are modes of their
+// own and reject the one-shot flag set.
+func TestServiceModeFlagValidation(t *testing.T) {
+	if err := run([]string{"-serve-coordinator", ":0", "-spec", specPath}); err == nil ||
+		!strings.Contains(err.Error(), "-submit") {
+		t.Errorf("-serve-coordinator with -spec: %v", err)
+	}
+	if err := run([]string{"-submit", "127.0.0.1:1"}); err == nil ||
+		!strings.Contains(err.Error(), "-spec") {
+		t.Errorf("-submit without -spec: %v", err)
+	}
+	if err := run([]string{"-submit", "127.0.0.1:1", "-spec", specPath, "-workers", "h:1"}); err == nil ||
+		!strings.Contains(err.Error(), "one-shot") {
+		t.Errorf("-submit with -workers: %v", err)
+	}
+}
+
+// startPlaneWithWorker runs a resident control plane with one joined
+// worker — the topology behind `dynagrid -serve-coordinator` plus
+// `dynabench -join` — and returns the plane's address.
+func startPlaneWithWorker(t *testing.T, token string) string {
+	t.Helper()
+	cp, err := shard.NewControlPlane(shard.PlaneOptions{
+		Addr:      "127.0.0.1:0",
+		Token:     token,
+		IOTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpDone := make(chan struct{})
+	go func() {
+		defer close(cpDone)
+		cp.Serve() //nolint:errcheck
+	}()
+	w, err := shard.NewWorker("", shard.WorkerOptions{
+		Workers: 2, Token: token, RejoinDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wDone := make(chan struct{})
+	go func() {
+		defer close(wDone)
+		w.JoinLoop(cp.Addr())
+	}()
+	t.Cleanup(func() {
+		w.Close()
+		<-wDone
+		cp.Close()
+		<-cpDone
+	})
+	return cp.Addr()
+}
+
+// TestSubmitAgainstControlPlane: `dynagrid -submit` against a resident
+// plane yields the same report envelope and rows as a local run.
+func TestSubmitAgainstControlPlane(t *testing.T) {
+	addr := startPlaneWithWorker(t, "s3cret")
+	out := filepath.Join(t.TempDir(), "submitted.json")
+	err := run([]string{
+		"-submit", addr, "-spec", specPath, "-seeds", "2", "-token", "s3cret",
+		"-timeout", (10 * time.Second).String(), "-quiet", "-report", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report.Sweep
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	sw, grid, err := spec.Load(specPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRows, err := grid.Run(anondyn.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spec != sw.Name || rep.SeedsPerCell != 2 {
+		t.Errorf("envelope = {spec: %q, seeds: %d}, want {%q, 2}", rep.Spec, rep.SeedsPerCell, sw.Name)
+	}
+	if !reflect.DeepEqual(rep.Cells, localRows) {
+		t.Errorf("submitted cells differ from local run:\ndist  %+v\nlocal %+v", rep.Cells, localRows)
+	}
+	// Wrong token: the plane refuses the submission.
+	if err := run([]string{
+		"-submit", addr, "-spec", specPath, "-seeds", "1", "-token", "nope",
+		"-timeout", (5 * time.Second).String(), "-quiet",
+	}); err == nil {
+		t.Error("submit with wrong token succeeded")
+	}
+}
+
+// TestSpecDirHTMLIndex: an HTML batch report fans out per-spec pages
+// and writes a combined index at the -report path linking them.
+func TestSpecDirHTMLIndex(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a-first.yaml", "b-second.yaml"} {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	workers := startWorkers(t, 2)
+	outDir := t.TempDir()
+	index := filepath.Join(outDir, "out.html")
+	err := run([]string{
+		"-spec-dir", dir, "-workers", workers, "-seeds", "1",
+		"-timeout", (10 * time.Second).String(), "-quiet", "-report", index,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stem := range []string{"a-first", "b-second"} {
+		if _, err := os.Stat(filepath.Join(outDir, "out-"+stem+".html")); err != nil {
+			t.Errorf("per-spec page missing: %v", err)
+		}
+	}
+	data, err := os.ReadFile(index)
+	if err != nil {
+		t.Fatalf("index page missing: %v", err)
+	}
+	for _, want := range []string{
+		`<a href="out-a-first.html">`,
+		`<a href="out-b-second.html">`,
+		"2 sweeps",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+// TestRunCSVReportStreamsRows: a file CSV target is written row by row
+// during the sweep, yet ends up byte-identical to the buffered table of
+// a local run — the diffable-artifact contract.
+func TestRunCSVReportStreamsRows(t *testing.T) {
+	workers := startWorkers(t, 2)
+	out := filepath.Join(t.TempDir(), "dist.csv")
+	err := run([]string{
+		"-spec", specPath, "-workers", workers, "-seeds", "2",
+		"-timeout", (10 * time.Second).String(), "-quiet", "-report", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grid, err := spec.Load(specPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRows, err := grid.Run(anondyn.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := spec.Table("ignored", localRows).WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want.String() {
+		t.Errorf("streamed CSV differs from buffered local table:\nstream:\n%s\nbuffer:\n%s", got, want.String())
+	}
+}
+
 func TestSplitAddrs(t *testing.T) {
 	got := splitAddrs(" a:1, b:2 ,,c:3 ")
 	want := []string{"a:1", "b:2", "c:3"}

@@ -77,13 +77,20 @@ type Sink interface {
 }
 
 // ShardStat is one shard's live progress as aggregated by a sweep
-// coordinator (local pool shards or remote dynagrid workers).
+// coordinator (local pool shards or remote dynagrid workers). Sweep
+// segregates concurrent sweeps sharing one collector — a control plane
+// running several sweeps folds all their telemetry into its global
+// collector, and shard indices restart at 0 per sweep.
 type ShardStat struct {
+	Sweep     int    `json:"sweep"`
 	Shard     int    `json:"shard"`
 	Runs      uint64 `json:"runs"`
 	Rounds    uint64 `json:"rounds"`
 	Delivered uint64 `json:"delivered"`
 }
+
+// shardKey identifies one shard of one sweep in the collector's table.
+type shardKey struct{ sweep, shard int }
 
 // Timing segregates every wall-clock-derived quantity of a Snapshot.
 // Nothing outside this struct may depend on real time: tests compare
@@ -155,7 +162,7 @@ type Collector struct {
 	busy    atomic.Int64
 
 	mu     sync.Mutex
-	shards map[int]ShardStat
+	shards map[shardKey]ShardStat
 }
 
 // NewCollector returns a Collector whose Timing epoch is now.
@@ -210,16 +217,18 @@ func (c *Collector) WorkerBusy(delta int) {
 
 // ShardProgress replaces one shard's live counters — absolute values,
 // not deltas, so retransmitted or monotone worker frames fold
-// idempotently. Called at coordinator frame rate, never per round.
+// idempotently. The (Sweep, Shard) pair keys the table, so concurrent
+// sweeps never clobber each other's rows. Called at coordinator frame
+// rate, never per round.
 func (c *Collector) ShardProgress(s ShardStat) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	if c.shards == nil {
-		c.shards = make(map[int]ShardStat)
+		c.shards = make(map[shardKey]ShardStat)
 	}
-	c.shards[s.Shard] = s
+	c.shards[shardKey{s.Sweep, s.Shard}] = s
 	c.mu.Unlock()
 }
 
@@ -249,7 +258,12 @@ func (c *Collector) Snapshot() Snapshot {
 		}
 	}
 	c.mu.Unlock()
-	sort.Slice(s.Shards, func(i, j int) bool { return s.Shards[i].Shard < s.Shards[j].Shard })
+	sort.Slice(s.Shards, func(i, j int) bool {
+		if s.Shards[i].Sweep != s.Shards[j].Sweep {
+			return s.Shards[i].Sweep < s.Shards[j].Sweep
+		}
+		return s.Shards[i].Shard < s.Shards[j].Shard
+	})
 
 	elapsed := time.Since(time.Unix(0, c.startNanos.Load())).Seconds()
 	s.Timing.ElapsedSec = elapsed

@@ -71,6 +71,28 @@ func TestShardProgressIdempotent(t *testing.T) {
 	}
 }
 
+// TestShardProgressSegregatesSweeps: concurrent sweeps share one
+// collector without clobbering each other's shard rows — shard 0 of
+// sweep 1 and shard 0 of sweep 2 are distinct keys, and the snapshot
+// sorts by (sweep, shard).
+func TestShardProgressSegregatesSweeps(t *testing.T) {
+	c := NewCollector()
+	c.ShardProgress(ShardStat{Sweep: 2, Shard: 0, Runs: 9})
+	c.ShardProgress(ShardStat{Sweep: 1, Shard: 1, Runs: 4})
+	c.ShardProgress(ShardStat{Sweep: 1, Shard: 0, Runs: 3})
+	c.ShardProgress(ShardStat{Sweep: 2, Shard: 0, Runs: 11}) // progressed, same key
+
+	got := c.Snapshot().Shards
+	want := []ShardStat{
+		{Sweep: 1, Shard: 0, Runs: 3},
+		{Sweep: 1, Shard: 1, Runs: 4},
+		{Sweep: 2, Shard: 0, Runs: 11},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("shards = %+v, want %+v", got, want)
+	}
+}
+
 // TestTee: nil sinks are filtered (0 live → nil, 1 live → the sink
 // itself), fan-out reaches every sink, and the pool-observer methods
 // forward through the tee so a teed Collector still tracks its pool.

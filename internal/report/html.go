@@ -20,6 +20,17 @@ type HTMLTable struct {
 	Rows    [][]string
 }
 
+// HTMLLinks is a table block whose first column renders as a link:
+// Hrefs[i] is the target of Rows[i]'s first cell. It backs the
+// -spec-dir combined index page, where each row links the per-spec
+// report artifact sitting next to the index file.
+type HTMLLinks struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+	Hrefs   []string
+}
+
 // HTMLChart is one log-scale line chart of a positive series — built
 // for range-per-round convergence curves, where the interesting motion
 // spans many decades. Eps, when > 0, draws the target threshold line.
@@ -66,6 +77,8 @@ func WriteHTMLPage(w io.Writer, title, subtitle string, blocks ...any) error {
 		switch v := blk.(type) {
 		case HTMLTable:
 			writeTable(&b, v)
+		case HTMLLinks:
+			writeLinkTable(&b, v)
 		case HTMLChart:
 			writeChart(&b, v)
 		case string:
@@ -92,6 +105,34 @@ func writeTable(b *strings.Builder, t HTMLTable) {
 	for _, row := range t.Rows {
 		b.WriteString("<tr>")
 		for _, cell := range row {
+			fmt.Fprintf(b, "<td>%s</td>", html.EscapeString(cell))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody>\n</table>\n")
+}
+
+// writeLinkTable renders an HTMLLinks block: a plain table whose first
+// cell of each row is an <a href>. Hrefs are relative paths, escaped
+// like every other attribute; a row without one degrades to text.
+func writeLinkTable(b *strings.Builder, t HTMLLinks) {
+	b.WriteString("<table>\n")
+	if t.Caption != "" {
+		fmt.Fprintf(b, "<caption>%s</caption>\n", html.EscapeString(t.Caption))
+	}
+	b.WriteString("<thead><tr>")
+	for _, h := range t.Header {
+		fmt.Fprintf(b, "<th>%s</th>", html.EscapeString(h))
+	}
+	b.WriteString("</tr></thead>\n<tbody>\n")
+	for i, row := range t.Rows {
+		b.WriteString("<tr>")
+		for j, cell := range row {
+			if j == 0 && i < len(t.Hrefs) && t.Hrefs[i] != "" {
+				fmt.Fprintf(b, "<td style=\"text-align:left\"><a href=\"%s\">%s</a></td>",
+					html.EscapeString(t.Hrefs[i]), html.EscapeString(cell))
+				continue
+			}
 			fmt.Fprintf(b, "<td>%s</td>", html.EscapeString(cell))
 		}
 		b.WriteString("</tr>\n")

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"anondyn"
+)
+
+// IndexEntry summarizes one per-spec report for the combined -spec-dir
+// index page: the spec's run title, the artifact it links to, and the
+// aggregate counts shown in the index row.
+type IndexEntry struct {
+	// Title is the spec's run title (the per-spec page heading).
+	Title string
+	// Path is the per-spec report file; the index links to its base
+	// name, since ForSpec fan-out keeps every artifact in the index
+	// file's own directory.
+	Path string
+	// Cells are the spec's aggregate rows (only counts are rendered).
+	Cells []anondyn.CellResult
+}
+
+// WriteIndex renders the combined index page for a directory batch:
+// one row per spec linking the per-spec report, with cell, run,
+// decided, and violation totals. Same self-contained-page contract as
+// every other HTML report — no external fetches.
+func WriteIndex(w io.Writer, title string, entries []IndexEntry) error {
+	links := HTMLLinks{
+		Caption: "sweeps",
+		Header:  []string{"sweep", "cells", "runs", "decided", "violations"},
+	}
+	totalCells, totalRuns := 0, 0
+	for _, e := range entries {
+		runs, decided, violations := 0, 0, 0
+		for _, c := range e.Cells {
+			runs += c.Runs
+			decided += c.Decided
+			violations += c.Violations
+		}
+		totalCells += len(e.Cells)
+		totalRuns += runs
+		links.Rows = append(links.Rows, []string{
+			e.Title,
+			fmt.Sprint(len(e.Cells)),
+			fmt.Sprint(runs),
+			fmt.Sprintf("%d/%d", decided, runs),
+			fmt.Sprint(violations),
+		})
+		links.Hrefs = append(links.Hrefs, filepath.Base(e.Path))
+	}
+	sub := fmt.Sprintf("%d sweeps · %d cells · %d runs", len(entries), totalCells, totalRuns)
+	return WriteHTMLPage(w, title, sub, links)
+}
+
+// WriteIndexFile writes the combined index at path (the -report flag's
+// own path; per-spec artifacts got derived names via ForSpec, so the
+// base path is free to hold the directory's front page).
+func WriteIndexFile(path, title string, entries []IndexEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteIndex(f, title, entries); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"anondyn"
+)
+
+func fixtureEntries() []IndexEntry {
+	return []IndexEntry{
+		{
+			Title: "a-first.yaml: 2 cells × 3 seeds",
+			Path:  "out-a-first.html",
+			Cells: []anondyn.CellResult{
+				{BatchReport: anondyn.BatchReport{Runs: 3, Decided: 3}},
+				{BatchReport: anondyn.BatchReport{Runs: 3, Decided: 2, Violations: 1}},
+			},
+		},
+		{
+			Title: "b-second & <escaped>",
+			Path:  "reports/out-b-second.html",
+			Cells: []anondyn.CellResult{
+				{BatchReport: anondyn.BatchReport{Runs: 5, Decided: 5}},
+			},
+		},
+	}
+}
+
+// TestWriteIndexLinksAndTotals: the combined page links each per-spec
+// artifact by base name and carries the aggregate counts.
+func TestWriteIndexLinksAndTotals(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, "sweep reports: examples/specs", fixtureEntries()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`<a href="out-a-first.html">`,
+		`<a href="out-b-second.html">`, // base name, not the nested path
+		"b-second &amp; &lt;escaped&gt;",
+		"2 sweeps · 3 cells · 11 runs",
+		"5/6", // a-first decided/runs
+		"5/5", // b-second decided/runs
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("index missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// indexExternalRef: the index page may link sibling report files with
+// relative hrefs, but must stay fetch-free like every other artifact —
+// no scripts, stylesheets, images, or absolute URLs.
+var indexExternalRef = regexp.MustCompile(`src=|<script|<link|<img|url\(|https?://|href="/|href="[a-z]+:`)
+
+func TestWriteIndexSelfContained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, "index", fixtureEntries()); err != nil {
+		t.Fatal(err)
+	}
+	if m := indexExternalRef.FindString(buf.String()); m != "" {
+		t.Errorf("index page carries external reference %q", m)
+	}
+}
+
+// TestWriteIndexFileRoundTrip exercises the file form the -spec-dir
+// batch uses (the -report path itself holds the index).
+func TestWriteIndexFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/out.html"
+	if err := WriteIndexFile(path, "t", fixtureEntries()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<a href=") {
+		t.Error("written index has no links")
+	}
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+
+	"anondyn"
+	"anondyn/internal/spec"
+)
+
+// RowStream writes a sweep's CSV rows as they commit, so a -report csv
+// target fills while the sweep runs instead of materializing at the
+// end. Rows must arrive in cell order (the control plane's streaming
+// merge emits them exactly so); the accumulated bytes are identical to
+// rendering the finished row set through spec.Table — both go through
+// spec.RowCells — which keeps streamed and buffered CSV reports
+// diffable.
+type RowStream struct {
+	cw           *csv.Writer
+	withVariants bool
+}
+
+// NewRowStream writes the header row and returns the stream.
+// withVariants picks the column layout and must be decided up front
+// (from the compiled spec's cells), before any row exists.
+func NewRowStream(w io.Writer, withVariants bool) (*RowStream, error) {
+	s := &RowStream{cw: csv.NewWriter(w), withVariants: withVariants}
+	if err := s.cw.Write(spec.Columns(withVariants)); err != nil {
+		return nil, err
+	}
+	s.cw.Flush()
+	return s, s.cw.Error()
+}
+
+// Row appends one committed cell row and flushes it to the underlying
+// writer immediately (live tail-ability is the point).
+func (s *RowStream) Row(r anondyn.CellResult) error {
+	if err := s.cw.Write(spec.RowCells(r, s.withVariants)); err != nil {
+		return err
+	}
+	s.cw.Flush()
+	return s.cw.Error()
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"anondyn"
+	"anondyn/internal/spec"
+)
+
+// TestRowStreamMatchesBufferedCSV: rows streamed one at a time must
+// accumulate to the exact bytes of rendering the finished row set
+// through spec.Table — the contract that keeps a CSV filled during the
+// sweep diffable against one written after it.
+func TestRowStreamMatchesBufferedCSV(t *testing.T) {
+	rows := []anondyn.CellResult{
+		{
+			N: 9, F: 2, Eps: 1e-3, Algorithm: "dac", Adversary: "er:0.5",
+			BatchReport: anondyn.BatchReport{Runs: 3, Decided: 3},
+		},
+		{
+			N: 17, F: 4, Eps: 1e-4, Algorithm: "dbac", Adversary: "rotating:3",
+			BatchReport: anondyn.BatchReport{Runs: 3, Decided: 2, Violations: 1},
+		},
+	}
+	for _, withVariants := range []bool{false, true} {
+		if withVariants {
+			rows[0].Variant = "v0"
+			rows[1].Variant = "v1"
+		}
+		var want bytes.Buffer
+		if err := spec.Table("ignored", rows).WriteCSV(&want); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		s, err := NewRowStream(&got, withVariants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if err := s.Row(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("withVariants=%v: streamed CSV differs from buffered:\nstream:\n%s\nbuffer:\n%s",
+				withVariants, got.Bytes(), want.Bytes())
+		}
+	}
+}
+
+// TestRowStreamFlushesPerRow: every Row call must reach the underlying
+// writer immediately (a live tail of the file sees committed cells).
+func TestRowStreamFlushesPerRow(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := NewRowStream(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("header not flushed at creation")
+	}
+	before := buf.Len()
+	if err := s.Row(anondyn.CellResult{N: 5, Algorithm: "dac", Adversary: "complete"}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() <= before {
+		t.Error("row not flushed immediately")
+	}
+}

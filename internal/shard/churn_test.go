@@ -1,0 +1,321 @@
+package shard
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anondyn"
+	"anondyn/examples/specs"
+	"anondyn/internal/spec"
+)
+
+// localReference runs the committed spec locally — the byte-identity
+// reference every churn scenario is compared against.
+func localReference(t *testing.T, seeds int) (data []byte, grid anondyn.Grid, rows []anondyn.CellResult) {
+	t.Helper()
+	data, err := specs.Read("er-crash-sweep.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := spec.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.SeedsPerCell = seeds
+	if grid, err = sw.Grid(); err != nil {
+		t.Fatal(err)
+	}
+	if rows, err = grid.Run(anondyn.BatchOptions{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	return data, grid, rows
+}
+
+// assertParity compares merged rows to the local reference, in both
+// structural and serialized form (the contract is byte-identical
+// report rows).
+func assertParity(t *testing.T, got, want []anondyn.CellResult) {
+	t.Helper()
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("merged rows differ from local reference:\ndist  %s\nlocal %s", gotJSON, wantJSON)
+	}
+}
+
+// startPlane runs a listening control plane for workers to join.
+func startPlane(t *testing.T, opts PlaneOptions) *ControlPlane {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.IOTimeout == 0 {
+		opts.IOTimeout = 10 * time.Second
+	}
+	if opts.Log == nil {
+		opts.Log = t.Logf
+	}
+	cp, err := NewControlPlane(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := cp.Serve(); err != nil {
+			t.Errorf("control plane serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { cp.Close(); <-done })
+	return cp
+}
+
+// joinWorker starts a listener-less worker joined to the plane, with a
+// fast rejoin loop.
+func joinWorker(t *testing.T, cp *ControlPlane, opts WorkerOptions) *Worker {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	if opts.Log == nil {
+		opts.Log = t.Logf
+	}
+	opts.RejoinDelay = 20 * time.Millisecond
+	w, err := NewWorker("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.JoinLoop(cp.Addr())
+	}()
+	t.Cleanup(func() { w.Close(); <-done })
+	return w
+}
+
+// TestWorkerJoinsMidSweep: a sweep submitted to an empty plane sits
+// queued (nothing to dispatch to), then completes the moment workers
+// join — including one joining while the sweep is already running —
+// with rows byte-identical to the local run.
+func TestWorkerJoinsMidSweep(t *testing.T) {
+	data, _, local := localReference(t, 6)
+	cp := startPlane(t, PlaneOptions{})
+
+	h, err := cp.Submit(data, SubmitOptions{SeedsPerCell: 6, Shards: 8, Name: "churn-join"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No workers yet: the sweep must wait, not fail.
+	time.Sleep(50 * time.Millisecond)
+	if st := h.Status(); st.Done != 0 || st.Workers != 0 {
+		t.Fatalf("sweep progressed with no workers: %+v", st)
+	}
+
+	joinWorker(t, cp, WorkerOptions{})
+	go func() {
+		// Second worker joins mid-run.
+		time.Sleep(10 * time.Millisecond)
+		joinWorker(t, cp, WorkerOptions{})
+	}()
+
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, res.Rows, local)
+	total := 0
+	for _, n := range res.RunsByWorker {
+		total += n
+	}
+	if want := h.Total(); total != want {
+		t.Errorf("runs across workers = %d, want %d", total, want)
+	}
+}
+
+// TestJoinedWorkerKilledMidShard: a joined worker whose connection is
+// severed in the middle of a record stream unregisters; its shard
+// rolls back and requeues, and the worker's rejoin loop brings it back
+// to finish the sweep. The merged rows carry no trace of the partial
+// stream.
+func TestJoinedWorkerKilledMidShard(t *testing.T) {
+	data, _, local := localReference(t, 6)
+	cp := startPlane(t, PlaneOptions{})
+
+	w := joinWorker(t, cp, WorkerOptions{})
+	w.failAfterRecords(2)
+
+	h, err := cp.Submit(data, SubmitOptions{SeedsPerCell: 6, Shards: 4, Name: "churn-kill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requeues < 1 {
+		t.Errorf("requeues = %d, want ≥ 1 after mid-shard kill", res.Requeues)
+	}
+	assertParity(t, res.Rows, local)
+}
+
+// TestGracefulLeaveRequeuesNothing: draining a worker between tasks
+// announces the leave; the remaining worker finishes the sweep and the
+// rows stay byte-identical.
+func TestGracefulLeaveMidSweep(t *testing.T) {
+	data, _, local := localReference(t, 8)
+	cp := startPlane(t, PlaneOptions{})
+
+	leaver := joinWorker(t, cp, WorkerOptions{})
+	joinWorker(t, cp, WorkerOptions{})
+
+	h, err := cp.Submit(data, SubmitOptions{SeedsPerCell: 8, Shards: 8, Name: "churn-leave"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	leaver.Drain()
+
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, res.Rows, local)
+}
+
+// TestConcurrentSweepsIsolated: two sweeps submitted to one plane run
+// concurrently over the same fleet under round-robin dispatch; each
+// finishes with rows byte-identical to its own local run, and each
+// handle's collector carries only its own sweep's telemetry.
+func TestConcurrentSweepsIsolated(t *testing.T) {
+	dataA, gridA, localA := localReference(t, 5)
+	dataB, gridB, localB := localReference(t, 3)
+
+	// Real listening workers, dial-out fleet: the one-shot topology.
+	workers := make([]*Worker, 2)
+	addrs := make([]string, 2)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w, err := NewWorker("127.0.0.1:0", WorkerOptions{Workers: 2, Log: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i], addrs[i] = w, w.Addr()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Serve() //nolint:errcheck
+		}()
+	}
+	defer wg.Wait()
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+
+	cp, err := NewControlPlane(PlaneOptions{
+		IOTimeout:      10 * time.Second,
+		Log:            t.Logf,
+		AbortWhenEmpty: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	hA, err := cp.Submit(dataA, SubmitOptions{SeedsPerCell: 5, Shards: 4, Name: "sweep-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := cp.Submit(dataB, SubmitOptions{SeedsPerCell: 3, Shards: 4, Name: "sweep-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hA.ID() == hB.ID() {
+		t.Fatal("sweeps share an id")
+	}
+	for _, a := range addrs {
+		cp.AddWorker(a)
+	}
+
+	resA, err := hA.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := hB.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, resA.Rows, localA)
+	assertParity(t, resB.Rows, localB)
+
+	// Per-sweep telemetry: each collector counted exactly its own runs,
+	// and its shard rows are tagged with its own sweep id.
+	snapA, snapB := hA.Metrics().Snapshot(), hB.Metrics().Snapshot()
+	if int(snapA.Runs) != gridA.Runs() {
+		t.Errorf("sweep A collector has %d runs, want %d", snapA.Runs, gridA.Runs())
+	}
+	if int(snapB.Runs) != gridB.Runs() {
+		t.Errorf("sweep B collector has %d runs, want %d", snapB.Runs, gridB.Runs())
+	}
+	for _, s := range snapA.Shards {
+		if s.Sweep != hA.ID() {
+			t.Errorf("sweep A collector carries shard telemetry of sweep %d", s.Sweep)
+		}
+	}
+	for _, s := range snapB.Shards {
+		if s.Sweep != hB.ID() {
+			t.Errorf("sweep B collector carries shard telemetry of sweep %d", s.Sweep)
+		}
+	}
+	if len(snapA.Shards) != len(resA.Shards) {
+		t.Errorf("sweep A telemetry covers %d shards, want %d", len(snapA.Shards), len(resA.Shards))
+	}
+	if len(snapB.Shards) != len(resB.Shards) {
+		t.Errorf("sweep B telemetry covers %d shards, want %d", len(snapB.Shards), len(resB.Shards))
+	}
+	cp.Shutdown()
+}
+
+// TestJoinBadTokenRejected: a worker presenting the wrong token is
+// turned away without occupying a membership slot, and a correct-token
+// worker joining afterwards serves the sweep normally.
+func TestJoinBadTokenRejected(t *testing.T) {
+	data, _, local := localReference(t, 3)
+	cp := startPlane(t, PlaneOptions{Token: "s3cret"})
+
+	bad, err := NewWorker("", WorkerOptions{Workers: 2, Token: "wrong", Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if err := bad.Join(cp.Addr()); err == nil {
+		t.Fatal("join with wrong token succeeded")
+	} else if strings.Contains(err.Error(), "wrong") {
+		t.Errorf("rejection echoes the presented token: %v", err)
+	}
+	if n := cp.Workers(); n != 0 {
+		t.Fatalf("rejected worker occupies a slot: %d live members", n)
+	}
+
+	joinWorker(t, cp, WorkerOptions{Token: "s3cret"})
+	h, err := cp.Submit(data, SubmitOptions{SeedsPerCell: 3, Shards: 2, Name: "churn-token"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, res.Rows, local)
+}

@@ -2,23 +2,25 @@ package shard
 
 import (
 	"errors"
-	"fmt"
-	"math"
-	"sync"
 	"time"
 
 	"anondyn"
 	"anondyn/internal/metrics"
 	"anondyn/internal/spec"
-	"anondyn/internal/transport"
 )
 
-// Options configures one coordinated sweep.
+// Options configures one coordinated sweep — the one-shot form: a
+// fixed fleet of worker addresses, one spec, run to completion. It is
+// a thin client of the ControlPlane (fleet members registered as
+// dial-out workers, one sweep submitted, wait, drain), so the one-shot
+// path and the resident service share every line of dispatch, merge,
+// and requeue logic.
 type Options struct {
 	// Workers are the worker addresses (host:port). Required.
 	Workers []string
-	// Shards is the target shard count; < 1 plans 2 shards per worker
-	// so a lost worker's load spreads instead of doubling one peer.
+	// Shards is the target shard count; < 1 sizes the plan from the
+	// fleet (2 shards per worker) so a lost worker's load spreads
+	// instead of doubling one peer.
 	Shards int
 	// SeedsPerCell, when > 0, overrides the spec's seeds_per_cell on
 	// both sides of the wire.
@@ -26,6 +28,9 @@ type Options struct {
 	// MaxPending bounds each worker's per-shard reorder window
 	// (harness.Options.MaxPending; 0 = unbounded).
 	MaxPending int
+	// Token is the shared secret presented in every worker handshake;
+	// empty disables auth (both sides must agree).
+	Token string
 	// IOTimeout bounds each frame exchange (for a record stream: the
 	// gap between consecutive records). 0 means DefaultIOTimeout.
 	IOTimeout time.Duration
@@ -48,14 +53,16 @@ type Options struct {
 	// (one frame per that many completed runs); < 1 with Metrics set
 	// defaults to 16. Ignored when Metrics is nil.
 	MetricsEveryRuns int
+	// OnRow, when non-nil, streams each cell's finished row as its last
+	// run commits (in cell order) — report output can render while the
+	// sweep runs. Runs under the control plane's scheduling lock; keep
+	// it fast.
+	OnRow func(cell int, row anondyn.CellResult)
 }
 
 func (o *Options) fill() error {
 	if len(o.Workers) == 0 {
 		return errors.New("shard: no workers (pass at least one address)")
-	}
-	if o.Shards < 1 {
-		o.Shards = 2 * len(o.Workers)
 	}
 	if o.IOTimeout <= 0 {
 		o.IOTimeout = DefaultIOTimeout
@@ -90,307 +97,49 @@ type Result struct {
 	RunsByWorker map[string]int
 }
 
-// Run coordinates one sweep: parse the spec, plan shards, dispatch
-// them across the workers with requeue-on-loss, and merge the records
-// into aggregate rows in global run order.
+// Run coordinates one sweep over a fixed fleet: spin up an in-process
+// control plane with the fleet as dial-out members, submit the spec,
+// wait, drain. Requeue-on-loss, streaming merge, and the determinism
+// contract are all the ControlPlane's.
 func Run(specData []byte, opts Options) (*Result, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	sw, grid, err := spec.Compile(specData, opts.SeedsPerCell)
+	cp, err := NewControlPlane(PlaneOptions{
+		Token:            opts.Token,
+		IOTimeout:        opts.IOTimeout,
+		DialRetries:      opts.DialRetries,
+		RetryDelay:       opts.RetryDelay,
+		MaxPending:       opts.MaxPending,
+		Log:              opts.Log,
+		Metrics:          opts.Metrics,
+		MetricsEveryRuns: opts.MetricsEveryRuns,
+		AbortWhenEmpty:   true, // a fixed fleet that is gone is gone
+	})
 	if err != nil {
 		return nil, err
 	}
-	cells := grid.Cells()
-	per := grid.SeedsPerCell
-	if per < 1 {
-		per = 1
+	defer cp.Close()
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 2 * len(opts.Workers)
 	}
-	shards := Plan(len(cells), per, opts.Shards)
-	if len(shards) == 0 {
-		return nil, errors.New("shard: empty sweep (no cells)")
-	}
-
-	c := &coordinator{
-		opts:    opts,
-		spec:    specData,
-		shards:  shards,
-		results: make([][]transport.ShardRecord, len(shards)),
-		runs:    make(map[string]int, len(opts.Workers)),
-	}
-	c.queue.init(len(shards), len(opts.Workers))
-	var wg sync.WaitGroup
-	for _, addr := range opts.Workers {
-		wg.Add(1)
-		go func(addr string) {
-			defer wg.Done()
-			c.workerLoop(addr)
-		}(addr)
-	}
-	wg.Wait()
-	if err := c.queue.err(); err != nil {
-		return nil, err
-	}
-
-	rows, err := merge(cells, per, shards, c.results)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Sweep:        sw,
-		Rows:         rows,
+	h, err := cp.Submit(specData, SubmitOptions{
+		SeedsPerCell: opts.SeedsPerCell,
 		Shards:       shards,
-		Requeues:     c.requeues,
-		RunsByWorker: c.runs,
-	}, nil
-}
-
-// coordinator carries one Run's shared state.
-type coordinator struct {
-	opts   Options
-	spec   []byte
-	shards []Shard
-	queue  shardQueue
-
-	// results[i] is shard i's record buffer, written only by the
-	// worker goroutine that owns the popped shard and read after every
-	// goroutine has joined.
-	results [][]transport.ShardRecord
-
-	mu       sync.Mutex
-	requeues int
-	runs     map[string]int
-}
-
-// maxConsecutiveFailures is how many transport failures in a row a
-// worker may accumulate (with successful reconnects in between) before
-// the coordinator abandons it.
-const maxConsecutiveFailures = 3
-
-// workerLoop drives one worker: pop a shard, run it, commit or
-// requeue. A worker that keeps failing is abandoned — its queued work
-// drains through the survivors; losing the last worker aborts the
-// sweep.
-func (c *coordinator) workerLoop(addr string) {
-	defer c.queue.workerExit(addr)
-	var cl *transport.ShardClient
-	defer func() {
-		if cl != nil {
-			cl.Stop()
-			cl.Close()
-		}
-	}()
-	failures := 0
-	for {
-		idx, ok := c.queue.pop()
-		if !ok {
-			return
-		}
-		if cl == nil {
-			var err error
-			cl, err = c.connect(addr)
-			if err != nil {
-				c.opts.Log("shard: worker %s unreachable: %v", addr, err)
-				c.queue.requeue(idx)
-				return
-			}
-		}
-		sh := c.shards[idx]
-		task := transport.ShardTask{
-			Shard:        sh.Index,
-			Lo:           sh.Lo,
-			Hi:           sh.Hi,
-			SeedsPerCell: c.opts.SeedsPerCell,
-			MaxPending:   c.opts.MaxPending,
-			Spec:         c.spec,
-		}
-		var onMetrics func(transport.ShardMetrics)
-		if c.opts.Metrics != nil {
-			task.MetricsEveryRuns = c.opts.MetricsEveryRuns
-			onMetrics = func(m transport.ShardMetrics) {
-				c.opts.Metrics.ShardProgress(metrics.ShardStat{
-					Shard:     m.Shard,
-					Runs:      m.Runs,
-					Rounds:    m.Rounds,
-					Delivered: m.Delivered,
-				})
-			}
-		}
-		recs := make([]transport.ShardRecord, 0, sh.Runs())
-		err := cl.RunShard(task, func(r transport.ShardRecord) error {
-			recs = append(recs, r)
-			c.opts.Metrics.RunDone(metrics.RunSample{Decided: r.Decided, Rounds: r.Rounds})
-			return nil
-		}, onMetrics)
-		var shardErr *transport.ShardError
-		switch {
-		case err == nil:
-			c.results[idx] = recs
-			c.mu.Lock()
-			c.runs[addr] += len(recs)
-			c.mu.Unlock()
-			c.queue.done()
-			failures = 0
-		case errors.As(err, &shardErr):
-			// Deterministic rejection: another worker would fail the
-			// same way. Abort the sweep with the worker's report.
-			c.queue.abort(shardErr)
-			return
-		default:
-			// Transport failure: the shard reruns elsewhere (or here,
-			// after a reconnect). Partial records are discarded — a
-			// shard is all-or-nothing, which is what keeps the merge
-			// deterministic.
-			c.opts.Log("shard: %v on worker %s: %v (requeued)", sh, addr, err)
-			c.mu.Lock()
-			c.requeues++
-			c.mu.Unlock()
-			c.queue.requeue(idx)
-			cl.Close()
-			cl = nil
-			failures++
-			if failures >= maxConsecutiveFailures {
-				c.opts.Log("shard: abandoning worker %s after %d consecutive failures", addr, failures)
-				return
-			}
-		}
+		Name:         "one-shot",
+		OnRow:        opts.OnRow,
+	})
+	if err != nil {
+		return nil, err
 	}
-}
-
-// connect dials a worker with the retry budget.
-func (c *coordinator) connect(addr string) (*transport.ShardClient, error) {
-	var lastErr error
-	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
-		if attempt > 0 {
-			time.Sleep(c.opts.RetryDelay)
-		}
-		cl, err := transport.DialShard(addr, c.opts.IOTimeout)
-		if err == nil {
-			return cl, nil
-		}
-		lastErr = err
+	for _, addr := range opts.Workers {
+		cp.AddWorker(addr)
 	}
-	return nil, lastErr
-}
-
-// merge folds whole shards in plan order — which is global run order,
-// since shards partition [0, total) contiguously — into per-cell
-// BatchStats, reproducing Grid.Run's fold operation for operation.
-func merge(cells []anondyn.Cell, per int, shards []Shard, results [][]transport.ShardRecord) ([]anondyn.CellResult, error) {
-	stats := make([]*anondyn.BatchStats, len(cells))
-	for i, c := range cells {
-		stats[i] = &anondyn.BatchStats{Eps: c.Eps}
+	res, err := h.Wait()
+	if err != nil {
+		return nil, err
 	}
-	next := 0
-	for _, sh := range shards {
-		recs := results[sh.Index]
-		if len(recs) != sh.Runs() {
-			return nil, fmt.Errorf("shard: %v delivered %d/%d records", sh, len(recs), sh.Runs())
-		}
-		for _, r := range recs {
-			if r.Run != next {
-				return nil, fmt.Errorf("shard: %v out of sequence: run %d, want %d", sh, r.Run, next)
-			}
-			if err := stats[r.Run/per].ConsumeRecord(anondyn.RunRecord{
-				Decided:   r.Decided,
-				Rounds:    r.Rounds,
-				Bytes:     r.Bytes,
-				OutRange:  math.Float64frombits(r.OutRangeBits),
-				Violation: r.Violation,
-			}); err != nil {
-				return nil, err
-			}
-			next++
-		}
-	}
-	rows := make([]anondyn.CellResult, len(cells))
-	for i, c := range cells {
-		rows[i] = anondyn.CellResult{
-			N: c.N, F: c.F, Eps: c.Eps,
-			Algorithm:   c.Algorithm.String(),
-			Adversary:   c.Adversary.Name,
-			Variant:     c.Variant.Name,
-			BatchReport: stats[i].Report(),
-		}
-	}
-	return rows, nil
-}
-
-// shardQueue is the dispatch ledger: pending shard indices, the count
-// still outstanding, and the live-worker census that turns "all
-// workers lost" into an abort instead of a hang.
-type shardQueue struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	pending   []int
-	remaining int // shards not yet committed
-	active    int // worker loops still running
-	abortErr  error
-}
-
-func (q *shardQueue) init(shards, workers int) {
-	q.cond = sync.NewCond(&q.mu)
-	q.pending = make([]int, shards)
-	for i := range q.pending {
-		q.pending[i] = i
-	}
-	q.remaining = shards
-	q.active = workers
-}
-
-// pop blocks until a shard is available, all work is committed, or the
-// sweep aborted; ok is false in the latter two cases.
-func (q *shardQueue) pop() (idx int, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.pending) == 0 && q.remaining > 0 && q.abortErr == nil {
-		q.cond.Wait()
-	}
-	if q.abortErr != nil || q.remaining == 0 {
-		return 0, false
-	}
-	idx = q.pending[0]
-	q.pending = q.pending[1:]
-	return idx, true
-}
-
-func (q *shardQueue) done() {
-	q.mu.Lock()
-	q.remaining--
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-func (q *shardQueue) requeue(idx int) {
-	q.mu.Lock()
-	q.pending = append(q.pending, idx)
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-func (q *shardQueue) abort(err error) {
-	q.mu.Lock()
-	if q.abortErr == nil {
-		q.abortErr = err
-	}
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// workerExit records a worker loop ending; the last exit with work
-// still unfinished aborts (every shard has lost its chance to run).
-func (q *shardQueue) workerExit(addr string) {
-	q.mu.Lock()
-	q.active--
-	if q.active == 0 && q.remaining > 0 && q.abortErr == nil {
-		q.abortErr = fmt.Errorf("shard: all workers lost with %d shards unfinished (last: %s)", q.remaining, addr)
-	}
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-func (q *shardQueue) err() error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.abortErr
+	cp.Shutdown()
+	return res, nil
 }

@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"anondyn"
+	"anondyn/internal/transport"
+)
+
+// streamMerge folds shard record streams into per-cell BatchStats in
+// global run order as records arrive off the wire, replacing the old
+// buffer-whole-shards-then-merge pass. The output contract is
+// unchanged: rows byte-identical to a single-process Grid.Run, which
+// pins the float fold order to the global run order exactly.
+//
+// The re-sequencing window works on three tiers of shard:
+//
+//   - Committed shards (behind the cursor) are folded and immutable;
+//     their done frames arrived and their cells' rows may already be
+//     emitted.
+//   - The cursor shard folds eagerly — each record goes straight into
+//     its cell's BatchStats — but provisionally: the affected cell
+//     range is value-snapshotted before the first fold, so a transport
+//     failure rolls the fold back exactly and the shard requeues as if
+//     nothing happened. (Accumulators only ever append, so restoring
+//     the struct values restores the fold.)
+//   - Shards ahead of the cursor buffer their records until the cursor
+//     reaches them; out-of-order completion therefore costs memory for
+//     the overtaking shards only, never correctness.
+//
+// The cursor crosses a shard boundary only once that shard's done
+// frame has arrived (commit), which is what keeps the protocol's one
+// ambiguous disconnect — every record streamed but no done frame —
+// rollback-safe. Rows are emitted (via onRow) as soon as every run of
+// their cell is committed, so reports stream while the sweep runs.
+//
+// streamMerge is not self-synchronizing; the ControlPlane serializes
+// calls under its own lock.
+type streamMerge struct {
+	cells  []anondyn.Cell
+	per    int
+	shards []Shard
+
+	stats []*anondyn.BatchStats
+	out   []anondyn.CellResult
+
+	cursor int // index into shards of the provisional shard
+	next   int // global run cursor: stats cover exactly [0, next)
+
+	// snap holds value-copies of the cursor shard's cell range
+	// [snapLo, snapLo+len(snap)), taken before its first provisional
+	// fold; nil when the cursor shard has no folds yet.
+	snap   []anondyn.BatchStats
+	snapLo int
+
+	committed []bool
+	nCommit   int
+	buffered  map[int][]transport.ShardRecord
+
+	committedRuns int // Σ runs of committed shards (status reporting)
+	emitted       int // cells whose rows have been built (and emitted)
+	onRow         func(cell int, row anondyn.CellResult)
+}
+
+// newStreamMerge prepares the merge for one planned sweep. onRow, when
+// non-nil, receives each cell's finished row the moment its last run
+// commits (in cell order); it runs under the control plane's lock and
+// must be fast.
+func newStreamMerge(cells []anondyn.Cell, per int, shards []Shard, onRow func(int, anondyn.CellResult)) *streamMerge {
+	m := &streamMerge{
+		cells:     cells,
+		per:       per,
+		shards:    shards,
+		stats:     make([]*anondyn.BatchStats, len(cells)),
+		out:       make([]anondyn.CellResult, 0, len(cells)),
+		committed: make([]bool, len(shards)),
+		buffered:  make(map[int][]transport.ShardRecord),
+		onRow:     onRow,
+	}
+	for i, c := range cells {
+		m.stats[i] = &anondyn.BatchStats{Eps: c.Eps}
+	}
+	return m
+}
+
+// fold takes one record of shard idx as it arrives off the wire:
+// straight into the stats for the cursor shard, buffered for a shard
+// ahead of it. Per-shard record order is already validated by the
+// transport layer (strict ascending run indices).
+func (m *streamMerge) fold(idx int, rec transport.ShardRecord) error {
+	if idx == m.cursor {
+		return m.foldCursor(rec)
+	}
+	if idx < m.cursor || m.committed[idx] {
+		return fmt.Errorf("shard: record for run %d of already-committed %v", rec.Run, m.shards[idx])
+	}
+	m.buffered[idx] = append(m.buffered[idx], rec)
+	return nil
+}
+
+func (m *streamMerge) foldCursor(rec transport.ShardRecord) error {
+	sh := m.shards[m.cursor]
+	if rec.Run != m.next {
+		return fmt.Errorf("shard: %v out of sequence: run %d, want %d", sh, rec.Run, m.next)
+	}
+	if m.snap == nil {
+		m.snapLo = sh.CellLo
+		m.snap = make([]anondyn.BatchStats, sh.CellHi-sh.CellLo)
+		for i := range m.snap {
+			m.snap[i] = *m.stats[sh.CellLo+i]
+		}
+	}
+	if err := m.stats[rec.Run/m.per].ConsumeRecord(anondyn.RunRecord{
+		Decided:   rec.Decided,
+		Rounds:    rec.Rounds,
+		Bytes:     rec.Bytes,
+		OutRange:  math.Float64frombits(rec.OutRangeBits),
+		Violation: rec.Violation,
+	}); err != nil {
+		return err
+	}
+	m.next++
+	return nil
+}
+
+// commit records shard idx's done frame. Committing the cursor shard
+// seals its provisional folds and advances the cursor through every
+// already-committed buffered shard behind it, emitting finished cells'
+// rows along the way; committing a shard ahead of the cursor just
+// marks it (its buffer folds when the cursor arrives).
+func (m *streamMerge) commit(idx int) error {
+	sh := m.shards[idx]
+	if m.committed[idx] {
+		return fmt.Errorf("shard: %v committed twice", sh)
+	}
+	m.committed[idx] = true
+	m.nCommit++
+	m.committedRuns += sh.Runs()
+	if idx != m.cursor {
+		return nil
+	}
+	if m.next != sh.Hi {
+		return fmt.Errorf("shard: %v committed after %d/%d records", sh, m.next-sh.Lo, sh.Runs())
+	}
+	return m.advance()
+}
+
+// advance seals the (committed, fully folded) cursor shard and walks
+// forward: buffered records of each next shard fold in, committed ones
+// seal in turn, and the walk stops at the first shard still streaming.
+func (m *streamMerge) advance() error {
+	for {
+		m.emitThrough(m.shards[m.cursor].Hi)
+		m.snap = nil
+		m.cursor++
+		if m.cursor == len(m.shards) {
+			return nil
+		}
+		for _, rec := range m.buffered[m.cursor] {
+			if err := m.foldCursor(rec); err != nil {
+				return err
+			}
+		}
+		delete(m.buffered, m.cursor)
+		if !m.committed[m.cursor] {
+			return nil
+		}
+		if sh := m.shards[m.cursor]; m.next != sh.Hi {
+			return fmt.Errorf("shard: %v committed with %d/%d records buffered", sh, m.next-sh.Lo, sh.Runs())
+		}
+	}
+}
+
+// emitThrough builds (and emits) rows for every cell wholly covered by
+// the committed prefix [0, hi).
+func (m *streamMerge) emitThrough(hi int) {
+	for m.emitted < len(m.cells) && (m.emitted+1)*m.per <= hi {
+		c := m.cells[m.emitted]
+		row := anondyn.CellResult{
+			N: c.N, F: c.F, Eps: c.Eps,
+			Algorithm:   c.Algorithm.String(),
+			Adversary:   c.Adversary.Name,
+			Variant:     c.Variant.Name,
+			BatchReport: m.stats[m.emitted].Report(),
+		}
+		m.out = append(m.out, row)
+		if m.onRow != nil {
+			m.onRow(m.emitted, row)
+		}
+		m.emitted++
+	}
+}
+
+// rollback discards shard idx's uncommitted records after a transport
+// failure, so the shard can requeue and rerun without a trace: a
+// buffered shard's records are dropped; the cursor shard's provisional
+// folds are undone by restoring the snapshot.
+func (m *streamMerge) rollback(idx int) {
+	if idx != m.cursor {
+		delete(m.buffered, idx)
+		return
+	}
+	if m.snap != nil {
+		for i := range m.snap {
+			*m.stats[m.snapLo+i] = m.snap[i]
+		}
+		m.snap = nil
+	}
+	m.next = m.shards[m.cursor].Lo
+}
+
+// complete reports whether every shard has committed.
+func (m *streamMerge) complete() bool { return m.nCommit == len(m.shards) }
+
+// remaining counts shards not yet committed.
+func (m *streamMerge) remaining() int { return len(m.shards) - m.nCommit }
+
+// doneRuns counts the runs of committed shards (status reporting;
+// provisional cursor folds don't count until their done frame).
+func (m *streamMerge) doneRuns() int { return m.committedRuns }
+
+// rows returns the final aggregate rows; every shard must be
+// committed.
+func (m *streamMerge) rows() ([]anondyn.CellResult, error) {
+	if !m.complete() || m.cursor != len(m.shards) || m.emitted != len(m.cells) {
+		return nil, fmt.Errorf("shard: merge incomplete: %d/%d shards committed, %d/%d cells emitted",
+			m.nCommit, len(m.shards), m.emitted, len(m.cells))
+	}
+	return m.out, nil
+}

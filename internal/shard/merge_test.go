@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"anondyn"
+	"anondyn/examples/specs"
+	"anondyn/internal/spec"
+	"anondyn/internal/transport"
+)
+
+// mergeFixture compiles the committed spec into cells and a 4-shard
+// plan at 2 seeds per cell, with one synthetic record per run.
+func mergeFixture(t *testing.T) (cells []anondyn.Cell, per int, shards []Shard, recs []transport.ShardRecord) {
+	t.Helper()
+	data, err := specs.Read("er-crash-sweep.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grid, err := spec.Compile(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, per = grid.Cells(), 2
+	shards = Plan(len(cells), per, 4)
+	if len(shards) != 4 {
+		t.Fatalf("fixture plan has %d shards, want 4", len(shards))
+	}
+	recs = make([]transport.ShardRecord, len(cells)*per)
+	for i := range recs {
+		recs[i] = transport.ShardRecord{
+			Run:          i,
+			Decided:      i%3 != 0,
+			Rounds:       5 + i,
+			Bytes:        100 * i,
+			OutRangeBits: math.Float64bits(float64(i) * 1e-4),
+			Violation:    i == 5,
+		}
+	}
+	return cells, per, shards, recs
+}
+
+// expectedRows folds the synthetic records in global run order — the
+// single-process reference the merge must reproduce exactly.
+func expectedRows(t *testing.T, cells []anondyn.Cell, per int, recs []transport.ShardRecord) []anondyn.CellResult {
+	t.Helper()
+	stats := make([]*anondyn.BatchStats, len(cells))
+	for i, c := range cells {
+		stats[i] = &anondyn.BatchStats{Eps: c.Eps}
+	}
+	for _, r := range recs {
+		if err := stats[r.Run/per].ConsumeRecord(anondyn.RunRecord{
+			Decided:   r.Decided,
+			Rounds:    r.Rounds,
+			Bytes:     r.Bytes,
+			OutRange:  math.Float64frombits(r.OutRangeBits),
+			Violation: r.Violation,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := make([]anondyn.CellResult, len(cells))
+	for i, c := range cells {
+		rows[i] = anondyn.CellResult{
+			N: c.N, F: c.F, Eps: c.Eps,
+			Algorithm:   c.Algorithm.String(),
+			Adversary:   c.Adversary.Name,
+			Variant:     c.Variant.Name,
+			BatchReport: stats[i].Report(),
+		}
+	}
+	return rows
+}
+
+// feed pushes shard idx's records into the merge.
+func feed(t *testing.T, m *streamMerge, shards []Shard, recs []transport.ShardRecord, idx int) {
+	t.Helper()
+	for run := shards[idx].Lo; run < shards[idx].Hi; run++ {
+		if err := m.fold(idx, recs[run]); err != nil {
+			t.Fatalf("fold shard %d run %d: %v", idx, run, err)
+		}
+	}
+}
+
+// TestMergeOutOfOrderCompletion: shards committing in the order
+// 3, 1, 0, 2 — overtaking shards buffer, the cursor advances through
+// the committed backlog on commit(0), and the rows come out identical
+// to the in-order fold, emitted in cell order along the way.
+func TestMergeOutOfOrderCompletion(t *testing.T) {
+	cells, per, shards, recs := mergeFixture(t)
+	want := expectedRows(t, cells, per, recs)
+
+	var emitted []int
+	m := newStreamMerge(cells, per, shards, func(cell int, row anondyn.CellResult) {
+		emitted = append(emitted, cell)
+		if !reflect.DeepEqual(row, want[cell]) {
+			t.Errorf("streamed row %d differs from reference", cell)
+		}
+	})
+	for _, idx := range []int{3, 1, 0, 2} {
+		feed(t, m, shards, recs, idx)
+		if err := m.commit(idx); err != nil {
+			t.Fatalf("commit %d: %v", idx, err)
+		}
+	}
+	rows, err := m.rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("out-of-order merge differs from in-order fold:\ngot  %+v\nwant %+v", rows, want)
+	}
+	wantOrder := make([]int, len(cells))
+	for i := range wantOrder {
+		wantOrder[i] = i
+	}
+	if !reflect.DeepEqual(emitted, wantOrder) {
+		t.Errorf("rows emitted in order %v, want %v", emitted, wantOrder)
+	}
+}
+
+// TestMergeRollbackCursorShard: a cursor shard that streamed part of
+// its records and died must roll back to a clean slate — the rerun's
+// records fold as if the first attempt never happened.
+func TestMergeRollbackCursorShard(t *testing.T) {
+	cells, per, shards, recs := mergeFixture(t)
+	want := expectedRows(t, cells, per, recs)
+
+	m := newStreamMerge(cells, per, shards, nil)
+	// First attempt at shard 0 delivers one record, then the worker dies.
+	if err := m.fold(0, recs[shards[0].Lo]); err != nil {
+		t.Fatal(err)
+	}
+	m.rollback(0)
+	// A buffered shard dies too; its records just drop.
+	feed(t, m, shards, recs, 2)
+	m.rollback(2)
+	// Reruns deliver everything cleanly.
+	for idx := range shards {
+		feed(t, m, shards, recs, idx)
+		if err := m.commit(idx); err != nil {
+			t.Fatalf("commit %d: %v", idx, err)
+		}
+	}
+	rows, err := m.rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("rows after rollback differ from reference:\ngot  %+v\nwant %+v", rows, want)
+	}
+}
+
+// TestMergeRejectsCorruptStreams: double commits, records for
+// committed shards, and out-of-sequence runs are protocol corruption,
+// not recoverable states.
+func TestMergeRejectsCorruptStreams(t *testing.T) {
+	cells, per, shards, recs := mergeFixture(t)
+	m := newStreamMerge(cells, per, shards, nil)
+	feed(t, m, shards, recs, 0)
+	if err := m.commit(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.commit(0); err == nil {
+		t.Error("double commit accepted")
+	}
+	if err := m.fold(0, recs[shards[0].Lo]); err == nil {
+		t.Error("record for a committed shard accepted")
+	}
+	if err := m.fold(1, recs[shards[1].Hi-1]); err == nil {
+		t.Error("out-of-sequence cursor record accepted")
+	}
+	if _, err := m.rows(); err == nil {
+		t.Error("rows() before completion succeeded")
+	}
+	// An incomplete cursor shard must not commit.
+	m2 := newStreamMerge(cells, per, shards, nil)
+	if err := m2.fold(0, recs[shards[0].Lo]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.commit(0); err == nil {
+		t.Error("commit with missing records accepted")
+	}
+}

@@ -181,7 +181,7 @@ func TestRecorderEventStream(t *testing.T) {
 		N:         n,
 		Procs:     dacProcs(t, n, 2, []float64{0, 0.5, 1}),
 		Adversary: adversary.NewComplete(),
-		Recorder:  rec,
+		Hooks:     Hooks{Recorder: rec},
 	}
 	eng, err := NewEngine(cfg)
 	if err != nil {
@@ -247,7 +247,7 @@ func TestObserverSeesMultiPhaseJump(t *testing.T) {
 		N:         n,
 		Procs:     procs,
 		Adversary: adversary.NewStatic("toZero", linkInto(n, 0, 1)),
-		Observer:  obs,
+		Hooks:     Hooks{Observer: obs},
 		MaxRounds: 1,
 	}
 	eng, err := NewEngine(cfg)

@@ -214,7 +214,7 @@ func (e *ConcurrentEngine) Reset(cfg Config) error {
 	e.lostFast = len(cfg.Byzantine) == 0 && len(cfg.Crashes) == 0 && !e.hasCap
 	// Metrics stay out of the gate — same no-perturbation rule as the
 	// sequential engine.
-	e.hooks = cfg.Hooks.merged(&e.cfg)
+	e.hooks = cfg.Hooks
 	e.trackPhases = e.hooks.Observer != nil || e.hooks.Recorder != nil
 	if e.view == nil {
 		e.view = newExecView(&e.cfg, e.isByz)

@@ -126,18 +126,6 @@ type Hooks struct {
 	Metrics metrics.Sink
 }
 
-// merged folds the deprecated top-level Config fields into h, with the
-// Hooks fields winning when both are set.
-func (h Hooks) merged(c *Config) Hooks {
-	if h.Observer == nil {
-		h.Observer = c.Observer
-	}
-	if h.Recorder == nil {
-		h.Recorder = c.Recorder
-	}
-	return h
-}
-
 // Config describes one execution.
 type Config struct {
 	// N is the network size; F the declared fault bound (used only for
@@ -172,18 +160,6 @@ type Config struct {
 	// Hooks registers everything that watches the execution: observer,
 	// recorder, and metrics sink. See Hooks.
 	Hooks Hooks
-
-	// Recorder, when non-nil, receives the execution event log.
-	//
-	// Deprecated: set Hooks.Recorder. This alias is honored for one more
-	// PR (Hooks.Recorder wins when both are set) and then removed.
-	Recorder *trace.Recorder
-
-	// Observer, when non-nil, receives phase/decide callbacks.
-	//
-	// Deprecated: set Hooks.Observer. This alias is honored for one more
-	// PR (Hooks.Observer wins when both are set) and then removed.
-	Observer Observer
 
 	// AccountBandwidth enables wire-format byte accounting for delivered
 	// messages (experiment E8); it costs an encode-size pass per

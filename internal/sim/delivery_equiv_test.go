@@ -31,7 +31,7 @@ func TestDeliveryEquivalenceProperty(t *testing.T) {
 		cfg := func() Config { return randomDeliveryConfig(t, n, seed) }
 
 		refCfg, refRec := cfg(), trace.NewRecorder()
-		refCfg.Recorder = refRec
+		refCfg.Hooks.Recorder = refRec
 		refEng, err := NewEngine(refCfg)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
@@ -40,7 +40,7 @@ func TestDeliveryEquivalenceProperty(t *testing.T) {
 		ref := refEng.RunRounds(25)
 
 		wwCfg, wwRec := cfg(), trace.NewRecorder()
-		wwCfg.Recorder = wwRec
+		wwCfg.Hooks.Recorder = wwRec
 		// Half the trials force the CSR scratch: the sparse gather paths
 		// (InList fast branch, CSR-backed InNeighborsInto, sparse
 		// OutMissing lost count) must match the reference byte-for-byte

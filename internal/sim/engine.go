@@ -230,7 +230,7 @@ func (e *Engine) Reset(cfg Config) error {
 	// the round from outside and must never change path selection, so a
 	// metrics-enabled run takes bit-for-bit the same route as a disabled
 	// one (pinned by the parity property tests).
-	e.hooks = cfg.Hooks.merged(&e.cfg)
+	e.hooks = cfg.Hooks
 	e.trackPhases = e.hooks.Observer != nil || e.hooks.Recorder != nil
 	e.allIdentity = true
 	for _, numbering := range e.ports {

@@ -201,7 +201,7 @@ func TestEquivalenceObserverStreams(t *testing.T) {
 			N:         9,
 			Procs:     dacProcs(t, 9, 6, spread(9)),
 			Adversary: rot,
-			Observer:  obs,
+			Hooks:     Hooks{Observer: obs},
 		}
 	}
 	seqObs, concObs := newObserverLog(), newObserverLog()

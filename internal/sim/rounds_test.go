@@ -61,7 +61,7 @@ func TestRoundObserverValues(t *testing.T) {
 		Procs:     dacProcs(t, n, 4, spread(n)),
 		Crashes:   fault.Schedule{1: fault.CrashAt(1)},
 		Adversary: adversary.NewComplete(),
-		Observer:  spy,
+		Hooks:     Hooks{Observer: spy},
 	}
 	eng, err := NewEngine(cfg)
 	if err != nil {

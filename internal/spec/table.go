@@ -62,33 +62,63 @@ func (s *Sweep) RunTitle(path string, cells int) string {
 	return fmt.Sprintf("%s: %d cells × %d seeds", name, cells, per)
 }
 
+// Columns returns the standard sweep table column set; the variant
+// column appears only when the sweep declares a variants axis.
+func Columns(withVariants bool) []string {
+	columns := []string{"n", "f", "eps", "algorithm", "adversary"}
+	if withVariants {
+		columns = append(columns, "variant")
+	}
+	return append(columns, "decided", "violations", "rounds mean", "rounds p95", "range max")
+}
+
+// RowCells renders one aggregate row in the standard layout. It is the
+// single formatting path behind both the buffered Table and the
+// streaming CSV writer (report.RowStream), so a row streamed as it
+// commits is byte-identical to the same row rendered after the sweep.
+func RowCells(r anondyn.CellResult, withVariants bool) []string {
+	g := func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	cells := []string{fmt.Sprint(r.N), fmt.Sprint(r.F), g(r.Eps), r.Algorithm, r.Adversary}
+	if withVariants {
+		cells = append(cells, r.Variant)
+	}
+	return append(cells,
+		fmt.Sprintf("%d/%d", r.Decided, r.Runs), fmt.Sprint(r.Violations),
+		g(r.Rounds.Mean), g(r.Rounds.P95), g(r.OutputRange.Max))
+}
+
+// HasVariants reports whether any row carries a variant name (the
+// column-layout switch shared by Table and the streaming writers).
+func HasVariants(rows []anondyn.CellResult) bool {
+	for _, r := range rows {
+		if r.Variant != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// CellsDeclareVariants is HasVariants over compiled cells — streaming
+// writers must pick the column layout before any row exists, so they
+// ask the grid instead of the rows.
+func CellsDeclareVariants(cells []anondyn.Cell) bool {
+	for _, c := range cells {
+		if c.Variant.Name != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // Table renders sweep rows in the standard CLI layout — one aggregate
 // row per cell, with a variant column only when the sweep declares a
 // variants axis — so dynabench and dynasim print identical tables for
 // identical sweeps.
 func Table(title string, rows []anondyn.CellResult) *analysis.Table {
-	withVariants := false
+	withVariants := HasVariants(rows)
+	tb := analysis.NewTable(title, Columns(withVariants)...)
 	for _, r := range rows {
-		if r.Variant != "" {
-			withVariants = true
-			break
-		}
-	}
-	columns := []string{"n", "f", "eps", "algorithm", "adversary"}
-	if withVariants {
-		columns = append(columns, "variant")
-	}
-	columns = append(columns, "decided", "violations", "rounds mean", "rounds p95", "range max")
-	tb := analysis.NewTable(title, columns...)
-	for _, r := range rows {
-		cells := []any{r.N, r.F, r.Eps, r.Algorithm, r.Adversary}
-		if withVariants {
-			cells = append(cells, r.Variant)
-		}
-		cells = append(cells,
-			fmt.Sprintf("%d/%d", r.Decided, r.Runs), r.Violations,
-			r.Rounds.Mean, r.Rounds.P95, r.OutputRange.Max)
-		tb.AddRowf(cells...)
+		tb.AddRow(RowCells(r, withVariants)...)
 	}
 	return tb
 }

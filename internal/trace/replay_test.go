@@ -80,7 +80,7 @@ func TestReplayReproducesExecution(t *testing.T) {
 		N:         n,
 		Procs:     mkProcs(),
 		Adversary: rd,
-		Recorder:  rec,
+		Hooks:     sim.Hooks{Recorder: rec},
 	})
 	if err != nil {
 		t.Fatal(err)

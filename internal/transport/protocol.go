@@ -26,8 +26,11 @@ import (
 // Protocol version, sent in the hello/config handshake. v2 added the
 // shard frames (0x08–0x0D) for coordinator↔worker sweep dispatch; v3
 // added live worker telemetry (the 0x0E metrics frame and the task's
-// metrics cadence field).
-const protocolVersion = 3
+// metrics cadence field); v4 turned the coordinator into a resident
+// control plane: join/leave frames for elastic worker membership,
+// submit/sweep-status/sweep-rows frames for queueing sweeps against a
+// running service, and a shared-secret token in every handshake.
+const protocolVersion = 4
 
 // Frame types.
 const (
@@ -52,6 +55,21 @@ const (
 	// v3: live telemetry, interleaved with the record stream at the
 	// cadence the task requests (ShardTask.MetricsEveryRuns).
 	frameShardMetrics byte = 0x0e // worker → coordinator: shard, runs, rounds, delivered, busy, workers
+
+	// v4: resident control plane. Workers join (and leave) an already
+	// running coordinator instead of being dialed from a fixed list, and
+	// sweep clients submit specs against the same port. The first frame
+	// of an inbound connection names its role: join for a worker,
+	// submit for a sweep client, hello for a legacy coordinator dialing
+	// a listening worker.
+	frameShardJoin    byte = 0x0f // worker → control plane: version, capacity, token
+	frameShardWelcome byte = 0x10 // control plane → worker: version
+	frameShardLeave   byte = 0x11 // worker → control plane: graceful leave (between tasks)
+	frameSubmit       byte = 0x12 // client → control plane: version, seeds, shards, token, name, spec
+	frameSubmitOK     byte = 0x13 // control plane → client: sweep id, total runs
+	frameSweepStatus  byte = 0x14 // control plane → client: id, state, done, total, requeues, workers
+	frameSweepRows    byte = 0x15 // control plane → client: id, rows (JSON)
+	frameSweepFail    byte = 0x16 // control plane → client: id, message
 )
 
 // Errors surfaced by the protocol layer.
@@ -60,6 +78,8 @@ var (
 	ErrBadType   = errors.New("transport: unexpected frame type")
 	ErrVersion   = errors.New("transport: protocol version mismatch")
 	ErrShutdown  = errors.New("transport: connection closed by peer")
+	ErrAuth      = errors.New("transport: shard auth failed (token mismatch)")
+	ErrWorkerLeft = errors.New("transport: worker left the control plane")
 	errShortRead = errors.New("transport: short read")
 )
 

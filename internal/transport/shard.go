@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"net"
 	"time"
@@ -22,7 +23,21 @@ import (
 const (
 	maxSpecBytes    = 1 << 20 // a committed sweep file
 	maxShardErrText = 1 << 12 // a worker's failure report
+	maxTokenBytes   = 1 << 10 // a shared-secret auth token
+	maxSweepName    = 1 << 10 // a submitted sweep's display name
+	maxRowsBytes    = 1 << 24 // a completed sweep's aggregate rows (JSON)
 )
+
+// checkToken is the constant-time shared-secret comparison every v4
+// handshake runs. Both sides must agree on the token (often the empty
+// string: auth disabled); the compare is constant-time in the token
+// contents so a listening port does not leak the secret byte-by-byte.
+func checkToken(want string, got []byte) error {
+	if subtle.ConstantTimeCompare([]byte(want), got) != 1 {
+		return ErrAuth
+	}
+	return nil
+}
 
 // ShardTask names one unit of dispatch: a contiguous range of a
 // sweep's global run indices (run i is seed BaseSeed+i of cell
@@ -123,9 +138,11 @@ type ShardClient struct {
 }
 
 // DialShard connects to a worker and performs the hello/ready
-// handshake. timeout bounds every subsequent frame exchange (for a
-// record stream: the gap between consecutive records); 0 = none.
-func DialShard(addr string, timeout time.Duration) (*ShardClient, error) {
+// handshake, presenting the shared-secret token (empty = auth
+// disabled; both sides must agree). timeout bounds every subsequent
+// frame exchange (for a record stream: the gap between consecutive
+// records); 0 = none.
+func DialShard(addr, token string, timeout time.Duration) (*ShardClient, error) {
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial worker %s: %w", addr, err)
@@ -133,6 +150,10 @@ func DialShard(addr string, timeout time.Duration) (*ShardClient, error) {
 	s := &ShardClient{raw: raw, c: newConn(raw), timeout: timeout}
 	s.deadline()
 	if err := s.c.writeFrame(frameShardHello, protocolVersion); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if err := s.c.writeBytes([]byte(token)); err != nil {
 		raw.Close()
 		return nil, err
 	}
@@ -249,6 +270,11 @@ func (s *ShardClient) RunShard(task ShardTask, onRecord func(ShardRecord) error,
 			if onMetrics != nil {
 				onMetrics(m)
 			}
+		case frameShardLeave:
+			// The worker announced a graceful leave between tasks; this
+			// task was written after its announcement crossed the wire.
+			// The caller requeues the shard without charging a failure.
+			return ErrWorkerLeft
 		default:
 			return fmt.Errorf("%w: 0x%02x during shard %d", ErrBadType, ft, task.Shard)
 		}
@@ -313,11 +339,14 @@ type ShardServer struct {
 }
 
 // AcceptShard performs the worker-side handshake on an accepted
-// connection, announcing the worker's pool capacity. timeout bounds
-// each write and the reads within a task exchange; waiting for the
-// next task is unbounded (coordinators legitimately idle a worker
-// while others drain the queue).
-func AcceptShard(raw net.Conn, capacity int, timeout time.Duration) (*ShardServer, error) {
+// connection, announcing the worker's pool capacity and verifying the
+// shared-secret token (constant-time). A rejected handshake returns
+// before the ready frame, so the dialing coordinator holds nothing —
+// the connection is simply closed by the caller and no worker slot is
+// consumed. timeout bounds each write and the reads within a task
+// exchange; waiting for the next task is unbounded (coordinators
+// legitimately idle a worker while others drain the queue).
+func AcceptShard(raw net.Conn, capacity int, token string, timeout time.Duration) (*ShardServer, error) {
 	s := &ShardServer{raw: raw, c: newConn(raw), timeout: timeout}
 	s.deadline()
 	ft, err := s.c.readType()
@@ -334,11 +363,23 @@ func AcceptShard(raw net.Conn, capacity int, timeout time.Duration) (*ShardServe
 	if ver != protocolVersion {
 		return nil, fmt.Errorf("%w: coordinator speaks v%d, worker v%d", ErrVersion, ver, protocolVersion)
 	}
+	got, err := s.c.readBytes(maxTokenBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkToken(token, got); err != nil {
+		return nil, err
+	}
 	if err := s.c.writeFrame(frameShardReady, protocolVersion, uint64(capacity)); err != nil {
 		return nil, err
 	}
 	return s, s.c.flush()
 }
+
+// Conn exposes the underlying connection so a joining worker can track
+// it for teardown (JoinControlPlane dials internally, unlike the
+// accept path where the caller owns the net.Conn).
+func (s *ShardServer) Conn() net.Conn { return s.raw }
 
 func (s *ShardServer) deadline() {
 	if s.timeout > 0 {
@@ -410,6 +451,18 @@ func (s *ShardServer) WriteMetrics(m ShardMetrics) error {
 	if err := s.c.writeFrame(frameShardMetrics,
 		uint64(m.Shard), m.Runs, m.Rounds, m.Delivered,
 		uint64(m.Busy), uint64(m.Workers)); err != nil {
+		return err
+	}
+	return s.c.flush()
+}
+
+// Leave announces a graceful departure to the control plane: the
+// worker is between tasks and will close the connection. The control
+// plane requeues any task it raced onto the wire without charging the
+// worker a failure.
+func (s *ShardServer) Leave() error {
+	s.deadline()
+	if err := s.c.writeFrame(frameShardLeave); err != nil {
 		return err
 	}
 	return s.c.flush()

@@ -25,7 +25,7 @@ func echoWorker(t *testing.T, ln net.Listener, capacity int) {
 		return
 	}
 	defer raw.Close()
-	srv, err := AcceptShard(raw, capacity, 5*time.Second)
+	srv, err := AcceptShard(raw, capacity, "", 5*time.Second)
 	if err != nil {
 		t.Errorf("worker handshake: %v", err)
 		return
@@ -73,7 +73,7 @@ func TestShardProtocolRoundTrip(t *testing.T) {
 		echoWorker(t, ln, 4)
 	}()
 
-	cl, err := DialShard(ln.Addr().String(), 5*time.Second)
+	cl, err := DialShard(ln.Addr().String(), "", 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestShardMetricsFramesRoundTrip(t *testing.T) {
 			return
 		}
 		defer raw.Close()
-		srv, err := AcceptShard(raw, 2, 5*time.Second)
+		srv, err := AcceptShard(raw, 2, "", 5*time.Second)
 		if err != nil {
 			t.Errorf("worker handshake: %v", err)
 			return
@@ -160,7 +160,7 @@ func TestShardMetricsFramesRoundTrip(t *testing.T) {
 	}
 	go serve()
 
-	cl, err := DialShard(ln.Addr().String(), 5*time.Second)
+	cl, err := DialShard(ln.Addr().String(), "", 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestShardMetricsFramesRoundTrip(t *testing.T) {
 	// Same exchange with a nil onMetrics: the frames are read and
 	// discarded, the record stream is untouched.
 	go serve()
-	cl2, err := DialShard(ln.Addr().String(), 5*time.Second)
+	cl2, err := DialShard(ln.Addr().String(), "", 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestShardRecordGapRejected(t *testing.T) {
 			return
 		}
 		defer raw.Close()
-		srv, err := AcceptShard(raw, 1, 5*time.Second)
+		srv, err := AcceptShard(raw, 1, "", 5*time.Second)
 		if err != nil {
 			return
 		}
@@ -230,7 +230,7 @@ func TestShardRecordGapRejected(t *testing.T) {
 		srv.WriteRecord(ShardRecord{Run: task.Lo + 2}) //nolint:errcheck // the gap
 		srv.Done(task.Shard, task.Runs())              //nolint:errcheck
 	}()
-	cl, err := DialShard(ln.Addr().String(), 5*time.Second)
+	cl, err := DialShard(ln.Addr().String(), "", 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestShardServerRejectsVersionMismatch(t *testing.T) {
 			return
 		}
 		defer raw.Close()
-		_, err = AcceptShard(raw, 1, 2*time.Second)
+		_, err = AcceptShard(raw, 1, "", 2*time.Second)
 		errCh <- err
 	}()
 	raw, err := net.Dial("tcp", ln.Addr().String())
@@ -288,7 +288,7 @@ func TestShardFailReportsDeterministicError(t *testing.T) {
 			return
 		}
 		defer raw.Close()
-		srv, err := AcceptShard(raw, 1, 5*time.Second)
+		srv, err := AcceptShard(raw, 1, "", 5*time.Second)
 		if err != nil {
 			return
 		}
@@ -298,7 +298,7 @@ func TestShardFailReportsDeterministicError(t *testing.T) {
 		}
 		srv.Fail(task.Shard, "spec: empty document") //nolint:errcheck
 	}()
-	cl, err := DialShard(ln.Addr().String(), 5*time.Second)
+	cl, err := DialShard(ln.Addr().String(), "", 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
