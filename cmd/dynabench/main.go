@@ -84,6 +84,7 @@ func run(args []string) error {
 		metricsOut = fs.String("metrics", "", "stream live metrics snapshots as NDJSON to this file or host:port address")
 		specFile   = fs.String("spec", "", "run the sweep defined in this YAML/JSON scenario file")
 		specDir    = fs.String("spec-dir", "", "run every scenario file (*.yaml, *.yml, *.json) in this directory")
+		validate   = fs.Bool("validate", false, "with -spec/-spec-dir: parse, validate and compile the spec(s), then exit without running")
 		saveSpec   = fs.String("save-spec", "", "with -sweep: additionally write the sweep as a spec file")
 		serveAddr  = fs.String("serve", "", "run as a distributed sweep worker on this address (shards arrive from dynagrid; -workers sizes the per-shard pool)")
 		joinAddr   = fs.String("join", "", "worker mode: dial into a dynagrid -serve-coordinator control plane at this address (reconnects until shutdown; combines with or replaces -serve)")
@@ -137,14 +138,23 @@ func run(args []string) error {
 		if explicit["seeds"] {
 			seedsOverride = *seedsN
 		}
+		if *specDir != "" && *specFile != "" {
+			return fmt.Errorf("-spec and -spec-dir are mutually exclusive")
+		}
+		if *validate {
+			if *specDir != "" {
+				return validateSpecDir(*specDir)
+			}
+			return validateSpecFile(*specFile)
+		}
 		target := report.ParseTarget(*reportOut)
 		if *specDir != "" {
-			if *specFile != "" {
-				return fmt.Errorf("-spec and -spec-dir are mutually exclusive")
-			}
 			return runSpecDir(*specDir, seedsOverride, *workers, target, coll)
 		}
 		return runSpecFile(*specFile, seedsOverride, *workers, target, coll, true)
+	}
+	if *validate {
+		return fmt.Errorf("-validate wants -spec or -spec-dir (it dry-runs spec files)")
 	}
 
 	if *sweep {
@@ -285,7 +295,7 @@ func runSweep(sf sweepFlags, coll *metrics.Collector) error {
 		fmt.Printf("(spec written to %s)\n", sf.saveSpec)
 	}
 	title := fmt.Sprintf("sweep: %d cells × %d seeds", len(grid.Cells()), max(sf.seeds, 1))
-	return printSweep(grid, title, "", sf.workers, report.ParseTarget(sf.reportOut), coll)
+	return printSweep(grid, title, nil, sf.workers, report.ParseTarget(sf.reportOut), coll)
 }
 
 // grid assembles the sweep Grid from the axis flags.
@@ -370,8 +380,9 @@ func writeGridSpec(grid anondyn.Grid, path string) error {
 // printSweep runs one grid, prints the aggregate table (unless a
 // stdout report mode replaces it), and writes the requested report.
 // The HTML format additionally runs one extra seed per cell to chart
-// its convergence curve.
-func printSweep(grid anondyn.Grid, title, specName string, workers int, target report.Target, coll *metrics.Collector) error {
+// its convergence curve. A sweep with a stress section (sw non-nil)
+// additionally evaluates and prints its storm verdicts.
+func printSweep(grid anondyn.Grid, title string, sw *spec.Sweep, workers int, target report.Target, coll *metrics.Collector) error {
 	opts := anondyn.BatchOptions{Workers: workers}
 	if coll != nil {
 		opts.Metrics = coll
@@ -381,12 +392,16 @@ func printSweep(grid anondyn.Grid, title, specName string, workers int, target r
 		return err
 	}
 	doc := &report.Sweep{
-		Spec:         specName,
 		SeedsPerCell: max(grid.SeedsPerCell, 1),
 		BaseSeed:     grid.BaseSeed,
 		Workers:      workers,
 		Cells:        rows,
 		Title:        title,
+	}
+	if sw != nil {
+		doc.Spec = sw.Name
+		doc.Verdicts = sw.Verdicts(rows)
+		doc.Storm = sw.StormTimeline()
 	}
 	if target.Format == report.FormatHTML {
 		if doc.Series, err = grid.SeriesPerCell(); err != nil {
@@ -400,11 +415,42 @@ func printSweep(grid anondyn.Grid, title, specName string, workers int, target r
 	if err := spec.Table(title, rows).Fprint(os.Stdout); err != nil {
 		return err
 	}
+	if err := report.FprintVerdicts(os.Stdout, doc.Verdicts); err != nil {
+		return err
+	}
 	if err := target.Write(doc); err != nil {
 		return err
 	}
 	if target.Enabled() {
 		fmt.Printf("(report written to %s)\n", target.Path)
+	}
+	return nil
+}
+
+// validateSpecFile dry-runs one spec file: parse, validate, compile —
+// every check a real run performs before its first scenario — then
+// report and exit. Unknown keys, bad values and uncompilable grids all
+// surface with their key-citing errors and a non-zero exit.
+func validateSpecFile(path string) error {
+	sw, grid, err := spec.Load(path, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok (%s)\n", path, sw.RunTitle(path, len(grid.Cells())))
+	return nil
+}
+
+// validateSpecDir dry-runs every scenario file in one directory (the
+// same file set runSpecDir would execute).
+func validateSpecDir(dir string) error {
+	files, err := specDirFiles(dir)
+	if err != nil {
+		return err
+	}
+	for _, path := range files {
+		if err := validateSpecFile(path); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -419,15 +465,32 @@ func runSpecFile(path string, seedsOverride, workers int, target report.Target, 
 	if banner && sw.Description != "" {
 		fmt.Printf("# %s\n", sw.Description)
 	}
-	return printSweep(grid, sw.RunTitle(path, len(grid.Cells())), sw.Name, workers, target, coll)
+	return printSweep(grid, sw.RunTitle(path, len(grid.Cells())), sw, workers, target, coll)
 }
 
 // runSpecDir runs every scenario file in a directory, sorted by name.
 // A file report target fans out to one derived file per spec.
 func runSpecDir(dir string, seedsOverride, workers int, target report.Target, coll *metrics.Collector) error {
-	entries, err := os.ReadDir(dir)
+	files, err := specDirFiles(dir)
 	if err != nil {
 		return err
+	}
+	for i, path := range files {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := runSpecFile(path, seedsOverride, workers, target.ForSpec(path), coll, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// specDirFiles lists a directory's scenario files, sorted by name.
+func specDirFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
 	}
 	var files []string
 	for _, e := range entries {
@@ -440,18 +503,10 @@ func runSpecDir(dir string, seedsOverride, workers int, target report.Target, co
 		}
 	}
 	if len(files) == 0 {
-		return fmt.Errorf("%s: no scenario files (*.yaml, *.yml, *.json)", dir)
+		return nil, fmt.Errorf("%s: no scenario files (*.yaml, *.yml, *.json)", dir)
 	}
 	sort.Strings(files)
-	for i, path := range files {
-		if i > 0 {
-			fmt.Println()
-		}
-		if err := runSpecFile(path, seedsOverride, workers, target.ForSpec(path), coll, true); err != nil {
-			return err
-		}
-	}
-	return nil
+	return files, nil
 }
 
 func parseInts(spec string) ([]int, error) {

@@ -32,7 +32,11 @@
 // -submit clients on one port; SIGINT/SIGTERM drains gracefully
 // (queued sweeps finish, then exit; interrupt again to force). -submit
 // enqueues one sweep, streams live status lines to stderr, and renders
-// the finished rows exactly like a one-shot run.
+// the finished rows exactly like a one-shot run. -status asks a
+// resident control plane for its worker census and queued/running
+// sweeps, prints them, and exits:
+//
+//	dynagrid -status 127.0.0.1:7200 -token s3cret
 //
 // -report csv / -report json / -report html stream the rows to stdout
 // in that format; a path writes a file (.csv for CSV, .html for a
@@ -89,6 +93,7 @@ func run(args []string) error {
 		quiet      = fs.Bool("quiet", false, "suppress the banner, dispatch summary, and status lines")
 		serveCoord = fs.String("serve-coordinator", "", "run a resident control plane on this address: workers join (dynabench -join), sweeps arrive via -submit")
 		submitAddr = fs.String("submit", "", "submit -spec to the control plane at this address and wait for the merged rows")
+		statusAddr = fs.String("status", "", "query the control plane at this address and list queued/running sweeps")
 		token      = fs.String("token", "", "shared secret for the shard handshake (all parties must agree; empty disables auth)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +106,12 @@ func run(args []string) error {
 	defer closeMetrics() //nolint:errcheck // final snapshot write; fate shared with stdout
 	addrs := splitAddrs(*workers)
 
+	if *statusAddr != "" {
+		if *specFile != "" || *specDir != "" || *submitAddr != "" || *serveCoord != "" {
+			return fmt.Errorf("-status is a read-only query; it takes no sweep or service flags")
+		}
+		return runStatus(*statusAddr, *token, *timeout)
+	}
 	if *serveCoord != "" {
 		if *specFile != "" || *specDir != "" || *submitAddr != "" {
 			return fmt.Errorf("-serve-coordinator is a service mode; sweeps arrive via dynagrid -submit (or workers via dynabench -join)")
@@ -151,6 +162,25 @@ func run(args []string) error {
 		return runSpecDir(*specDir, opts, target, *quiet)
 	}
 	return runSpecFile(*specFile, opts, target, *quiet)
+}
+
+// runStatus asks a resident control plane for its live census and
+// active sweep list, and prints one line per sweep.
+func runStatus(addr, token string, timeout time.Duration) error {
+	st, err := transport.QueryPlaneStatus(addr, token, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("control plane %s: %d workers, %d active sweeps\n", addr, st.Workers, len(st.Sweeps))
+	for _, sw := range st.Sweeps {
+		name := sw.Name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Printf("  sweep %d  %-8s %6d/%d runs  %d requeues  %s\n",
+			sw.ID, sw.State, sw.Done, sw.Total, sw.Requeues, name)
+	}
+	return nil
 }
 
 // serveCoordinator runs the resident control plane until a signal,
@@ -233,6 +263,8 @@ func runSubmit(cpAddr, path string, seeds, shardsN int, token string, timeout ti
 		Workers:      fleet,
 		Cells:        rows,
 		Title:        sw.RunTitle(path, len(rows)),
+		Verdicts:     sw.Verdicts(rows),
+		Storm:        sw.StormTimeline(),
 	}
 	if target.Format == report.FormatHTML {
 		if doc.Series, err = grid.SeriesPerCell(); err != nil {
@@ -246,6 +278,9 @@ func runSubmit(cpAddr, path string, seeds, shardsN int, token string, timeout ti
 		fmt.Printf("# %s\n", sw.Description)
 	}
 	if err := spec.Table(doc.Title, rows).Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if err := report.FprintVerdicts(os.Stdout, doc.Verdicts); err != nil {
 		return err
 	}
 	if err := target.Write(doc); err != nil {
@@ -360,6 +395,9 @@ func runSpecFile(path string, opts shard.Options, target report.Target, quiet bo
 		fmt.Printf("# %s\n", res.Sweep.Description)
 	}
 	if err := spec.Table(title(res, path), res.Rows).Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if err := report.FprintVerdicts(os.Stdout, res.Sweep.Verdicts(res.Rows)); err != nil {
 		return err
 	}
 	if !quiet {
@@ -530,6 +568,9 @@ func emitJob(path string, data []byte, rs *rowStream, res *shard.Result, opts sh
 	if err := spec.Table(title(res, path), res.Rows).Fprint(os.Stdout); err != nil {
 		return err
 	}
+	if err := report.FprintVerdicts(os.Stdout, res.Sweep.Verdicts(res.Rows)); err != nil {
+		return err
+	}
 	if !quiet {
 		fmt.Printf("(%d shards over %d workers, %d requeued)\n", len(res.Shards), len(opts.Workers), res.Requeues)
 	}
@@ -565,6 +606,10 @@ func envelope(res *shard.Result, path string, workers int) *report.Sweep {
 		Workers:      workers,
 		Cells:        res.Rows,
 		Title:        title(res, path),
+		// Verdicts derive from (spec, rows) alone, so the sharded
+		// report carries the same verdict block as a local run.
+		Verdicts: res.Sweep.Verdicts(res.Rows),
+		Storm:    res.Sweep.StormTimeline(),
 	}
 }
 

@@ -77,6 +77,7 @@ func run(args []string) error {
 		metricsOut = fs.String("metrics", "", "stream live metrics snapshots as NDJSON to this file or host:port address")
 		specFile   = fs.String("spec", "", "run the sweep defined in this YAML/JSON scenario file instead of the flag scenario")
 		saveSpec   = fs.String("save-spec", "", "write the flag scenario as a declarative spec file before running")
+		validate   = fs.Bool("validate", false, "with -spec: parse, validate and compile the spec, then exit without running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,7 +102,18 @@ func run(args []string) error {
 				seedsOverride = *seedsN
 			}
 		})
+		if *validate {
+			sw, grid, err := spec.Load(*specFile, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: ok (%s)\n", *specFile, sw.RunTitle(*specFile, len(grid.Cells())))
+			return nil
+		}
 		return runSpec(*specFile, seedsOverride, *workers, coll)
+	}
+	if *validate {
+		return fmt.Errorf("-validate wants -spec (it dry-runs spec files)")
 	}
 
 	adv, err := parseAdversary(*advSpec, *n, *f, *seed)
@@ -529,7 +541,10 @@ func runSpec(path string, seedsOverride, workers int, coll *metrics.Collector) e
 	if err != nil {
 		return err
 	}
-	return spec.Table(sw.RunTitle(path, len(rows)), rows).Fprint(os.Stdout)
+	if err := spec.Table(sw.RunTitle(path, len(rows)), rows).Fprint(os.Stdout); err != nil {
+		return err
+	}
+	return report.FprintVerdicts(os.Stdout, sw.Verdicts(rows))
 }
 
 // flagScenario carries the flag values -save-spec captures.

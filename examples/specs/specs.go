@@ -11,18 +11,29 @@ import (
 	"sort"
 )
 
-//go:embed *.yaml
+//go:embed *.yaml stress/*.yaml
 var files embed.FS
 
-// Names returns the committed spec filenames, sorted.
+// Names returns the committed spec filenames, sorted. Storm specs live
+// in the stress/ subdirectory and are named with that prefix
+// ("stress/cascading-failure.yaml").
 func Names() []string {
-	entries, err := files.ReadDir(".")
-	if err != nil {
-		panic(err) // embed.FS root always reads
-	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		names = append(names, e.Name())
+	var names []string
+	for _, dir := range []string{".", "stress"} {
+		entries, err := files.ReadDir(dir)
+		if err != nil {
+			panic(err) // embedded directories always read
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			name := e.Name()
+			if dir != "." {
+				name = dir + "/" + name
+			}
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names

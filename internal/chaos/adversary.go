@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"anondyn"
+	"anondyn/internal/adversary"
+	"anondyn/internal/network"
+)
+
+// WrapAdversary layers the storm's connectivity windows (partitions,
+// starvation) over a base adversary. Storms without such windows
+// return the base unchanged, so crash/Byzantine-only storms keep the
+// base adversary's exact fast paths.
+func (st *Storm) WrapAdversary(base anondyn.Adversary) anondyn.Adversary {
+	if len(st.cuts) == 0 && len(st.starves) == 0 {
+		return base
+	}
+	w := &stormAdversary{base: base, cuts: st.cuts, starves: st.starves}
+	w.inPlace, _ = base.(adversary.InPlace)
+	return w
+}
+
+// stormAdversary filters a base adversary's per-round edge set through
+// the storm's active connectivity windows. It always implements the
+// InPlace fast path: the base fills the engine-owned scratch set (or is
+// copied into it), then one sender-major walk collects the surviving
+// links and rebuilds the set — O(edges) per round in either
+// representation, with the walk order (and hence every starvation draw)
+// identical across the dense/CSR switch.
+type stormAdversary struct {
+	base    adversary.Adversary
+	inPlace adversary.InPlace // non-nil when the base has the fast path
+	cuts    []cutWindow
+	starves []starveWindow
+	keep    []uint64 // surviving-edge scratch, u<<32|v
+}
+
+// Name labels the wrapper in traces and logs.
+func (a *stormAdversary) Name() string { return a.base.Name() + "+storm" }
+
+// Edges is the allocating fallback path.
+func (a *stormAdversary) Edges(t int, view adversary.View) *network.EdgeSet {
+	e := a.base.Edges(t, view).Clone()
+	a.filter(t, e)
+	return e
+}
+
+// EdgesInto implements the zero-extra-allocation engine path.
+func (a *stormAdversary) EdgesInto(t int, view adversary.View, dst *network.EdgeSet) {
+	if a.inPlace != nil {
+		a.inPlace.EdgesInto(t, view, dst)
+	} else {
+		dst.CopyFrom(a.base.Edges(t, view))
+	}
+	a.filter(t, dst)
+}
+
+// Oblivious forwards the base's state-independence promise — the
+// windows themselves never consult the view.
+func (a *stormAdversary) Oblivious() bool { return adversary.IsOblivious(a.base) }
+
+// filter drops every link an active window suppresses: links crossing
+// an active partition cut, then each survivor with the active starve
+// windows' per-round drop draws (sender-major order; see
+// StreamVersion). Rounds with no active window return untouched.
+func (a *stormAdversary) filter(t int, dst *network.EdgeSet) {
+	var cuts []cutWindow
+	for _, w := range a.cuts {
+		if t >= w.from && t < w.until {
+			cuts = append(cuts, w)
+		}
+	}
+	var rngs []*stream
+	var rates []float64
+	for _, w := range a.starves {
+		if t >= w.from && t < w.until {
+			rngs = append(rngs, newStream(mix(int64(w.seed), uint64(t)*saltStarve)))
+			rates = append(rates, w.rate)
+		}
+	}
+	if len(cuts) == 0 && len(rngs) == 0 {
+		return
+	}
+	a.keep = a.keep[:0]
+	dropped := false
+	dst.ForEachEdge(func(u, v int) bool {
+		for _, w := range cuts {
+			if w.inCut[u] != w.inCut[v] {
+				dropped = true
+				return true
+			}
+		}
+		for i, rng := range rngs {
+			if rng.float64() < rates[i] {
+				dropped = true
+				return true
+			}
+		}
+		a.keep = append(a.keep, uint64(u)<<32|uint64(uint32(v)))
+		return true
+	})
+	if !dropped {
+		return
+	}
+	dst.Reset()
+	for _, p := range a.keep {
+		dst.AddUnchecked(int(p>>32), int(uint32(p)))
+	}
+}

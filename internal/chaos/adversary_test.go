@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"testing"
+
+	"anondyn"
+	"anondyn/internal/adversary"
+	"anondyn/internal/network"
+)
+
+// completeBase is a minimal non-InPlace complete-graph adversary, so
+// the wrapper's allocating fallback path gets exercised too.
+type completeBase struct{}
+
+func (completeBase) Name() string { return "completebase" }
+func (completeBase) Edges(_ int, view adversary.View) *network.EdgeSet {
+	e := network.NewEdgeSet(view.N())
+	e.FillComplete()
+	return e
+}
+
+// TestWrapAdversaryPassthrough: a storm without connectivity windows
+// returns the base adversary itself — no wrapper cost for crash-only
+// storms.
+func TestWrapAdversaryPassthrough(t *testing.T) {
+	s := &Stress{
+		Fleet:  Fleet{TotalNodes: 20},
+		Rounds: 10,
+		Events: []Event{{Kind: "crash", Round: 2, Count: 3}},
+	}
+	base := anondyn.Complete()
+	if got := s.CompileStorm(0).WrapAdversary(base); got != base {
+		t.Error("crash-only storm wrapped the adversary")
+	}
+}
+
+// TestPartitionCutsCrossingEdges: during the window, every link
+// crossing the cut is gone and every same-side link survives; outside
+// the window the set is untouched.
+func TestPartitionCutsCrossingEdges(t *testing.T) {
+	s := &Stress{
+		Fleet:  Fleet{TotalNodes: 40, Groups: 4},
+		Rounds: 30,
+		Events: []Event{{Kind: "partition", Round: 5, Duration: 3, Groups: []int{0}}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CompileStorm(2)
+	wrapped := st.WrapAdversary(anondyn.Complete())
+	if wrapped.Name() != "complete+storm" {
+		t.Errorf("wrapper name = %q", wrapped.Name())
+	}
+	view := adversary.SizeView(40)
+	inCut := func(node int) bool { return node < 10 } // group 0 = IDs [0, 10)
+
+	for _, round := range []int{4, 5, 7, 8} {
+		e := wrapped.Edges(round, view)
+		active := round >= 5 && round < 8
+		e2 := network.NewEdgeSet(40)
+		e2.FillComplete()
+		want := e2.Len()
+		if active {
+			want -= 2 * 10 * 30 // both directions across the cut
+		}
+		if e.Len() != want {
+			t.Errorf("round %d: %d edges, want %d", round, e.Len(), want)
+		}
+		e.ForEachEdge(func(u, v int) bool {
+			if active && inCut(u) != inCut(v) {
+				t.Errorf("round %d: cut-crossing edge %d→%d survived", round, u, v)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestStarveDenseSparseParity: the wrapper's starvation draws walk
+// edges in sender-major order in both representations, so the filtered
+// set is identical across the dense/CSR switch — the determinism
+// contract behind sharding large storms.
+func TestStarveDenseSparseParity(t *testing.T) {
+	s := &Stress{
+		Fleet:  Fleet{TotalNodes: 60},
+		Rounds: 20,
+		Events: []Event{{Kind: "starve", Round: 1, Duration: 20, Rate: 0.4}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 4; round++ {
+		// Fresh wrappers per representation: filter state is scratch.
+		wd := s.CompileStorm(9).WrapAdversary(completeBase{}).(*stormAdversary)
+		ws := s.CompileStorm(9).WrapAdversary(completeBase{}).(*stormAdversary)
+		dense := network.NewEdgeSet(60)
+		dense.FillComplete()
+		wd.filter(round, dense)
+		sparse := network.NewEdgeSetSparse(60)
+		sparse.FillComplete()
+		ws.filter(round, sparse)
+		if dense.Len() != sparse.Len() {
+			t.Fatalf("round %d: dense kept %d edges, sparse %d", round, dense.Len(), sparse.Len())
+		}
+		if dense.Len() == 60*59 {
+			t.Errorf("round %d: starvation at rate 0.4 dropped nothing", round)
+		}
+		sparse.ForEachEdge(func(u, v int) bool {
+			if !dense.Has(u, v) {
+				t.Errorf("round %d: edge %d→%d in sparse result only", round, u, v)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestStarveDeterministicPerRound: the same round refilters to the
+// same set (each round's drop stream is self-seeded, not positional),
+// and different rounds draw different sets.
+func TestStarveDeterministicPerRound(t *testing.T) {
+	s := &Stress{
+		Fleet:  Fleet{TotalNodes: 30},
+		Rounds: 20,
+		Events: []Event{{Kind: "starve", Round: 1, Duration: 20, Rate: 0.3}},
+	}
+	w := s.CompileStorm(0).WrapAdversary(completeBase{})
+	view := adversary.SizeView(30)
+	a := w.Edges(3, view)
+	b := w.Edges(5, view)
+	c := w.Edges(3, view)
+	if !a.Equal(c) {
+		t.Error("round 3 refiltered to a different set")
+	}
+	if a.Equal(b) {
+		t.Error("rounds 3 and 5 drew identical starvation")
+	}
+}
+
+// TestWrapAdversaryInPlace: EdgesInto on an InPlace base matches the
+// allocating path exactly.
+func TestWrapAdversaryInPlace(t *testing.T) {
+	s := &Stress{
+		Fleet:  Fleet{TotalNodes: 25, Groups: 5},
+		Rounds: 12,
+		Events: []Event{{Kind: "partition", Round: 2, Duration: 6, Groups: []int{1, 3}}},
+	}
+	base := anondyn.Complete()
+	if _, ok := base.(adversary.InPlace); !ok {
+		t.Skip("complete adversary lost its InPlace fast path")
+	}
+	w := s.CompileStorm(4).WrapAdversary(base)
+	view := adversary.SizeView(25)
+	for round := 1; round <= 9; round++ {
+		dst := network.NewEdgeSet(25)
+		w.(adversary.InPlace).EdgesInto(round, view, dst)
+		if want := w.Edges(round, view); !dst.Equal(want) {
+			t.Errorf("round %d: EdgesInto differs from Edges", round)
+		}
+	}
+	if !adversary.IsOblivious(w) {
+		t.Error("wrapper hides the base's obliviousness")
+	}
+}

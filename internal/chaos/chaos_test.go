@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// validStress is a baseline stress block the validation tests perturb.
+func validStress() *Stress {
+	return &Stress{
+		Fleet: Fleet{
+			TotalNodes: 100,
+			Groups:     5,
+			Templates: []Template{
+				{Name: "a", Weight: 3, Input: "random"},
+				{Name: "b", Weight: 1, Input: "spread"},
+			},
+		},
+		Seed:   11,
+		Rounds: 50,
+		Events: []Event{
+			{Kind: "crash", Round: 3, Count: 4, Mode: "silent"},
+			{Kind: "crash-storm", Round: 5, Duration: 3, Rate: 0.01},
+			{Kind: "byzantine", Count: 2, Strategy: "extremist", Args: []float64{1}},
+			{Kind: "group-outage", Round: 8, Count: 1},
+			{Kind: "cascade", Round: 10, Count: 2, Waves: 3, Spread: 4, Factor: 2},
+			{Kind: "partition", Round: 12, Duration: 5, Groups: []int{0, 2}},
+			{Kind: "starve", Round: 20, Duration: 4, Rate: 0.3},
+		},
+		Assertions: []Assertion{
+			{Kind: "converged"},
+			{Kind: "agreement"},
+			{Kind: "max_rounds", Bound: 50},
+			{Kind: "survivors", Expr: ">= n/2"},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validStress().Validate(); err != nil {
+		t.Fatalf("baseline stress block rejected: %v", err)
+	}
+}
+
+// TestValidateRejects: every malformed block is rejected with an error
+// citing the offending key.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Stress)
+		wantKey string
+	}{
+		{"no fleet", func(s *Stress) { s.Fleet.TotalNodes = 0 }, "stress.fleet.total_nodes"},
+		{"groups exceed nodes", func(s *Stress) { s.Fleet.Groups = 1000 }, "stress.fleet.groups"},
+		{"zero template weight", func(s *Stress) { s.Fleet.Templates[1].Weight = 0 }, "stress.fleet.templates[1].weight"},
+		{"bad input generator", func(s *Stress) { s.Fleet.Templates[0].Input = "gauss" }, "stress.fleet.templates[0].input"},
+		{"bad value input", func(s *Stress) { s.Fleet.Templates[0].Input = "value:x" }, "stress.fleet.templates[0].input"},
+		{"no duration", func(s *Stress) { s.Rounds = 0 }, "stress.rounds"},
+		{"crash without victims", func(s *Stress) { s.Events[0].Count = 0 }, "stress.events[0].count"},
+		{"crash at round zero", func(s *Stress) { s.Events[0].Round = 0 }, "stress.events[0].round"},
+		{"bad crash mode", func(s *Stress) { s.Events[0].Mode = "loud" }, "stress.events[0].mode"},
+		{"storm without window", func(s *Stress) { s.Events[1].Duration = 0 }, "stress.events[1].duration"},
+		{"storm rate out of range", func(s *Stress) { s.Events[1].Rate = 1.5 }, "stress.events[1].rate"},
+		{"byzantine mid-run", func(s *Stress) { s.Events[2].Round = 4 }, "stress.events[2].round"},
+		{"unknown strategy", func(s *Stress) { s.Events[2].Strategy = "chaotic" }, "stress.events[2].strategy"},
+		{"strategy arity", func(s *Stress) { s.Events[2].Strategy = "silent"; s.Events[2].Args = []float64{1} }, "stress.events[2].args"},
+		{"outage without groups", func(s *Stress) { s.Fleet.Groups = 0 }, "stress.events[3].kind"},
+		{"outage count and list", func(s *Stress) { s.Events[3].Groups = []int{1}; s.Events[3].Count = 1 }, "stress.events[3].count"},
+		{"group out of range", func(s *Stress) { s.Events[5].Groups = []int{9} }, "stress.events[5].groups[0]"},
+		{"cascade without spread", func(s *Stress) { s.Events[4].Spread = 0 }, "stress.events[4].spread"},
+		{"unknown event kind", func(s *Stress) { s.Events[6].Kind = "meteor" }, "stress.events[6].kind"},
+		{"unknown assertion", func(s *Stress) { s.Assertions[0].Kind = "victory" }, "stress.assertions[0]"},
+		{"bad survivor expr", func(s *Stress) { s.Assertions[3].Expr = "at least half" }, "stress.assertions[3]"},
+		{"max_rounds without bound", func(s *Stress) { s.Assertions[2].Bound = 0 }, "stress.assertions[2]"},
+	}
+	for _, tc := range cases {
+		s := validStress()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantKey) {
+			t.Errorf("%s: error %q does not cite %s", tc.name, err, tc.wantKey)
+		}
+	}
+}
+
+// TestAssertionNames pins the canonical verdict-row spellings.
+func TestAssertionNames(t *testing.T) {
+	cases := map[string]Assertion{
+		"converged":        {Kind: "converged"},
+		"agreement":        {Kind: "agreement"},
+		"max_rounds <= 40": {Kind: "max_rounds", Bound: 40},
+		"survivors >= n/2": {Kind: "survivors", Expr: ">= n/2"},
+	}
+	for want, a := range cases {
+		if got := a.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestPlanFleet: template draws are weighted and seed-stable; groups
+// are contiguous equal blocks.
+func TestPlanFleet(t *testing.T) {
+	s := validStress()
+	s.Fleet.TotalNodes = 10000
+	p := s.Plan()
+	if p.N != 10000 || len(p.Template) != 10000 || len(p.Group) != 10000 {
+		t.Fatalf("plan shape: N=%d templates=%d groups=%d", p.N, len(p.Template), len(p.Group))
+	}
+	counts := make([]int, len(s.Fleet.Templates))
+	for _, ti := range p.Template {
+		counts[ti]++
+	}
+	// Weight 3:1 — the draw should land near 7500/2500.
+	if counts[0] < 7000 || counts[0] > 8000 {
+		t.Errorf("weighted template draw: %v (weights 3:1 over 10000)", counts)
+	}
+	for i := 1; i < p.N; i++ {
+		if p.Group[i] < p.Group[i-1] {
+			t.Fatalf("groups not contiguous at node %d", i)
+		}
+	}
+	if p.Group[0] != 0 || p.Group[p.N-1] != s.Fleet.Groups-1 {
+		t.Errorf("group range [%d, %d], want [0, %d]", p.Group[0], p.Group[p.N-1], s.Fleet.Groups-1)
+	}
+	q := s.Plan()
+	for i := range p.Template {
+		if p.Template[i] != q.Template[i] {
+			t.Fatal("plan is not a pure function of the stress seed")
+		}
+	}
+
+	// A single template consumes no fleet draws and yields nil indices.
+	s.Fleet.Templates = s.Fleet.Templates[:1]
+	if p := s.Plan(); p.Template != nil {
+		t.Error("single-template fleet allocated a template vector")
+	}
+}
+
+// TestInputs: each generator kind produces its documented vector, and
+// random draws are run-seed-dependent but reproducible.
+func TestInputs(t *testing.T) {
+	s := &Stress{Fleet: Fleet{TotalNodes: 4, Templates: []Template{{Name: "v", Weight: 1, Input: "value:0.25"}}}, Rounds: 10}
+	for i, v := range s.Inputs(3) {
+		if v != 0.25 {
+			t.Errorf("value template node %d = %g", i, v)
+		}
+	}
+	s.Fleet.Templates[0].Input = "spread"
+	in := s.Inputs(3)
+	if in[0] != 0 || in[3] != 1 {
+		t.Errorf("spread endpoints = %g, %g", in[0], in[3])
+	}
+	s.Fleet.Templates[0].Input = "random"
+	a, b, c := s.Inputs(3), s.Inputs(3), s.Inputs(4)
+	same, diff := true, false
+	for i := range a {
+		same = same && a[i] == b[i]
+		diff = diff || a[i] != c[i]
+		if a[i] < 0 || a[i] >= 1 {
+			t.Errorf("random input %d = %g outside [0,1)", i, a[i])
+		}
+	}
+	if !same {
+		t.Error("same run seed drew different inputs")
+	}
+	if !diff {
+		t.Error("different run seeds drew identical inputs")
+	}
+}

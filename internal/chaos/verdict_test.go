@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"testing"
+
+	"anondyn"
+)
+
+// row builds a one-cell aggregate with the given outcome counts.
+func row(runs, decided, violations int, maxRounds float64) anondyn.CellResult {
+	r := anondyn.CellResult{N: 100}
+	r.Runs = runs
+	r.Decided = decided
+	r.Violations = violations
+	r.Rounds.Max = maxRounds
+	return r
+}
+
+// TestEvalVerdicts: each assertion kind passes and fails on the
+// documented evidence.
+func TestEvalVerdicts(t *testing.T) {
+	s := &Stress{
+		Fleet:  Fleet{TotalNodes: 100},
+		Rounds: 50,
+		Events: []Event{{Kind: "crash", Round: 2, Count: 30}},
+		Assertions: []Assertion{
+			{Kind: "converged"},
+			{Kind: "agreement"},
+			{Kind: "max_rounds", Bound: 40},
+			{Kind: "survivors", Expr: ">= n/2"},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	vs := Eval(s, 0, 3, []anondyn.CellResult{row(3, 3, 0, 22)})
+	if len(vs) != 4 {
+		t.Fatalf("got %d verdicts, want 4", len(vs))
+	}
+	for i, v := range vs {
+		if !v.Pass {
+			t.Errorf("healthy sweep: %s failed (%s)", vs[i].Assertion, v.Detail)
+		}
+	}
+	// 30 crashes of 100 → 70 survivors ≥ 50: the floor passes.
+	if vs[3].Assertion != "survivors >= n/2" {
+		t.Errorf("survivors assertion named %q", vs[3].Assertion)
+	}
+
+	vs = Eval(s, 0, 3, []anondyn.CellResult{row(3, 2, 1, 48)})
+	wantPass := []bool{false, false, false, true}
+	for i, v := range vs {
+		if v.Pass != wantPass[i] {
+			t.Errorf("degraded sweep: %s pass=%v, want %v (%s)", v.Assertion, v.Pass, wantPass[i], v.Detail)
+		}
+	}
+
+	// Decided but slow: max_rounds fails on the bound, not the budget.
+	vs = Eval(s, 0, 3, []anondyn.CellResult{row(3, 3, 0, 45)})
+	if vs[2].Pass {
+		t.Errorf("max_rounds passed at 45 rounds against bound 40")
+	}
+}
+
+// TestEvalSurvivorFloorAcrossRuns: the floor is the minimum over every
+// run's recompiled storm — a rate-driven storm that kills more nodes
+// in one run than another must report the worse run.
+func TestEvalSurvivorFloorAcrossRuns(t *testing.T) {
+	s := &Stress{
+		Fleet:      Fleet{TotalNodes: 50},
+		Rounds:     30,
+		Events:     []Event{{Kind: "crash-storm", Round: 1, Duration: 10, Rate: 0.05}},
+		Assertions: []Assertion{{Kind: "survivors", Expr: ">= 49"}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	per := 8
+	min := 50
+	for j := 0; j < per; j++ {
+		if st := s.CompileStorm(int64(j)); st.Survivors < min {
+			min = st.Survivors
+		}
+	}
+	vs := Eval(s, 0, per, []anondyn.CellResult{row(per, per, 0, 10)})
+	wantDetail := Verdict{
+		Assertion: "survivors >= 49",
+		Pass:      min >= 49,
+		Detail:    vs[0].Detail,
+	}
+	if vs[0] != wantDetail {
+		t.Errorf("verdict %+v, want pass=%v against floor %d", vs[0], wantDetail.Pass, min)
+	}
+	if vs[0].Detail == "" {
+		t.Error("survivor verdict carries no detail")
+	}
+}

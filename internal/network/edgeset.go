@@ -234,6 +234,13 @@ func (e *EdgeSet) Len() int {
 	return total
 }
 
+// ForEachEdge calls fn for every link in sender-major, ascending-
+// receiver order — the same order in either representation, so callers
+// that fold the walk into randomized decisions (the chaos layer's storm
+// filters) stay bit-identical across the dense/CSR switch. fn returning
+// false stops the walk. The set must not be mutated during the walk.
+func (e *EdgeSet) ForEachEdge(fn func(u, v int) bool) { e.forEachEdge(fn) }
+
 // Clone returns a deep copy in the same representation.
 func (e *EdgeSet) Clone() *EdgeSet {
 	var c *EdgeSet

@@ -6,6 +6,8 @@ import (
 	"io"
 
 	"anondyn"
+	"anondyn/internal/analysis"
+	"anondyn/internal/chaos"
 	"anondyn/internal/spec"
 )
 
@@ -24,6 +26,12 @@ type Sweep struct {
 	// seed of the cell; see Grid.SeriesPerCell). Populated only when the
 	// target format wants it.
 	Series [][]float64 `json:"series,omitempty"`
+	// Verdicts are the stress assertions' pass/fail outcomes — present
+	// only for sweeps with a stress section (see spec.Sweep.Verdicts).
+	Verdicts []chaos.Verdict `json:"verdicts,omitempty"`
+	// Storm is the first run's materialized storm timeline — present
+	// only for sweeps with a stress section.
+	Storm []chaos.TimelineEntry `json:"storm,omitempty"`
 	// Title is the human heading (table caption, HTML page title); not
 	// part of the JSON envelope.
 	Title string `json:"-"`
@@ -43,9 +51,42 @@ func (s *Sweep) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// WriteCSV implements Document via the standard sweep table layout.
+// WriteCSV implements Document via the standard sweep table layout,
+// followed by a verdict section for stress sweeps.
 func (s *Sweep) WriteCSV(w io.Writer) error {
-	return spec.Table(s.Title, s.Cells).WriteCSV(w)
+	if err := spec.Table(s.Title, s.Cells).WriteCSV(w); err != nil {
+		return err
+	}
+	if len(s.Verdicts) == 0 {
+		return nil
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	tb := analysis.NewTable("", "assertion", "verdict", "detail")
+	for _, v := range s.Verdicts {
+		tb.AddRow(v.Assertion, passFail(v.Pass), v.Detail)
+	}
+	return tb.WriteCSV(w)
+}
+
+// passFail renders a verdict outcome.
+func passFail(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// FprintVerdicts prints storm verdicts in the CLI layout — one line
+// per assertion after the sweep table. No-op without verdicts.
+func FprintVerdicts(w io.Writer, vs []chaos.Verdict) error {
+	for _, v := range vs {
+		if _, err := fmt.Fprintf(w, "verdict %s  %-24s %s\n", passFail(v.Pass), v.Assertion, v.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteHTML implements Document: one self-contained page with the
@@ -53,6 +94,12 @@ func (s *Sweep) WriteCSV(w io.Writer) error {
 // per cell.
 func (s *Sweep) WriteHTML(w io.Writer) error {
 	blocks := []any{s.summaryTable()}
+	if len(s.Verdicts) > 0 {
+		blocks = append(blocks, s.verdictTable())
+	}
+	if len(s.Storm) > 0 {
+		blocks = append(blocks, s.stormTable())
+	}
 	for i, series := range s.Series {
 		if i >= len(s.Cells) || len(series) == 0 {
 			continue
@@ -70,6 +117,25 @@ func (s *Sweep) WriteHTML(w io.Writer) error {
 	}
 	sub := fmt.Sprintf("%d cells · %d seeds/cell · base seed %d", len(s.Cells), max(s.SeedsPerCell, 1), s.BaseSeed)
 	return WriteHTMLPage(w, title, sub, blocks...)
+}
+
+// verdictTable renders the stress assertions' outcomes — the block the
+// CI chaos-smoke job greps for.
+func (s *Sweep) verdictTable() HTMLTable {
+	tb := HTMLTable{Caption: "storm verdicts", Header: []string{"assertion", "verdict", "detail"}}
+	for _, v := range s.Verdicts {
+		tb.Rows = append(tb.Rows, []string{v.Assertion, passFail(v.Pass), v.Detail})
+	}
+	return tb
+}
+
+// stormTable renders the first run's storm timeline.
+func (s *Sweep) stormTable() HTMLTable {
+	tb := HTMLTable{Caption: "storm timeline (first run)", Header: []string{"round", "event", "nodes", "detail"}}
+	for _, e := range s.Storm {
+		tb.Rows = append(tb.Rows, []string{fmt.Sprint(e.Round), e.Kind, fmt.Sprint(e.Nodes), e.Detail})
+	}
+	return tb
 }
 
 // summaryTable mirrors spec.Table's column layout.

@@ -1,0 +1,135 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"anondyn/internal/chaos"
+)
+
+// stormSweep is the fixture with a verdict block and a storm timeline,
+// the way a stress sweep's document arrives.
+func stormSweep() *Sweep {
+	s := fixtureSweep()
+	s.Verdicts = []chaos.Verdict{
+		{Assertion: "converged", Pass: true, Detail: "decided 3/3 runs"},
+		{Assertion: "survivors >= n/2", Pass: false, Detail: "min survivors 2 of 9 (bound 4)"},
+	}
+	s.Storm = []chaos.TimelineEntry{
+		{Round: 3, Kind: "crash", Nodes: 2, Detail: "mode silent"},
+		{Round: 7, Kind: "partition", Nodes: 4, Detail: "groups [1] cut off for rounds 7-9"},
+	}
+	return s
+}
+
+// TestVerdictHTMLBlocks: the HTML artifact carries the "storm
+// verdicts" table (the CI chaos-smoke grep target) with PASS/FAIL
+// rows, plus the storm timeline.
+func TestVerdictHTMLBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := stormSweep().WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"storm verdicts", "PASS", "FAIL",
+		"survivors &gt;= n/2", "min survivors 2 of 9 (bound 4)",
+		"storm timeline (first run)", "partition", "mode silent",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("storm HTML missing %q", want)
+		}
+	}
+	if m := externalRef.FindString(page); m != "" {
+		t.Errorf("storm HTML references external resources (%q)", m)
+	}
+
+	// A sweep without verdicts renders neither block.
+	buf.Reset()
+	if err := fixtureSweep().WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "storm verdicts") || strings.Contains(buf.String(), "storm timeline") {
+		t.Error("verdict blocks rendered for a sweep without a stress section")
+	}
+}
+
+// TestVerdictCSVSection: the CSV document appends an assertion table
+// after a blank separator line.
+func TestVerdictCSVSection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := stormSweep().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\n\n") {
+		t.Error("verdict section not separated from the sweep table")
+	}
+	for _, want := range []string{"assertion,verdict,detail", "converged,PASS,decided 3/3 runs", "survivors >= n/2,FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("storm CSV missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := fixtureSweep().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "assertion") {
+		t.Error("verdict section rendered for a sweep without one")
+	}
+}
+
+// TestVerdictJSONEnvelope: verdicts and storm ride in the envelope only
+// when present (omitempty keeps plain sweeps byte-stable).
+func TestVerdictJSONEnvelope(t *testing.T) {
+	var buf bytes.Buffer
+	if err := stormSweep().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"verdicts", "storm"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("storm envelope missing %q", key)
+		}
+	}
+	buf.Reset()
+	if err := fixtureSweep().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw = nil
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"verdicts", "storm"} {
+		if _, ok := raw[key]; ok {
+			t.Errorf("plain envelope leaks %q", key)
+		}
+	}
+}
+
+// TestFprintVerdicts pins the CLI verdict-line layout.
+func TestFprintVerdicts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FprintVerdicts(&buf, stormSweep().Verdicts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d verdict lines, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "verdict PASS  converged") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "verdict FAIL  survivors >= n/2") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	buf.Reset()
+	if err := FprintVerdicts(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Error("nil verdicts should print nothing")
+	}
+}

@@ -227,7 +227,34 @@ func (cp *ControlPlane) handleConn(raw net.Conn) {
 		cp.memberLoop(m)
 		return
 	}
+	if acc.Status != nil {
+		defer acc.Status.Close()
+		if err := acc.Status.Send(cp.Snapshot()); err != nil {
+			cp.opts.Log("shard: status query from %s failed: %v", raw.RemoteAddr(), err)
+		}
+		return
+	}
 	cp.handleSubmit(acc.Submit)
+}
+
+// Snapshot reports the live worker census and every active (queued or
+// running) sweep in submission order — the payload behind dynagrid
+// -status. Finished sweeps are not retained.
+func (cp *ControlPlane) Snapshot() transport.PlaneStatus {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	st := transport.PlaneStatus{Workers: cp.live}
+	for _, sw := range cp.order {
+		st.Sweeps = append(st.Sweeps, transport.SweepStatusInfo{
+			ID:       sw.id,
+			Name:     sw.name,
+			State:    sw.state,
+			Done:     sw.merge.doneRuns(),
+			Total:    sw.total,
+			Requeues: sw.requeues,
+		})
+	}
+	return st
 }
 
 // register adds a member to the census; false when the plane is

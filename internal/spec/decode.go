@@ -279,6 +279,9 @@ func decodeSweep(doc any) (*Sweep, error) {
 	if err := decodeCasts(o, &s.Byzantine); err != nil {
 		return nil, err
 	}
+	if err := decodeStress(o, &s.Stress); err != nil {
+		return nil, err
+	}
 	return s, o.finish()
 }
 

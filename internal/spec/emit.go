@@ -205,6 +205,9 @@ func (s *Sweep) Encode() []byte {
 			}
 		}
 	}
+	if s.Stress != nil {
+		s.encodeStress(w)
+	}
 	return []byte(b.String())
 }
 

@@ -33,6 +33,9 @@ func (s *Sweep) Grid() (anondyn.Grid, error) {
 	}
 	g.Inputs = inputs
 	g.Mutate = s.compileMutate()
+	if s.Stress != nil {
+		s.applyStress(&g)
+	}
 	if s.Construction == "byzsplit" {
 		// Surface an infeasible layout as a spec error, not a run-time
 		// panic: every cell must admit the Theorem 10 construction.

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"anondyn"
+	"anondyn/internal/chaos"
 )
 
 // Sweep is one declarative scenario matrix. The zero value of every
@@ -73,6 +74,13 @@ type Sweep struct {
 	Crashes *Crashes
 	// Byzantine assigns Byzantine casts on every run.
 	Byzantine []Cast
+
+	// Stress is the optional chaos section: a generated fleet, a
+	// failure-storm schedule and survival assertions. It replaces the
+	// ns/fs matrix (the fleet defines the single network size) and is
+	// incompatible with the fault-pattern keys — the storm is the fault
+	// pattern.
+	Stress *chaos.Stress
 }
 
 // Pair is one explicit {n, f} cell.
@@ -262,8 +270,12 @@ func normalizeJSON(v any) any {
 // validate checks cross-field consistency after decoding; field-level
 // syntax is checked during decode.
 func (s *Sweep) validate() error {
-	if len(s.Ns) == 0 && len(s.Pairs) == 0 {
-		return fmt.Errorf("ns: at least one network size is required (or set cells)")
+	if s.Stress != nil {
+		if err := s.validateStress(); err != nil {
+			return err
+		}
+	} else if len(s.Ns) == 0 && len(s.Pairs) == 0 {
+		return fmt.Errorf("ns: at least one network size is required (or set cells or stress)")
 	}
 	if len(s.Ns) > 0 && len(s.Pairs) > 0 {
 		return fmt.Errorf("cells: cannot combine with ns (pick explicit cells or a cross product)")

@@ -135,7 +135,7 @@ func JoinControlPlane(addr string, capacity int, token string, timeout time.Dura
 }
 
 // Accepted is the control plane's classification of one inbound
-// connection: exactly one of Worker and Submit is non-nil.
+// connection: exactly one of Worker, Submit and Status is non-nil.
 type Accepted struct {
 	// Worker is set for a join: the control plane's client-role handle
 	// on the newly registered worker, with Capacity filled from the
@@ -144,6 +144,9 @@ type Accepted struct {
 	// Submit is set for a sweep submission; the request is already
 	// parsed and authenticated.
 	Submit *SubmitSession
+	// Status is set for a read-only status query (dynagrid -status);
+	// already authenticated. The handler answers once and closes.
+	Status *StatusSession
 }
 
 // AcceptControlPlane performs the control-plane side of one inbound
@@ -240,11 +243,159 @@ func AcceptControlPlane(raw net.Conn, token string, timeout time.Duration) (*Acc
 				Spec:         specData,
 			},
 		}}, nil
+	case frameStatusReq:
+		ver, err := c.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		got, err := c.readBytes(maxTokenBytes)
+		if err != nil {
+			return nil, err
+		}
+		if ver != protocolVersion {
+			return reject(fmt.Errorf("%w: client speaks v%d, control plane v%d", ErrVersion, ver, protocolVersion),
+				fmt.Sprintf("version mismatch: client v%d, control plane v%d", ver, protocolVersion))
+		}
+		if err := checkToken(token, got); err != nil {
+			return reject(err, "bad token")
+		}
+		return &Accepted{Status: &StatusSession{raw: raw, c: c, timeout: timeout}}, nil
 	default:
-		return reject(fmt.Errorf("%w: got 0x%02x, want join or submit", ErrBadType, ft),
-			"expected join or submit")
+		return reject(fmt.Errorf("%w: got 0x%02x, want join, submit or status", ErrBadType, ft),
+			"expected join, submit or status")
 	}
 }
+
+// SweepStatusInfo is one sweep's row of a control-plane status
+// snapshot.
+type SweepStatusInfo struct {
+	ID       int
+	Name     string
+	State    SweepState
+	Done     int
+	Total    int
+	Requeues int
+}
+
+// PlaneStatus is a control plane's point-in-time self-description: the
+// live member census and every non-archived sweep in submission order.
+type PlaneStatus struct {
+	Workers int
+	Sweeps  []SweepStatusInfo
+}
+
+// StatusSession is the control plane's end of one status-query
+// connection: answer once with Send, then close.
+type StatusSession struct {
+	raw     net.Conn
+	c       *conn
+	timeout time.Duration
+}
+
+// Send answers the query with one info frame.
+func (s *StatusSession) Send(st PlaneStatus) error {
+	if s.timeout > 0 {
+		s.raw.SetDeadline(time.Now().Add(s.timeout)) //nolint:errcheck
+	}
+	if err := s.c.writeFrame(frameStatusInfo, uint64(st.Workers), uint64(len(st.Sweeps))); err != nil {
+		return err
+	}
+	for _, sw := range st.Sweeps {
+		for _, f := range []uint64{uint64(sw.ID), uint64(sw.State), uint64(sw.Done), uint64(sw.Total), uint64(sw.Requeues)} {
+			if err := s.c.writeUvarint(f); err != nil {
+				return err
+			}
+		}
+		name := sw.Name
+		if len(name) > maxSweepName {
+			name = name[:maxSweepName]
+		}
+		if err := s.c.writeBytes([]byte(name)); err != nil {
+			return err
+		}
+	}
+	return s.c.flush()
+}
+
+// Close releases the connection.
+func (s *StatusSession) Close() { s.raw.Close() }
+
+// QueryPlaneStatus dials a control plane and fetches one status
+// snapshot — the read-only introspection behind dynagrid -status.
+func QueryPlaneStatus(addr, token string, timeout time.Duration) (*PlaneStatus, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial control plane %s: %w", addr, err)
+	}
+	defer raw.Close()
+	c := newConn(raw)
+	if timeout > 0 {
+		raw.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	}
+	if err := c.writeFrame(frameStatusReq, protocolVersion); err != nil {
+		return nil, err
+	}
+	if err := c.writeBytes([]byte(token)); err != nil {
+		return nil, err
+	}
+	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	ft, err := c.readType()
+	if err != nil {
+		return nil, err
+	}
+	switch ft {
+	case frameStatusInfo:
+	case frameShardErr:
+		if _, err := c.readUvarint(); err != nil {
+			return nil, err
+		}
+		msg, err := c.readBytes(maxShardErrText)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("transport: control plane %s rejected status query: %s", addr, msg)
+	default:
+		return nil, fmt.Errorf("%w: got 0x%02x, want status info", ErrBadType, ft)
+	}
+	workers, err := c.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := c.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxStatusSweeps {
+		return nil, fmt.Errorf("%w: status frame lists %d sweeps (limit %d)", ErrBadFrame, count, maxStatusSweeps)
+	}
+	st := &PlaneStatus{Workers: int(workers)}
+	for i := uint64(0); i < count; i++ {
+		var f [5]uint64
+		for j := range f {
+			v, err := c.readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			f[j] = v
+		}
+		name, err := c.readBytes(maxSweepName)
+		if err != nil {
+			return nil, err
+		}
+		st.Sweeps = append(st.Sweeps, SweepStatusInfo{
+			ID: int(f[0]), State: SweepState(f[1]),
+			Done: int(f[2]), Total: int(f[3]), Requeues: int(f[4]),
+			Name: string(name),
+		})
+	}
+	return st, nil
+}
+
+// maxStatusSweeps bounds a status frame's sweep list (sanity cap far
+// above any real queue).
+const maxStatusSweeps = 1 << 16
 
 // SubmitSession is the control plane's end of one sweep-client
 // connection. The request is parsed; the control plane answers with

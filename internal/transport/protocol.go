@@ -70,6 +70,11 @@ const (
 	frameSweepStatus  byte = 0x14 // control plane → client: id, state, done, total, requeues, workers
 	frameSweepRows    byte = 0x15 // control plane → client: id, rows (JSON)
 	frameSweepFail    byte = 0x16 // control plane → client: id, message
+
+	// Read-only control-plane introspection (dynagrid -status): one
+	// request, one info frame, connection closed.
+	frameStatusReq  byte = 0x17 // client → control plane: version, token
+	frameStatusInfo byte = 0x18 // control plane → client: workers, count, then per sweep: id, state, done, total, requeues, name
 )
 
 // Errors surfaced by the protocol layer.
